@@ -1,0 +1,171 @@
+"""Ablations of the reproduction's own design choices (DESIGN.md §process).
+
+Three knobs the architecture takes a stance on, each measured with the
+alternative switched off:
+
+* **persist-per-step vs persist-per-quiescence** — the Figure 4 durability
+  contract vs the in-workspace shortcut;
+* **duplicate-suppression window** — what reaches the application when the
+  reliable layer's memory is too small;
+* **schema validation at the seams** — the cost of validating every
+  document entering/leaving a mapping.
+"""
+
+from conftest import table
+
+from repro.documents.normalized import make_purchase_order
+from repro.messaging.envelope import Message
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.messaging.reliable import ReliableEndpoint, RetryPolicy
+from repro.messaging.transport import Endpoint
+from repro.sim import EventScheduler
+from repro.transform.catalog import build_standard_registry
+from repro.workflow.definitions import WorkflowBuilder
+from repro.workflow.engine import WorkflowEngine
+
+
+# -- ablation 1: persistence policy -------------------------------------------
+
+
+def _chain_engine(policy: str) -> WorkflowEngine:
+    engine = WorkflowEngine("abl", persistence=policy)
+    builder = WorkflowBuilder("chain")
+    previous = None
+    for index in range(30):
+        builder.activity(f"s{index}", "noop", after=previous)
+        previous = f"s{index}"
+    engine.deploy(builder.build())
+    return engine
+
+
+def bench_persistence_per_step(benchmark):
+    engine = _chain_engine("per_step")
+    benchmark(engine.run, "chain")
+
+
+def bench_persistence_per_quiescence(benchmark):
+    engine = _chain_engine("per_quiescence")
+    benchmark(engine.run, "chain")
+
+
+def bench_persistence_traffic_comparison(benchmark, report):
+    def measure():
+        rows = []
+        for policy in ("per_step", "per_quiescence"):
+            engine = _chain_engine(policy)
+            engine.run("chain")
+            rows.append(
+                {
+                    "policy": policy,
+                    "db_loads": engine.database.instance_loads,
+                    "db_stores": engine.database.instance_stores,
+                    "durable_mid_run": policy == "per_step",
+                }
+            )
+        return rows
+
+    rows = benchmark(measure)
+    report(table(rows, ["policy", "db_loads", "db_stores", "durable_mid_run"],
+                 "Ablation: persistence policy (30-step instance)"))
+    assert rows[0]["db_stores"] > 10 * rows[1]["db_stores"]
+
+
+# -- ablation 2: duplicate-suppression window -----------------------------------
+
+
+def _dedup_run(window: int, count: int = 10) -> dict:
+    scheduler = EventScheduler()
+    network = SimulatedNetwork(
+        scheduler,
+        NetworkConditions(duplicate_rate=1.0, min_latency=0.01, max_latency=0.5),
+        seed=23,
+    )
+    sender = ReliableEndpoint(Endpoint("alpha", network),
+                              RetryPolicy(ack_timeout=5.0, max_retries=0))
+    receiver = ReliableEndpoint(Endpoint("beta", network), dedup_window=window)
+    delivered: list[str] = []
+    receiver.on_message(lambda m: delivered.append(m.message_id))
+    sender.on_failure(lambda m, e: None)
+    for index in range(count):
+        sender.send_reliable(
+            Message(message_id=f"M{index}", sender="alpha", receiver="beta", body="x")
+        )
+    scheduler.run_until_idle()
+    return {
+        "dedup_window": window,
+        "sent": count,
+        "deliveries_to_app": len(delivered),
+        "duplicate_deliveries": len(delivered) - len(set(delivered)),
+    }
+
+
+def bench_dedup_window(benchmark, report):
+    def sweep():
+        return [_dedup_run(window) for window in (1, 4, 10_000)]
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    report(table(rows, ["dedup_window", "sent", "deliveries_to_app",
+                        "duplicate_deliveries"],
+                 "Ablation: duplicate-suppression window under 100% duplication"))
+    # a starved window lets interleaved duplicates through; the sized one
+    # keeps delivery exactly-once
+    assert rows[0]["duplicate_deliveries"] > 0
+    assert rows[-1]["duplicate_deliveries"] == 0
+
+
+# -- ablation 3: schema validation at the seams -----------------------------------
+
+
+def _registries():
+    validated = build_standard_registry()
+    unchecked = build_standard_registry()
+    for mapping in unchecked.mappings():
+        mapping.source_schema = None
+        mapping.target_schema = None
+    return validated, unchecked
+
+
+PO = make_purchase_order(
+    "PO-ABL", "TP1", "ACME",
+    [{"sku": f"S{i}", "quantity": 1.0, "unit_price": 2.0} for i in range(20)],
+)
+
+
+def bench_transform_with_schema_validation(benchmark):
+    validated, _ = _registries()
+    benchmark(validated.transform, PO, "edi-x12")
+
+
+def bench_transform_without_schema_validation(benchmark):
+    _, unchecked = _registries()
+    benchmark(unchecked.transform, PO, "edi-x12")
+
+
+def bench_validation_catches_bad_documents(benchmark, report):
+    """What validation buys: a malformed document is stopped at the seam
+    instead of producing a corrupt wire message."""
+    from repro.errors import ValidationError
+
+    validated, unchecked = _registries()
+    broken = PO.copy()
+    # a business-level flaw the type converters cannot catch
+    broken.set("lines[0].quantity", -5.0)
+
+    def outcomes():
+        caught = False
+        try:
+            validated.transform(broken, "edi-x12")
+        except ValidationError:
+            caught = True
+        leaked = unchecked.transform(broken, "edi-x12")
+        return {
+            "with_validation": "rejected at the seam" if caught else "LEAKED",
+            "without_validation": (
+                f"leaked quantity {leaked.get('po1[0].quantity')!r} to the wire"
+            ),
+        }
+
+    row = benchmark(outcomes)
+    report(table([row], ["with_validation", "without_validation"],
+                 "Ablation: schema validation at the mapping seams"))
+    assert row["with_validation"] == "rejected at the seam"

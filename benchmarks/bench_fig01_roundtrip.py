@@ -1,0 +1,56 @@
+"""F1 — Figure 1: the PO-POA round trip between two enterprises.
+
+Measures the full inter-organizational exchange — extract, transform,
+send/receive over the network, approvals, ERP booking, acknowledgment
+return — for each B2B protocol, and reports the per-protocol message and
+transformation economics.
+"""
+
+from conftest import table
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.core.enterprise import run_community
+
+LINES = [
+    {"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0},
+    {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+]
+
+
+def _run_roundtrip(protocol: str) -> dict:
+    pair = build_two_enterprise_pair(protocol, seller_delay=0.5)
+    counter = len(pair.buyer.b2b.conversations)
+    instance_id = pair.buyer.submit_order("SAP", "ACME", f"PO-{protocol}-{counter}", LINES)
+    run_community(pair.enterprises())
+    assert pair.buyer.instance(instance_id).status == "completed"
+    return {
+        "protocol": protocol,
+        "business_messages": pair.buyer.b2b.messages_sent + pair.seller.b2b.messages_sent,
+        "network_messages": pair.network.stats.sent,
+        "transformations": (
+            pair.buyer.model.transforms.applications()
+            + pair.seller.model.transforms.applications()
+        ),
+        "logical_latency": round(pair.scheduler.clock.now(), 3),
+    }
+
+
+def bench_roundtrip_edi_van(benchmark, report):
+    row = benchmark(_run_roundtrip, "edi-van")
+    report(table([row], ["protocol", "business_messages", "network_messages",
+                         "transformations", "logical_latency"],
+                 "F1: PO-POA round trip (EDI over VAN)"))
+
+
+def bench_roundtrip_rosettanet(benchmark, report):
+    row = benchmark(_run_roundtrip, "rosettanet")
+    report(table([row], ["protocol", "business_messages", "network_messages",
+                         "transformations", "logical_latency"],
+                 "F1: PO-POA round trip (RosettaNet / RNIF)"))
+
+
+def bench_roundtrip_oagis(benchmark, report):
+    row = benchmark(_run_roundtrip, "oagis-http")
+    report(table([row], ["protocol", "business_messages", "network_messages",
+                         "transformations", "logical_latency"],
+                 "F1: PO-POA round trip (OAGIS over plain transport)"))

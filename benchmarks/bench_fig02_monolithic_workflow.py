@@ -1,0 +1,78 @@
+"""F2/F3 — Figures 2-3: the round trip as one (sub)structured workflow.
+
+Builds and executes the combined inter-organizational workflow type on a
+*single* engine — the structure the paper starts from before rejecting it —
+and reports its construction and execution cost.
+"""
+
+from conftest import table
+
+from repro.backend import OracleSimulator, SapSimulator
+from repro.baselines.distributed_interorg import (
+    build_interorg_roundtrip_types,
+    make_participant_engine,
+)
+from repro.sim import Clock
+
+
+def _types():
+    return build_interorg_roundtrip_types(
+        "BuyerCo", "SellerCo", "SAP", "sap-idoc", "Oracle", "oracle-oif",
+        left_threshold=10000, right_thresholds={"BuyerCo": 550000},
+    )
+
+
+def bench_build_combined_type(benchmark, report):
+    types = benchmark(_types)
+    combined = types[0]
+    rows = [
+        {
+            "workflow_type": workflow.name,
+            "owner": workflow.owner,
+            "steps": workflow.step_count(),
+            "transitions": workflow.transition_count(),
+        }
+        for workflow in types
+    ]
+    report(table(rows, ["workflow_type", "owner", "steps", "transitions"],
+                 "F2/F3: the combined workflow and its subworkflows"))
+    assert combined.step_count() == 5
+
+
+def _run_on_single_engine():
+    clock = Clock()
+    left_erp = SapSimulator("SAP")
+    right_erp = OracleSimulator("Oracle")
+    engine = make_participant_engine("single", left_erp, clock)
+    engine.services["backends"]["Oracle"] = right_erp
+    right_erp.on_document_ready(lambda *args: None)
+    types = _types()
+    engine.deploy_all(types)
+    left_erp.enter_order(
+        "PO-F2", "BuyerCo", "SellerCo",
+        [{"sku": "X", "quantity": 1, "unit_price": 20000.0}],
+    )
+    instance_id = engine.create_instance(
+        "interorg-roundtrip",
+        variables={"po_number": "PO-F2", "amount": 20000.0, "source": "BuyerCo"},
+    )
+    engine.start(instance_id)
+    engine.complete_waiting_step(f"{instance_id}/handover_to_right", {})
+    engine.complete_waiting_step(f"{instance_id}/handover_back", {})
+    instance = engine.get_instance(instance_id)
+    assert instance.status == "completed"
+    return engine
+
+
+def bench_execute_combined_workflow(benchmark, report):
+    engine = benchmark(_run_on_single_engine)
+    report(table(
+        [{
+            "steps_executed": engine.steps_executed,
+            "instances_completed": engine.instances_completed,
+            "db_loads": engine.database.instance_loads,
+            "db_stores": engine.database.instance_stores,
+        }],
+        ["steps_executed", "instances_completed", "db_loads", "db_stores"],
+        "F2/F3: single-engine execution of the combined round trip",
+    ))

@@ -1,0 +1,80 @@
+"""F4 — Figure 4: engine + database architecture.
+
+Measures the persist-advance-persist cycle: instance creation/finish-step
+throughput and the database traffic each advance generates (the paper's
+"retrieve ... advance ... store back" loop).
+"""
+
+from conftest import table
+
+from repro.workflow.definitions import WorkflowBuilder
+from repro.workflow.engine import WorkflowEngine
+
+
+def _engine_with_type(step_count: int) -> WorkflowEngine:
+    engine = WorkflowEngine("bench")
+    builder = WorkflowBuilder(f"chain-{step_count}")
+    previous = None
+    for index in range(step_count):
+        builder.activity(f"s{index}", "noop", after=previous)
+        previous = f"s{index}"
+    engine.deploy(builder.build())
+    return engine
+
+
+def bench_instance_lifecycle_short(benchmark):
+    engine = _engine_with_type(5)
+    result = benchmark(engine.run, "chain-5")
+    assert result.status == "completed"
+
+
+def bench_instance_lifecycle_long(benchmark):
+    engine = _engine_with_type(50)
+    result = benchmark(engine.run, "chain-50")
+    assert result.status == "completed"
+
+
+def bench_create_instance_only(benchmark):
+    engine = _engine_with_type(10)
+    benchmark(engine.create_instance, "chain-10")
+
+
+def bench_persistence_traffic(benchmark, report):
+    """One row per workflow length: database loads/stores per instance."""
+
+    def measure():
+        rows = []
+        for steps in (1, 5, 20, 50):
+            engine = _engine_with_type(steps)
+            engine.run(f"chain-{steps}")
+            rows.append(
+                {
+                    "steps": steps,
+                    "instance_loads": engine.database.instance_loads,
+                    "instance_stores": engine.database.instance_stores,
+                    "loads_per_step": round(engine.database.instance_loads / steps, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark(measure)
+    report(table(rows, ["steps", "instance_loads", "instance_stores", "loads_per_step"],
+                 "F4: persist-advance-persist traffic per instance"))
+    # the engine persists at least once per executed step
+    for row in rows:
+        assert row["instance_stores"] >= row["steps"]
+
+
+def bench_waiting_step_resume(benchmark):
+    engine = WorkflowEngine("bench-wait")
+    builder = WorkflowBuilder("waiter")
+    builder.activity("wait", "wait_for_event")
+    builder.activity("done", "noop", after="wait")
+    engine.deploy(builder.build())
+
+    def cycle():
+        instance_id = engine.create_instance("waiter")
+        engine.start(instance_id)
+        engine.complete_waiting_step(f"{instance_id}/wait", {})
+
+    benchmark(cycle)

@@ -1,0 +1,142 @@
+"""F5/F6 — Figures 5-6: instance migration, type migration, distribution.
+
+Measures the Figure 6 protocol (check type / send type / move instance)
+against a cold and a warm target engine, and the master/slave remote-
+subworkflow alternative of Figure 5(b).
+"""
+
+from conftest import table
+
+from repro.workflow.definitions import RemoteSubworkflowStep, WorkflowBuilder
+from repro.workflow.distributed import EngineDirectory, migrate_instance
+from repro.workflow.engine import WorkflowEngine
+
+
+def _waiting_type():
+    builder = WorkflowBuilder("mig-wf", owner="alpha")
+    builder.activity("before", "noop")
+    builder.activity("wait", "wait_for_event", after="before")
+    builder.activity("after", "noop", after="wait")
+    return builder.build()
+
+
+def _started_instance(source: WorkflowEngine) -> str:
+    instance_id = source.create_instance("mig-wf")
+    source.start(instance_id)
+    return instance_id
+
+
+def bench_migration_cold_target(benchmark, report):
+    """The target engine has never seen the type: Figure 6 runs fully."""
+
+    def migrate_cold():
+        source, target = WorkflowEngine("src"), WorkflowEngine("dst")
+        source.deploy(_waiting_type())
+        return migrate_instance(source, target, _started_instance(source))
+
+    result = benchmark(migrate_cold)
+    report(table(
+        [{
+            "target": "cold",
+            "type_checks": result.type_checks,
+            "types_sent": result.types_sent,
+            "instances_sent": result.instances_sent,
+            "total_exchanges": result.messages_exchanged,
+        }],
+        ["target", "type_checks", "types_sent", "instances_sent", "total_exchanges"],
+        "F6: automatic type migration, cold target",
+    ))
+    assert result.types_sent == 1
+
+
+def bench_migration_warm_target(benchmark, report):
+    """The target already holds the type: only the instance moves."""
+    workflow = _waiting_type()
+
+    def migrate_warm():
+        source, target = WorkflowEngine("src"), WorkflowEngine("dst")
+        source.deploy(workflow)
+        target.deploy(workflow)
+        return migrate_instance(source, target, _started_instance(source))
+
+    result = benchmark(migrate_warm)
+    report(table(
+        [{
+            "target": "warm",
+            "type_checks": result.type_checks,
+            "types_sent": result.types_sent,
+            "instances_sent": result.instances_sent,
+            "total_exchanges": result.messages_exchanged,
+        }],
+        ["target", "type_checks", "types_sent", "instances_sent", "total_exchanges"],
+        "F6: automatic type migration, warm target",
+    ))
+    assert result.types_sent == 0
+
+
+def bench_remote_subworkflow(benchmark):
+    """Figure 5(b): master starts a child on the slave and waits."""
+    directory = EngineDirectory()
+    master = directory.register(WorkflowEngine("master"))
+    slave = directory.register(WorkflowEngine("slave"))
+    child = WorkflowBuilder("child")
+    child.variable("x", 0)
+    child.activity("calc", "set_variables", inputs={"y": "x + 1"}, outputs={"y": "y"})
+    slave.deploy(child.build())
+    parent = WorkflowBuilder("parent")
+    parent.variable("v", 1)
+    parent._steps.append(
+        RemoteSubworkflowStep(step_id="r", subworkflow="child", engine="slave",
+                              inputs={"x": "v"}, outputs={"res": "y"})
+    )
+    master.deploy(parent.build())
+
+    def run():
+        instance = master.run("parent")
+        assert instance.variables["res"] == 2
+
+    benchmark(run)
+
+
+def bench_local_vs_remote_subworkflow(benchmark, report):
+    """Quantify the distribution overhead: local subworkflow call vs
+    master/slave remote call for the identical child."""
+    import time
+
+    child = WorkflowBuilder("child")
+    child.activity("calc", "noop")
+    local_engine = WorkflowEngine("local")
+    local_engine.deploy(child.build())
+    local_parent = WorkflowBuilder("parent")
+    local_parent.subworkflow("call", "child")
+    local_engine.deploy(local_parent.build())
+
+    directory = EngineDirectory()
+    master = directory.register(WorkflowEngine("master"))
+    slave = directory.register(WorkflowEngine("slave"))
+    slave.deploy(child.build())
+    remote_parent = WorkflowBuilder("parent")
+    remote_parent._steps.append(
+        RemoteSubworkflowStep(step_id="r", subworkflow="child", engine="slave")
+    )
+    master.deploy(remote_parent.build())
+
+    def compare():
+        iterations = 50
+        start = time.perf_counter()
+        for _ in range(iterations):
+            local_engine.run("parent")
+        local_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(iterations):
+            master.run("parent")
+        remote_elapsed = time.perf_counter() - start
+        return {
+            "local_us": round(local_elapsed / iterations * 1e6, 1),
+            "remote_us": round(remote_elapsed / iterations * 1e6, 1),
+            "overhead": round(remote_elapsed / local_elapsed, 2),
+        }
+
+    row = benchmark.pedantic(compare, rounds=3, iterations=1)
+    report(table([row], ["local_us", "remote_us", "overhead"],
+                 "F5: local vs remote subworkflow invocation"))

@@ -1,0 +1,75 @@
+"""F8 — Figure 8: the cooperative-workflow round trip.
+
+Executes the split local workflows end to end and contrasts their model
+footprint with the advanced architecture serving the same exchange.
+"""
+
+from conftest import table
+
+from repro.backend import OracleSimulator, SapSimulator
+from repro.baselines.cooperative import CooperativeCommunity
+from repro.core.metrics import measure_workflow_type
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.sim import EventScheduler
+
+LINES = [{"sku": "DESK", "quantity": 5, "unit_price": 50.0}]
+
+
+def _community():
+    scheduler = EventScheduler()
+    network = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=11)
+    return CooperativeCommunity(
+        network, "TP1", "ACME",
+        SapSimulator("SAP", scheduler=scheduler),
+        OracleSimulator("Oracle", scheduler=scheduler),
+        protocol_name="edi-van",
+    )
+
+
+def bench_cooperative_roundtrip(benchmark):
+    def run():
+        community = _community()
+        conversation_id = community.submit_order("PO-F8", LINES)
+        community.run()
+        assert community.buyer_instance(conversation_id).status == "completed"
+
+    benchmark(run)
+
+
+def bench_cooperative_model_footprint(benchmark, report):
+    def measure():
+        community = _community()
+        rows = []
+        for side, workflow in (("buyer", community.buyer_type),
+                               ("seller", community.seller_type)):
+            metrics = measure_workflow_type(workflow)
+            rows.append(
+                {
+                    "workflow": f"coop-{side}",
+                    "steps": metrics.workflow_steps,
+                    "inline_transforms": metrics.inline_transform_steps,
+                    "inline_rule_terms": metrics.inline_rule_terms
+                    + metrics.condition_terms,
+                }
+            )
+        return rows
+
+    rows = benchmark(measure)
+    report(table(rows, ["workflow", "steps", "inline_transforms", "inline_rule_terms"],
+                 "F8: what the cooperative workflow types still embed"))
+    # Section 3's criticism holds: transformations and rule terms live
+    # inside both local workflow types.
+    for row in rows:
+        assert row["inline_transforms"] >= 2
+        assert row["inline_rule_terms"] >= 1
+
+
+def bench_cooperative_throughput_ten_orders(benchmark):
+    def run():
+        community = _community()
+        ids = [community.submit_order(f"PO-T{i}", LINES) for i in range(10)]
+        community.run()
+        for conversation_id in ids:
+            assert community.buyer_instance(conversation_id).status == "completed"
+
+    benchmark(run)

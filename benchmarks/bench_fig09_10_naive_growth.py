@@ -1,0 +1,94 @@
+"""F9/F10 — Figures 9-10: naive workflow-type growth.
+
+Regenerates the paper's two snapshots (2x2x2 and 3x3x2) plus the growth
+curves over each dimension, naive vs advanced.  Expected shape: the naive
+type grows with the protocol x back-end product and embeds partner terms
+on every path; the advanced model grows additively.
+"""
+
+from conftest import table
+
+from repro.analysis.complexity import (
+    figure9_to_figure10_change,
+    growth_rows,
+    naive_metrics,
+)
+from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
+from repro.core.metrics import measure_workflow_type
+
+
+def bench_generate_figure9_type(benchmark, report):
+    workflow = benchmark(build_naive_seller_type, NaiveTopology.figure9())
+    metrics = measure_workflow_type(workflow)
+    report(table(
+        [{
+            "figure": "9 (2 protocols, 2 partners, 2 back ends)",
+            "steps": metrics.workflow_steps,
+            "transitions": metrics.transitions,
+            "inline_transforms": metrics.inline_transform_steps,
+            "rule_terms": metrics.inline_rule_terms,
+        }],
+        ["figure", "steps", "transitions", "inline_transforms", "rule_terms"],
+        "F9: the naive workflow type of Figure 9",
+    ))
+
+
+def bench_figure9_to_figure10(benchmark, report):
+    change = benchmark(figure9_to_figure10_change)
+    report(table(
+        [
+            {
+                "model": "naive workflow type",
+                "elements_before": change["naive_total_before"],
+                "elements_after": change["naive_total_after"],
+                "touched_by_change": change["naive_elements_touched"],
+                "modified_in_place": change["naive_elements_modified"],
+            },
+            {
+                "model": "advanced model",
+                "elements_before": change["advanced_total_before"],
+                "elements_after": change["advanced_total_after"],
+                "touched_by_change": (
+                    change["advanced_total_after"] - change["advanced_total_before"]
+                ),
+                "modified_in_place": 0,
+            },
+        ],
+        ["model", "elements_before", "elements_after", "touched_by_change",
+         "modified_in_place"],
+        "F10: adding TP3 + OAGIS (Figure 9 -> Figure 10)",
+    ))
+    assert change["naive_elements_modified"] > 0
+
+
+def bench_growth_sweep_all_dimensions(benchmark, report):
+    def sweep():
+        rows = []
+        rows += growth_rows("protocols", [1, 2, 3, 4, 6])
+        rows += growth_rows("partners", [2, 4, 8, 16])
+        rows += growth_rows("backends", [1, 2, 4, 8])
+        return rows
+
+    rows = benchmark(sweep)
+    report(table(
+        rows,
+        ["dimension", "value", "topology", "naive_total", "advanced_total",
+         "naive_transform_steps", "advanced_mappings"],
+        "Sec 4.6 / F9-F10: total authored elements, naive vs advanced",
+    ))
+    # shape assertions: naive overtakes advanced as dimensions grow
+    final_protocols = [r for r in rows if r["dimension"] == "protocols"][-1]
+    final_backends = [r for r in rows if r["dimension"] == "backends"][-1]
+    assert final_protocols["naive_total"] > final_protocols["advanced_total"]
+    assert final_backends["naive_total"] > final_backends["advanced_total"]
+
+
+def bench_naive_generation_scales(benchmark):
+    """Generator cost for a large topology (8x16x8 = 328 steps)."""
+    topology = NaiveTopology.synthetic(8, 16, 8)
+    workflow = benchmark(build_naive_seller_type, topology)
+    assert workflow.step_count() == 2 + 3 * 8 + 3 * 8 + 2 * 8 * 8
+
+
+def bench_metrics_measurement(benchmark):
+    benchmark(naive_metrics, 4, 8, 4)

@@ -1,0 +1,69 @@
+"""F11 — Figure 11: public processes with connection steps.
+
+Measures public-process instantiation and sequencing-guard throughput, and
+reports each protocol's public-process shape.
+"""
+
+from conftest import table
+
+from repro.b2b.protocol import standard_protocols
+from repro.core.public_process import PublicProcessInstance, seller_request_reply
+
+
+def bench_public_process_shapes(benchmark, report):
+    def shapes():
+        rows = []
+        for protocol in standard_protocols().values():
+            for role in ("buyer", "seller"):
+                definition = protocol.public_process(role)
+                rows.append(
+                    {
+                        "public_process": definition.name,
+                        "steps": definition.step_count(),
+                        "connection_steps": definition.connection_step_count(),
+                        "initiating": definition.initiating(),
+                    }
+                )
+        return rows
+
+    rows = benchmark(shapes)
+    report(table(rows, ["public_process", "steps", "connection_steps", "initiating"],
+                 "F11: public processes per protocol and role"))
+    assert all(row["connection_steps"] == 2 for row in rows)
+
+
+def bench_sequencing_guard(benchmark):
+    """The expect/complete cycle that enforces message ordering."""
+    definition = seller_request_reply("bench/seller", "bench", "fmt")
+
+    def run_instance():
+        instance = PublicProcessInstance(definition, "C1", "TP1")
+        instance.expect("receive", "purchase_order")
+        instance.complete_current()
+        instance.expect("to_binding")
+        instance.complete_current()
+        instance.expect("from_binding")
+        instance.complete_current()
+        instance.expect("send", "po_ack")
+        instance.complete_current()
+        assert instance.completed
+
+    benchmark(run_instance)
+
+
+def bench_out_of_order_detection(benchmark):
+    """Rejecting a mis-sequenced message must be cheap (it happens on the
+    hot inbound path)."""
+    from repro.errors import ProtocolError
+
+    definition = seller_request_reply("bench/seller", "bench", "fmt")
+
+    def detect():
+        instance = PublicProcessInstance(definition, "C1", "TP1")
+        try:
+            instance.expect("send", "po_ack")
+        except ProtocolError:
+            return True
+        return False
+
+    assert benchmark(detect)

@@ -1,0 +1,72 @@
+"""F12 — Figure 12: bindings with transformations.
+
+Measures the inbound (wire -> normalized) and outbound (normalized ->
+wire) binding chains per protocol, the application-binding equivalents,
+and the normalized-hub economics (2n mappings instead of n(n-1)).
+"""
+
+import pytest
+from conftest import table
+
+from repro.core.binding import make_application_binding, make_protocol_binding
+from repro.documents.normalized import make_purchase_order
+from repro.transform.catalog import build_standard_registry
+
+REGISTRY = build_standard_registry()
+PO = make_purchase_order(
+    "PO-F12", "TP1", "ACME",
+    [{"sku": f"SKU-{i}", "quantity": 2.0, "unit_price": 10.0} for i in range(1, 11)],
+)
+
+WIRE_FORMATS = {
+    "edi-van": "edi-x12",
+    "rosettanet": "rosettanet-xml",
+    "oagis-http": "oagis-bod",
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(WIRE_FORMATS))
+def bench_protocol_binding_inbound(benchmark, protocol):
+    wire_format = WIRE_FORMATS[protocol]
+    binding = make_protocol_binding(f"{protocol}-b", "pub", "priv", wire_format)
+    wire_doc = REGISTRY.transform(PO, wire_format)
+    result = benchmark(binding.apply_inbound, wire_doc, REGISTRY)
+    assert result.format_name == "normalized"
+
+
+@pytest.mark.parametrize("protocol", sorted(WIRE_FORMATS))
+def bench_protocol_binding_outbound(benchmark, protocol):
+    wire_format = WIRE_FORMATS[protocol]
+    binding = make_protocol_binding(f"{protocol}-b", "pub", "priv", wire_format)
+    result = benchmark(binding.apply_outbound, PO, REGISTRY)
+    assert result.format_name == wire_format
+
+
+@pytest.mark.parametrize("application,native", [("SAP", "sap-idoc"), ("Oracle", "oracle-oif")])
+def bench_application_binding_store_path(benchmark, application, native):
+    binding = make_application_binding(f"{application}-b", application, "priv", native)
+    result = benchmark(binding.apply_outbound, PO, REGISTRY)
+    assert result.format_name == native
+
+
+def bench_mapping_economics(benchmark, report):
+    """The normalized hub: mapping count vs hypothetical pairwise catalog."""
+
+    def economics():
+        formats = sorted(REGISTRY.formats() - {"normalized"})
+        count = len(formats)
+        # like-for-like: the PO/POA exchange only (every format carries it)
+        hub = sum(
+            1 for mapping in REGISTRY.mappings()
+            if mapping.doc_type in ("purchase_order", "po_ack")
+        )
+        return {
+            "formats": count,
+            "hub_mappings": hub,
+            "pairwise_mappings": count * (count - 1) * 2,  # x2 doc kinds
+        }
+
+    row = benchmark(economics)
+    report(table([row], ["formats", "hub_mappings", "pairwise_mappings"],
+                 "F12: hub vs pairwise mapping catalog size"))
+    assert row["hub_mappings"] < row["pairwise_mappings"]

@@ -1,0 +1,92 @@
+"""F13 — Figure 13 / Section 4.3: the external business-rule engine.
+
+Measures rule evaluation throughput for the paper's exact
+``check_need_for_approval`` listing, the error case, and rule-set scaling
+with partner population.
+"""
+
+from conftest import table
+
+from repro.core.rules import RuleEngine, approval_rule_set
+from repro.documents.normalized import make_purchase_order
+from repro.errors import NoApplicableRuleError
+
+PO = make_purchase_order(
+    "PO-F13", "TP1", "ACME", [{"sku": "X", "quantity": 1, "unit_price": 60000.0}]
+)
+
+
+def _paper_rules() -> RuleEngine:
+    engine = RuleEngine()
+    engine.register(
+        approval_rule_set(
+            {
+                ("SAP", "TP1"): 55000,
+                ("SAP", "TP2"): 40000,
+                ("Oracle", "TP1"): 55000,
+                ("Oracle", "TP2"): 40000,
+            }
+        )
+    )
+    return engine
+
+
+def bench_paper_listing_evaluation(benchmark, report):
+    engine = _paper_rules()
+    result = benchmark(
+        engine.evaluate, "check_need_for_approval", "TP1", "SAP", PO
+    )
+    assert result is True
+    rows = [
+        {"source": s, "target": t,
+         "result": engine.evaluate("check_need_for_approval", s, t, PO)}
+        for s in ("TP1", "TP2") for t in ("SAP", "Oracle")
+    ]
+    report(table(rows, ["source", "target", "result"],
+                 "F13: check_need_for_approval(source, target, PO[60000])"))
+
+
+def bench_error_case(benchmark):
+    """The 'if none of the business rules apply' branch."""
+    engine = _paper_rules()
+
+    def evaluate_unknown():
+        try:
+            engine.evaluate("check_need_for_approval", "TP99", "SAP", PO)
+        except NoApplicableRuleError:
+            return True
+        return False
+
+    assert benchmark(evaluate_unknown)
+
+
+def bench_rule_set_scaling(benchmark, report):
+    """First-match lookup cost as the partner population grows."""
+
+    def measure():
+        import time
+
+        rows = []
+        for partner_count in (4, 40, 400):
+            thresholds = {
+                ("SAP", f"TP{i}"): 10000.0 * (i + 1) for i in range(partner_count)
+            }
+            engine = RuleEngine()
+            engine.register(approval_rule_set(thresholds))
+            last_partner = f"TP{partner_count - 1}"  # worst case: last rule
+            iterations = 200
+            start = time.perf_counter()
+            for _ in range(iterations):
+                engine.evaluate("check_need_for_approval", last_partner, "SAP", PO)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "rules": partner_count,
+                    "worst_case_us": round(elapsed / iterations * 1e6, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=3, iterations=1)
+    report(table(rows, ["rules", "worst_case_us"],
+                 "F13: worst-case rule lookup vs rule-set size"))

@@ -1,0 +1,85 @@
+"""F14 — Figure 14: the full advanced integration, end to end.
+
+The complete runtime: public process -> binding -> private process ->
+application binding -> ERP and back, with the private process untouched by
+which protocol or back end serves the exchange.
+"""
+
+from conftest import table
+
+from repro.analysis.scenarios import build_fig15_community, build_two_enterprise_pair
+from repro.core.enterprise import run_community
+
+LINES = [
+    {"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0},
+    {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+]
+
+
+def bench_advanced_roundtrip(benchmark):
+    def run():
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.5)
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-F14", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+
+    benchmark(run)
+
+
+def bench_two_protocols_one_private_process(benchmark, report):
+    """EDI and RosettaNet traffic through the identical private process."""
+
+    def run():
+        community = build_fig15_community(
+            seller_delay=0.0,
+            partners={
+                "TP1": ("edi-van", 55000, "SAP"),
+                "TP2": ("rosettanet", 40000, "Oracle"),
+            },
+        )
+        community.buyers["TP1"].submit_order("SAP", "ACME", "PO-A", LINES)
+        community.buyers["TP2"].submit_order("SAP", "ACME", "PO-B", LINES)
+        run_community(community.enterprises())
+        instances = community.seller.wfms.database.list_instances()
+        return {
+            "seller_instances": len(instances),
+            "private_types_used": len({i.type_name for i in instances}),
+            "sap_orders": community.seller.backends["SAP"].order_count(),
+            "oracle_orders": community.seller.backends["Oracle"].order_count(),
+        }
+
+    row = benchmark(run)
+    report(table(
+        [row],
+        ["seller_instances", "private_types_used", "sap_orders", "oracle_orders"],
+        "F14: one private process serving two protocols and two back ends",
+    ))
+    assert row["private_types_used"] == 1
+
+
+def bench_throughput_20_orders(benchmark, report):
+    def run():
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.1)
+        ids = [
+            pair.buyer.submit_order("SAP", "ACME", f"PO-T{i}", LINES)
+            for i in range(20)
+        ]
+        run_community(pair.enterprises(), max_rounds=500)
+        completed = sum(
+            1 for instance_id in ids
+            if pair.buyer.instance(instance_id).status == "completed"
+        )
+        return {
+            "orders": 20,
+            "completed": completed,
+            "network_messages": pair.network.stats.sent,
+            "transformations": (
+                pair.buyer.model.transforms.applications()
+                + pair.seller.model.transforms.applications()
+            ),
+        }
+
+    row = benchmark.pedantic(run, rounds=3, iterations=1)
+    report(table([row], ["orders", "completed", "network_messages", "transformations"],
+                 "F14: 20-order batch through the advanced runtime"))
+    assert row["completed"] == 20

@@ -1,0 +1,101 @@
+"""F15 — Figure 15: adding a third partner with a new protocol.
+
+The paper: "the private workflow is not affected at all by an additional
+trading partner using another, not yet implemented protocol".  This bench
+runs the three-partner community AND verifies the zero-diff claim on the
+private process.
+"""
+
+import json
+
+from conftest import table
+
+from repro.analysis.change_impact import build_fig14_model
+from repro.analysis.scenarios import build_fig15_community
+from repro.b2b.protocol import get_protocol
+from repro.core.enterprise import run_community
+from repro.core.rules import BusinessRule
+from repro.partners.agreement import TradingPartnerAgreement
+from repro.partners.profile import TradingPartner
+
+LINES = [{"sku": "X", "quantity": 2, "unit_price": 900.0}]
+
+
+def bench_three_partner_community(benchmark, report):
+    def run():
+        community = build_fig15_community(seller_delay=0.2)
+        for partner_id in community.buyers:
+            community.buyers[partner_id].submit_order(
+                "SAP", "ACME", f"PO-{partner_id}", LINES
+            )
+        run_community(community.enterprises())
+        rows = []
+        for partner_id, (protocol, _, application) in sorted(
+            {
+                "TP1": ("edi-van", 0, "SAP"),
+                "TP2": ("rosettanet", 0, "Oracle"),
+                "TP3": ("oagis-http", 0, "SAP"),
+            }.items()
+        ):
+            rows.append(
+                {
+                    "partner": partner_id,
+                    "protocol": protocol,
+                    "routed_to": application,
+                    "order_booked": community.seller.backends[application].has_order(
+                        f"PO-{partner_id}"
+                    ),
+                    "ack_stored": f"PO-{partner_id}"
+                    in community.buyers[partner_id].backends["SAP"].stored_acks,
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    report(table(rows, ["partner", "protocol", "routed_to", "order_booked", "ack_stored"],
+                 "F15: three partners, three protocols, one private process"))
+    assert all(row["order_booked"] and row["ack_stored"] for row in rows)
+
+
+def bench_add_partner_zero_private_diff(benchmark, report):
+    """The headline structural claim, measured as a model diff."""
+
+    def measure():
+        model = build_fig14_model()
+        private_before = json.dumps(
+            model.private_processes["private-po-seller"].to_dict(), sort_keys=True
+        )
+        index_before = model.element_index()
+        # Figure 15's change: TP3 arrives speaking OAGIS.
+        model.add_protocol(get_protocol("oagis-http"), "private-po-seller")
+        model.partners.add_partner(TradingPartner("TP3", protocols=("oagis-http",)))
+        model.partners.add_agreement(TradingPartnerAgreement("TP3", "oagis-http", "seller"))
+        approval = model.rules.get("check_need_for_approval")
+        approval.add(BusinessRule("TP3 via SAP", source="TP3", target="SAP",
+                                  expression="document.amount >= 10000"))
+        approval.add(BusinessRule("TP3 via Oracle", source="TP3", target="Oracle",
+                                  expression="document.amount >= 10000"))
+        routing = model.rules.get("select_target_application")
+        routing.add(BusinessRule("route TP3", source="TP3", expression="'SAP'"))
+        private_after = json.dumps(
+            model.private_processes["private-po-seller"].to_dict(), sort_keys=True
+        )
+        index_after = model.element_index()
+        from repro.core.change import diff_indexes
+
+        change = diff_indexes(index_before, index_after)
+        return {
+            "private_process_changed": private_before != private_after,
+            "elements_added": len(change.added),
+            "elements_modified": len(change.modified),
+            "locality": change.locality(),
+        }
+
+    row = benchmark(measure)
+    report(table(
+        [row],
+        ["private_process_changed", "elements_added", "elements_modified", "locality"],
+        "F15: adding TP3 + OAGIS to the advanced model",
+    ))
+    assert row["private_process_changed"] is False
+    assert row["elements_modified"] == 0

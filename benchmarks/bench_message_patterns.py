@@ -1,0 +1,120 @@
+"""E-PAT — Section 1's generality claim: message exchange patterns.
+
+"The introduced concepts are by no means restricted to request/reply
+patterns at all and support the general case of all possible patterns like
+one-way messages ... or multi-step message exchanges."  This bench runs
+three patterns over the identical public/binding/private machinery and
+reports their wire economics side by side.
+"""
+
+from conftest import table
+
+from repro.analysis.scenarios import (
+    build_order_to_cash_pair,
+    build_sourcing_community,
+    build_two_enterprise_pair,
+)
+from repro.core.enterprise import run_community
+
+LINES = [{"sku": "GPU", "quantity": 4, "unit_price": 1500.0}]
+
+
+def _request_reply() -> dict:
+    pair = build_two_enterprise_pair("rosettanet", seller_delay=0.2)
+    pair.buyer.submit_order("SAP", "ACME", "PO-P1", LINES)
+    run_community(pair.enterprises())
+    conversation = next(iter(pair.buyer.b2b.conversations.values()))
+    return {
+        "pattern": "request/reply (PIP 3A4)",
+        "initiator": "buyer",
+        "business_docs": len(conversation.documents),
+        "trace": " -> ".join(conversation.documents),
+    }
+
+
+def _acknowledged_request_reply() -> dict:
+    pair = build_two_enterprise_pair("rosettanet-ra", seller_delay=0.2)
+    pair.buyer.submit_order("SAP", "ACME", "PO-P2", LINES)
+    run_community(pair.enterprises())
+    conversation = next(iter(pair.buyer.b2b.conversations.values()))
+    return {
+        "pattern": "acknowledged request/reply",
+        "initiator": "buyer",
+        "business_docs": len(conversation.documents),
+        "trace": " -> ".join(conversation.documents),
+    }
+
+
+def _one_way_multi_step() -> dict:
+    pair = build_order_to_cash_pair(seller_delay=0.2)
+    pair.buyer.submit_order("SAP", "ACME", "PO-P3", LINES)
+    run_community(pair.enterprises())
+    pair.seller.submit_shipment("Oracle", "TP1", "PO-P3")
+    run_community(pair.enterprises())
+    conversation = next(
+        c for c in pair.seller.b2b.conversations.values()
+        if c.protocol == "oagis-fulfillment"
+    )
+    return {
+        "pattern": "one-way multi-step (fulfillment)",
+        "initiator": "seller",
+        "business_docs": len(conversation.documents),
+        "trace": " -> ".join(conversation.documents),
+    }
+
+
+def _broadcast() -> dict:
+    community = build_sourcing_community(
+        {
+            "ACME": {"GPU": 1500.0},
+            "GLOBEX": {"GPU": 1450.0},
+            "INITECH": {"GPU": 1480.0},
+        }
+    )
+    instance_id = community.buyer.submit_rfq(
+        ["ACME", "GLOBEX", "INITECH"], "RFQ-B", [{"sku": "GPU", "quantity": 10}]
+    )
+    run_community(community.enterprises())
+    instance = community.buyer.instance(instance_id)
+    assert instance.status == "completed"
+    return {
+        "pattern": "broadcast RFQ (1 -> 3 sellers)",
+        "initiator": "buyer",
+        "business_docs": 3 + len(instance.variables["quotes"]),
+        "trace": f"3x sent:request_for_quote -> {len(instance.variables['quotes'])}x received:quote",
+    }
+
+
+def bench_pattern_request_reply(benchmark):
+    row = benchmark(_request_reply)
+    assert row["business_docs"] == 2
+
+
+def bench_pattern_acknowledged(benchmark):
+    row = benchmark(_acknowledged_request_reply)
+    assert row["business_docs"] == 4
+
+
+def bench_pattern_one_way_multistep(benchmark):
+    row = benchmark(_one_way_multi_step)
+    assert row["business_docs"] == 2
+
+
+def bench_pattern_broadcast(benchmark):
+    row = benchmark(_broadcast)
+    assert row["business_docs"] == 6
+
+
+def bench_pattern_summary(benchmark, report):
+    def all_patterns():
+        return [
+            _request_reply(),
+            _acknowledged_request_reply(),
+            _one_way_multi_step(),
+            _broadcast(),
+        ]
+
+    rows = benchmark.pedantic(all_patterns, rounds=3, iterations=1)
+    report(table(rows, ["pattern", "initiator", "business_docs", "trace"],
+                 "E-PAT: exchange patterns on one architecture (Section 1)"))
+    assert {row["initiator"] for row in rows} == {"buyer", "seller"}

@@ -1,0 +1,85 @@
+"""E-MSG — Section 1 / 5.1: reliable-messaging economics under loss.
+
+Sweeps the network loss rate and reports the RNIF-style layer's overhead:
+total network messages (business + retries + acks) per successfully
+delivered business message, plus delivery latency.  Expected shape: the
+overhead curve rises smoothly with loss while delivery stays exactly-once
+until retries are exhausted.
+"""
+
+from conftest import table
+
+from repro.messaging.envelope import Message
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.messaging.reliable import ReliableEndpoint, RetryPolicy
+from repro.messaging.transport import Endpoint
+from repro.sim import EventScheduler
+
+
+def _run_batch(loss_rate: float, duplicate_rate: float = 0.0,
+               count: int = 50, seed: int = 17) -> dict:
+    scheduler = EventScheduler()
+    network = SimulatedNetwork(
+        scheduler,
+        NetworkConditions(loss_rate=loss_rate, duplicate_rate=duplicate_rate,
+                          min_latency=0.01, max_latency=0.1),
+        seed=seed,
+    )
+    sender = ReliableEndpoint(
+        Endpoint("alpha", network), RetryPolicy(ack_timeout=0.5, max_retries=10)
+    )
+    receiver = ReliableEndpoint(
+        Endpoint("beta", network), RetryPolicy(ack_timeout=0.5, max_retries=10)
+    )
+    delivered = []
+    receiver.on_message(lambda m: delivered.append(m.message_id))
+    sender.on_failure(lambda m, e: None)
+    for index in range(count):
+        sender.send_reliable(
+            Message(message_id=f"M{index}", sender="alpha", receiver="beta",
+                    body="x" * 200)
+        )
+    scheduler.run_until_idle()
+    assert len(delivered) == len(set(delivered))  # exactly-once always
+    return {
+        "loss": loss_rate,
+        "dup": duplicate_rate,
+        "sent": count,
+        "delivered": len(delivered),
+        "retries": sender.stats.retries,
+        "network_msgs": network.stats.sent,
+        "overhead": round(network.stats.sent / max(1, len(delivered)), 2),
+        "latency": round(scheduler.clock.now(), 2),
+    }
+
+
+def bench_loss_sweep(benchmark, report):
+    def sweep():
+        return [
+            _run_batch(loss)
+            for loss in (0.0, 0.1, 0.2, 0.3, 0.5)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    report(table(rows, ["loss", "sent", "delivered", "retries", "network_msgs",
+                        "overhead", "latency"],
+                 "E-MSG: RNIF-style overhead vs loss rate"))
+    # shape: overhead grows monotonically-ish with loss; all delivered
+    assert rows[0]["overhead"] == 2.0  # message + ack, nothing else
+    assert rows[-1]["overhead"] > rows[0]["overhead"]
+    assert all(row["delivered"] == row["sent"] for row in rows)
+
+
+def bench_duplication_sweep(benchmark, report):
+    def sweep():
+        return [_run_batch(0.1, dup) for dup in (0.0, 0.2, 0.5)]
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    report(table(rows, ["loss", "dup", "delivered", "retries", "network_msgs",
+                        "overhead"],
+                 "E-MSG: duplicate suppression under network duplication"))
+    assert all(row["delivered"] == row["sent"] for row in rows)
+
+
+def bench_perfect_network_baseline(benchmark):
+    benchmark.pedantic(lambda: _run_batch(0.0), rounds=5, iterations=1)

@@ -1,0 +1,41 @@
+"""E-CM — Section 4.5: the change-management comparison table.
+
+Applies the nine-scenario change catalogue to both architectures and
+prints the paper's locality classification with measured impact counts.
+"""
+
+from conftest import table
+
+from repro.analysis.change_impact import change_table
+
+
+def bench_change_catalogue(benchmark, report):
+    rows = benchmark(change_table)
+    printable = [
+        {
+            "scenario": row["scenario"],
+            "advanced_impact": row["advanced_impact"],
+            "advanced_modified": row["advanced_modified"],
+            "advanced_locality": row["advanced_locality"],
+            "naive_impact": row["naive_impact"],
+            "naive_modified": row["naive_modified"],
+        }
+        for row in rows
+    ]
+    report(table(
+        printable,
+        ["scenario", "advanced_impact", "advanced_modified", "advanced_locality",
+         "naive_impact", "naive_modified"],
+        "Sec 4.5: change impact, advanced vs naive",
+    ))
+    by_name = {row["scenario"]: row for row in rows}
+    # the paper's classifications hold
+    assert by_name["add_audit_step"]["advanced_locality"] == "local"
+    assert by_name["model_transport_acks"]["advanced_locality"] == "local"
+    assert by_name["add_document_field"]["advanced_locality"] == "non-local"
+    # and partner/backend/protocol additions modify nothing pre-existing
+    for scenario in ("add_partner_same_protocol", "add_partner_new_protocol",
+                     "add_backend", "add_private_process"):
+        assert by_name[scenario]["advanced_modified"] == 0, scenario
+        assert by_name[scenario]["naive_impact"] >= by_name[scenario]["advanced_impact"] \
+            or scenario == "add_partner_same_protocol"

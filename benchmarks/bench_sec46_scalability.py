@@ -1,0 +1,70 @@
+"""E-SC — Section 4.6: scalability of on-boarding operations.
+
+Measures what each on-boarding operation *adds and modifies* in the
+advanced model, and how long the model surgery takes — the operational
+counterpart of the growth curves.
+"""
+
+from conftest import table
+
+from repro.analysis.change_impact import (
+    CHANGE_SCENARIOS,
+    build_fig14_model,
+)
+from repro.core.change import diff_indexes
+
+
+def _impact(scenario_name: str) -> dict:
+    scenario = next(s for s in CHANGE_SCENARIOS if s.name == scenario_name)
+    model = build_fig14_model()
+    before = model.element_index()
+    scenario.apply_advanced(model)
+    change = diff_indexes(before, model.element_index(), label=scenario_name)
+    return {
+        "operation": scenario_name,
+        "added": len(change.added),
+        "modified": len(change.modified),
+        "removed": len(change.removed),
+        "locality": change.locality(),
+    }
+
+
+def bench_onboard_partner(benchmark, report):
+    row = benchmark(_impact, "add_partner_same_protocol")
+    report(table([row], ["operation", "added", "modified", "removed", "locality"],
+                 "Sec 4.6: on-board a partner (existing protocol)"))
+    assert row["modified"] == 0
+
+
+def bench_onboard_protocol(benchmark, report):
+    row = benchmark(_impact, "add_partner_new_protocol")
+    report(table([row], ["operation", "added", "modified", "removed", "locality"],
+                 "Sec 4.6: on-board a partner with a NEW protocol"))
+    assert row["modified"] == 0
+
+
+def bench_onboard_backend(benchmark, report):
+    row = benchmark(_impact, "add_backend")
+    report(table([row], ["operation", "added", "modified", "removed", "locality"],
+                 "Sec 4.6: deploy a new back-end application"))
+    assert row["modified"] == 0
+
+
+def bench_onboard_private_process(benchmark, report):
+    row = benchmark(_impact, "add_private_process")
+    report(table([row], ["operation", "added", "modified", "removed", "locality"],
+                 "Sec 4.6: introduce a new private process"))
+    assert row["modified"] == 0
+
+
+def bench_offboard_partner(benchmark, report):
+    row = benchmark(_impact, "remove_partner")
+    report(table([row], ["operation", "added", "modified", "removed", "locality"],
+                 "Sec 4.6: off-board a partner"))
+    assert row["modified"] == 0 and row["removed"] > 0
+
+
+def bench_build_full_model(benchmark):
+    """Cost of assembling the whole Figure 14 deployment from scratch."""
+    model = benchmark(build_fig14_model)
+    assert len(model.element_index()) > 30

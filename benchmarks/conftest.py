@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark that reproduces a paper figure prints its measured
+rows/series through :func:`report` (bypassing pytest's capture) so the
+``bench_output.txt`` record contains both the pytest-benchmark timing
+tables and the experiment data itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print experiment rows to the real stdout, capture notwithstanding."""
+
+    def _print(*lines: object) -> None:
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+def table(rows: list[dict], columns: list[str], title: str = "") -> str:
+    """Render rows as a fixed-width text table."""
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    prefix = [title, "=" * len(title)] if title else []
+    return "\n".join([*prefix, header, separator, *body])

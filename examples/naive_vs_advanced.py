@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The paper's quantitative argument: naive vs advanced, measured.
+
+Builds the Figure 9 naive workflow type and the equivalent advanced
+integration model, prints their sizes, sweeps the topology dimensions
+(growth curves behind Figures 9/10), and runs the Section 4.5 change
+catalogue on both architectures.
+
+Run:  python examples/naive_vs_advanced.py
+"""
+
+from repro.analysis.change_impact import change_table
+from repro.analysis.complexity import figure9_to_figure10_change, growth_rows
+from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
+from repro.core.metrics import measure_workflow_type
+
+
+def _print_table(rows, columns, title):
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    print(f"\n{title}")
+    print("-" * len(title))
+    print("  ".join(column.ljust(widths[column]) for column in columns))
+    for row in rows:
+        print("  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+
+
+def main() -> None:
+    print("=== Naive (Figures 9/10) vs advanced (Figures 13-15) ===")
+
+    # -- the two Figure snapshots ------------------------------------------------
+    for label, topology in (("Figure 9", NaiveTopology.figure9()),
+                            ("Figure 10", NaiveTopology.figure10())):
+        workflow = build_naive_seller_type(topology)
+        metrics = measure_workflow_type(workflow)
+        print(f"\n{label}: naive workflow type "
+              f"({len(topology.protocols)} protocols, "
+              f"{len(topology.partner_protocol)} partners, "
+              f"{len(topology.backends)} back ends)")
+        print(f"  steps={metrics.workflow_steps}  transitions={metrics.transitions}  "
+              f"inline transforms={metrics.inline_transform_steps}  "
+              f"inline rule terms={metrics.inline_rule_terms}")
+
+    change = figure9_to_figure10_change()
+    print(f"\nFigure 9 -> Figure 10 (add TP3 + OAGIS):")
+    print(f"  naive:    {change['naive_elements_touched']} elements touched, "
+          f"{change['naive_elements_modified']} modified in place")
+    print(f"  advanced: purely additive "
+          f"(+{change['advanced_total_after'] - change['advanced_total_before']} "
+          f"elements, private process unchanged)")
+
+    # -- growth curves --------------------------------------------------------------
+    rows = []
+    for dimension, values in (("protocols", [1, 2, 3, 4, 6]),
+                              ("partners", [2, 4, 8, 16]),
+                              ("backends", [1, 2, 4, 8])):
+        rows += growth_rows(dimension, values)
+    _print_table(
+        rows,
+        ["dimension", "value", "topology", "naive_total", "advanced_total"],
+        "Total authored model elements (Section 4.6 growth)",
+    )
+
+    # -- the Section 4.5 change catalogue --------------------------------------------
+    catalogue = [
+        {
+            "scenario": row["scenario"],
+            "advanced": f"{row['advanced_impact']} "
+                        f"({row['advanced_modified']} modified, "
+                        f"{row['advanced_locality']})",
+            "naive": f"{row['naive_impact']} ({row['naive_modified']} modified)",
+        }
+        for row in change_table()
+    ]
+    _print_table(catalogue, ["scenario", "advanced", "naive"],
+                 "Change impact: elements touched per scenario (Section 4.5)")
+
+    print("\nReading the tables:")
+    print(" * the naive type grows with the protocol x back-end product;")
+    print("   the advanced model grows with their sum;")
+    print(" * partner/protocol/back-end additions modify ZERO pre-existing")
+    print("   advanced elements — only business rules are added (Sec 4.6);")
+    print(" * only the document-format change is non-local, exactly as the")
+    print("   paper concedes in Section 4.5.")
+
+
+if __name__ == "__main__":
+    main()

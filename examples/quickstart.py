@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 round trip in ~40 lines of API.
+
+Two enterprises — buyer ``TP1`` (SAP-like ERP) and seller ``ACME``
+(Oracle-like ERP) — exchange a purchase order and its acknowledgment over
+RosettaNet-style reliable messaging.  The buyer's approval rule (amount >
+10 000) and the seller's (amount >= 55 000) are Figure 1's thresholds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_two_enterprise_pair, run_community
+
+
+def main() -> None:
+    # One call assembles both enterprises: private processes, public
+    # processes, bindings, rules, partner agreements, ERP simulators and
+    # the simulated network (see repro.analysis.scenarios for the wiring).
+    pair = build_two_enterprise_pair("rosettanet", seller_delay=1.0)
+
+    print("=== Semantic B2B Integration quickstart ===")
+    print(f"buyer : {pair.buyer.name} running {sorted(pair.buyer.backends)}")
+    print(f"seller: {pair.seller.name} running {sorted(pair.seller.backends)}")
+
+    # The buyer's purchasing department enters an order in its own ERP.
+    instance_id = pair.buyer.submit_order(
+        application="SAP",
+        partner_id="ACME",
+        po_number="PO-1001",
+        lines=[
+            {"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0,
+             "description": "15 inch developer laptop"},
+            {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+        ],
+    )
+    print(f"\norder PO-1001 submitted; buyer private instance: {instance_id}")
+
+    # Drive the whole community (network deliveries, ERP processing,
+    # VAN polling) to quiescence.
+    rounds = run_community(pair.enterprises())
+    print(f"community quiesced after {rounds} round(s) "
+          f"at logical time {pair.scheduler.clock.now():.2f}s")
+
+    # -- what happened, end to end ------------------------------------------
+    buyer_instance = pair.buyer.instance(instance_id)
+    print(f"\nbuyer private process : {buyer_instance.status}")
+    for event in buyer_instance.history:
+        if event["event"].startswith("step_"):
+            print(f"  t={event['at']:6.2f}  {event['event']:<16} {event['step_id']}")
+
+    order = pair.seller.backends["Oracle"].order("PO-1001")
+    print(f"\nseller ERP booked     : PO-1001 "
+          f"({order.status}, total {order.total_amount:,.2f})")
+
+    ack = pair.buyer.backends["SAP"].stored_acks["PO-1001"]
+    print(f"buyer ERP stored ack  : {ack.get('control.message_type')} IDoc, "
+          f"action={ack.get('header.action')}")
+
+    conversation = next(iter(pair.buyer.b2b.conversations.values()))
+    print(f"\nconversation {conversation.conversation_id}: {conversation.status}")
+    print(f"  exchange trace: {conversation.documents}")
+    print(f"  reliable messaging: "
+          f"{pair.buyer.reliable.stats.business_sent + pair.seller.reliable.stats.business_sent} "
+          f"business messages, "
+          f"{pair.buyer.reliable.stats.acks_sent + pair.seller.reliable.stats.acks_sent} acks, "
+          f"{pair.buyer.reliable.stats.retries + pair.seller.reliable.stats.retries} retries")
+
+    assert buyer_instance.status == "completed"
+    print("\nOK: full PO-POA round trip completed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Broadcast sourcing: the paper's Section 2.3 RFQ scenario, done right.
+
+The paper's objection to distributed inter-organizational workflow:
+
+  "in a request for quotation process the receiver of the request would
+   be able to see how the quotes will be selected ... Based on this
+   knowledge the receiver could structure future quotes in such a way
+   that the sender's selection will select his quote."
+
+Under the public/private architecture this cannot happen: the buyer
+broadcasts the RFQ to three sellers, each seller prices it from a
+*private* catalog rule, and the buyer picks the winner with a *private*
+scoring rule — neither side can see the other's logic, and this example
+proves it by inspecting what actually crossed the wire.
+
+Run:  python examples/rfq_broadcast.py
+"""
+
+from repro.core.enterprise import run_community
+from repro.analysis.scenarios import build_sourcing_community
+
+CATALOGS = {
+    "ACME": {"GPU": 1500.0, "PSU": 260.0},
+    "GLOBEX": {"GPU": 1450.0, "PSU": 280.0},
+    "INITECH": {"GPU": 1480.0, "PSU": 240.0},
+}
+
+
+def main() -> None:
+    community = build_sourcing_community(CATALOGS)
+    buyer = community.buyer
+
+    # Capture every message that crosses the simulated network.
+    crossed = []
+    original_send = community.network.send
+    community.network.send = lambda m: (crossed.append(m), original_send(m))[1]
+
+    print("=== Broadcast RFQ across three sellers ===")
+    instance_id = buyer.submit_rfq(
+        sorted(CATALOGS),
+        "RFQ-2026-07",
+        [{"sku": "GPU", "quantity": 10, "description": "accelerator"},
+         {"sku": "PSU", "quantity": 10}],
+    )
+    run_community(community.enterprises())
+
+    instance = buyer.instance(instance_id)
+    print(f"\nsourcing process: {instance.status}")
+    print("quotes received:")
+    for entry in instance.variables["quotes"]:
+        quote = entry["document"]
+        print(f"  {entry['partner_id']:<8} total "
+              f"{quote.get('summary.total_amount'):>10,.2f}  "
+              f"({quote.get('header.quote_number')})")
+    print(f"\nwinner: {instance.variables['chosen_partner']} at "
+          f"{instance.variables['chosen_quote'].get('summary.total_amount'):,.2f}")
+
+    # -- the confidentiality audit -------------------------------------------
+    print("\nconfidentiality audit:")
+    business = [m for m in crossed if m.kind == "business"]
+    print(f"  messages on the wire : {len(business)} "
+          f"({sum(1 for m in business if m.doc_type == 'request_for_quote')} RFQs, "
+          f"{sum(1 for m in business if m.doc_type == 'quote')} quotes)")
+    leaked = [m for m in business
+              if "score" in m.body or "catalog" in m.body or "lowest" in m.body]
+    print(f"  selection/pricing logic in any message: {len(leaked)} occurrences")
+    for seller_id, seller in community.sellers.items():
+        assert not seller.model.rules.has("score_quote")
+    assert not buyer.model.rules.has("price_catalog")
+    print("  sellers hold the buyer's scoring rule : no")
+    print("  buyer holds any seller's price catalog: no")
+
+    print("\nOK: broadcast pattern executed; competitive knowledge never "
+          "left its enterprise.")
+
+
+if __name__ == "__main__":
+    main()

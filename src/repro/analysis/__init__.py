@@ -1,0 +1,31 @@
+"""Experiment harness support: canned topologies, sweeps, change catalogue.
+
+* :mod:`repro.analysis.scenarios` — builders for the paper's concrete
+  deployments (the Figure 14 two-enterprise pair, the Figure 15
+  three-partner community, synthetic models for size sweeps);
+* :mod:`repro.analysis.complexity` — the naive-vs-advanced growth curves
+  behind Figures 9/10 and Section 4.6;
+* :mod:`repro.analysis.change_impact` — the Section 4.5 change catalogue,
+  applied to both architectures and measured.
+"""
+
+from repro.analysis.scenarios import (
+    TwoEnterprisePair,
+    build_two_enterprise_pair,
+    build_fig15_community,
+    advanced_synthetic_model,
+)
+from repro.analysis.complexity import growth_rows, naive_metrics, advanced_metrics
+from repro.analysis.change_impact import CHANGE_SCENARIOS, change_table
+
+__all__ = [
+    "TwoEnterprisePair",
+    "build_two_enterprise_pair",
+    "build_fig15_community",
+    "advanced_synthetic_model",
+    "growth_rows",
+    "naive_metrics",
+    "advanced_metrics",
+    "CHANGE_SCENARIOS",
+    "change_table",
+]

@@ -1,0 +1,462 @@
+"""The Section 4.5 change catalogue, applied to both architectures.
+
+Each :class:`ChangeScenario` performs the same *business* change twice —
+once against the advanced public/private/binding model, once against the
+naive monolithic workflow type — and reports the impact sets side by side.
+The paper's claims under test:
+
+* audit steps, transport acknowledgments: **local** in the advanced model;
+* a new document field: **non-local** in both (unavoidable, §4.5);
+* adding a partner / protocol / back end / private process: additive in
+  the advanced model (zero pre-existing elements modified except business
+  rules), but *modifying* the naive type's conditions, routing tables and
+  step graph every time (§4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.b2b.protocol import get_protocol
+from repro.baselines.monolithic import (
+    NaiveTopology,
+    build_naive_seller_type,
+    naive_element_index,
+)
+from repro.core.change import ChangeReport, diff_indexes
+from repro.core.integration import IntegrationModel
+from repro.core.private_process import seller_po_process
+from repro.core.public_process import PublicProcessDefinition, PublicStep
+from repro.core.rules import BusinessRule, approval_rule_set, routing_rule_set
+from repro.partners.agreement import TradingPartnerAgreement
+from repro.partners.profile import TradingPartner
+from repro.transform.catalog import build_standard_registry
+from repro.transform.mapping import Field
+from repro.workflow.definitions import WorkflowBuilder, WorkflowType
+
+__all__ = ["ChangeScenario", "CHANGE_SCENARIOS", "change_table", "build_fig14_model"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline deployments both sides start from (the Figure 9/14 topology)
+# ---------------------------------------------------------------------------
+
+
+def build_fig14_model() -> IntegrationModel:
+    """The advanced model for the Figure 9/14 topology: EDI + RosettaNet,
+    TP1 + TP2, SAP + Oracle, the paper's four approval rules."""
+    model = IntegrationModel("ACME")
+    model.transforms = build_standard_registry()
+    model.add_private_process(seller_po_process(owner="ACME"))
+    model.add_protocol(get_protocol("edi-van"), "private-po-seller")
+    model.add_protocol(get_protocol("rosettanet"), "private-po-seller")
+    model.add_application("SAP", "sap-idoc", "private-po-seller")
+    model.add_application("Oracle", "oracle-oif", "private-po-seller")
+    model.partners.add_partner(TradingPartner("TP1", protocols=("edi-van",)))
+    model.partners.add_agreement(TradingPartnerAgreement("TP1", "edi-van", "seller"))
+    model.partners.add_partner(TradingPartner("TP2", protocols=("rosettanet",)))
+    model.partners.add_agreement(TradingPartnerAgreement("TP2", "rosettanet", "seller"))
+    model.rules.register(
+        approval_rule_set(
+            {
+                ("SAP", "TP1"): 55000,
+                ("SAP", "TP2"): 40000,
+                ("Oracle", "TP1"): 55000,
+                ("Oracle", "TP2"): 40000,
+            }
+        )
+    )
+    model.rules.register(routing_rule_set({"TP1": "SAP", "TP2": "Oracle"}))
+    return model
+
+
+def _naive_fig9_type(topology: NaiveTopology | None = None) -> WorkflowType:
+    return build_naive_seller_type(topology or NaiveTopology.figure9(), name="naive-seller")
+
+
+# ---------------------------------------------------------------------------
+# Shared mutation helpers
+# ---------------------------------------------------------------------------
+
+
+def _with_extra_step(
+    workflow_type: WorkflowType, step_id: str, after: str, label: str
+) -> WorkflowType:
+    """Rebuild ``workflow_type`` with one audit/noop step spliced in after
+    ``after`` (re-pointing the original outgoing arcs through it)."""
+    payload = workflow_type.to_dict()
+    payload["steps"].append(
+        {
+            "kind": "activity",
+            "step_id": step_id,
+            "label": label,
+            "join": "AND",
+            "tags": ["audit"],
+            "activity": "noop",
+            "inputs": {},
+            "outputs": {},
+            "params": {},
+        }
+    )
+    rewired = []
+    for transition in payload["transitions"]:
+        if transition["source"] == after:
+            rewired.append({**transition, "source": step_id})
+        else:
+            rewired.append(transition)
+    rewired.append(
+        {"source": after, "target": step_id, "condition": None, "otherwise": False}
+    )
+    payload["transitions"] = rewired
+    return WorkflowType.from_dict(payload)
+
+
+def _replace_private(model: IntegrationModel, workflow_type: WorkflowType) -> None:
+    model.private_processes[workflow_type.name] = workflow_type
+
+
+# ---------------------------------------------------------------------------
+# Scenario definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChangeScenario:
+    """One business change applied to both architectures."""
+
+    name: str
+    description: str
+    expected_advanced_locality: str
+    apply_advanced: Callable[[IntegrationModel], None]
+    naive_after: Callable[[], WorkflowType]
+
+    def run(self) -> dict[str, object]:
+        """Execute the scenario; returns the comparison row."""
+        model = build_fig14_model()
+        before = model.element_index()
+        self.apply_advanced(model)
+        advanced = diff_indexes(before, model.element_index(), label=self.name)
+
+        naive_before = naive_element_index(_naive_fig9_type())
+        naive_after = naive_element_index(self.naive_after())
+        naive = diff_indexes(naive_before, naive_after, label=self.name)
+        return {
+            "scenario": self.name,
+            "description": self.description,
+            "advanced_impact": advanced.impact_count,
+            "advanced_modified": len(advanced.modified),
+            "advanced_locality": advanced.locality(),
+            "expected_advanced_locality": self.expected_advanced_locality,
+            "naive_impact": naive.impact_count,
+            "naive_modified": len(naive.modified),
+            "advanced_report": advanced,
+            "naive_report": naive,
+        }
+
+
+# -- 1. audit step in the private process (§4.5: local) -----------------------
+
+
+def _advanced_add_audit(model: IntegrationModel) -> None:
+    _replace_private(
+        model,
+        _with_extra_step(
+            model.private_processes["private-po-seller"],
+            "audit_poa",
+            after="extract_poa",
+            label="Audit outgoing POA",
+        ),
+    )
+
+
+def _naive_add_audit() -> WorkflowType:
+    return _with_extra_step(
+        _naive_fig9_type(), "audit_poa", after="extract_SAP_poa", label="Audit outgoing POA"
+    )
+
+
+# -- 2. transport acknowledgments in a public process (§4.5: local) ------------
+
+
+def _with_transport_acks(definition: PublicProcessDefinition) -> PublicProcessDefinition:
+    steps = []
+    for step in definition.steps:
+        steps.append(step)
+        if step.kind == "receive":
+            steps.append(
+                PublicStep(f"{step.step_id}_ack", "send", step.doc_type, {"ack": True})
+            )
+        elif step.kind == "send":
+            steps.append(
+                PublicStep(f"{step.step_id}_ack", "receive", step.doc_type, {"ack": True})
+            )
+    return PublicProcessDefinition(
+        definition.name, definition.protocol, definition.role, definition.wire_format, steps
+    )
+
+
+def _advanced_transport_acks(model: IntegrationModel) -> None:
+    name = "rosettanet/3a4/seller"
+    model.public_processes[name] = _with_transport_acks(model.public_processes[name])
+
+
+def _naive_transport_acks() -> WorkflowType:
+    """The naive type must weave acknowledgment steps around every
+    receive/send of the affected protocol, inside the shared graph."""
+    workflow_type = _naive_fig9_type()
+    workflow_type = _with_extra_step(
+        workflow_type, "rn_receipt_ack", after="decode_rosettanet", label="Send receipt ack"
+    )
+    return _with_extra_step(
+        workflow_type, "rn_send_ack_wait", after="send_rosettanet", label="Await receipt ack"
+    )
+
+
+# -- 3. new document field (§4.5: non-local, unavoidably) ----------------------
+
+
+def _advanced_new_field(model: IntegrationModel) -> None:
+    # Every PO mapping gains a field rule...
+    for mapping in model.transforms.mappings():
+        if mapping.doc_type == "purchase_order":
+            mapping.rules.append(Field("header.incoterms", "header.incoterms", required=False))
+    # ... the wire contract version bumps in the public processes ...
+    for name, definition in list(model.public_processes.items()):
+        steps = [
+            PublicStep(step.step_id, step.kind, step.doc_type,
+                       {**step.params, "schema_version": 2})
+            for step in definition.steps
+        ]
+        model.public_processes[name] = PublicProcessDefinition(
+            definition.name, definition.protocol, definition.role,
+            definition.wire_format, steps,
+        )
+    # ... and a business rule starts consulting the new field.
+    rule_set = model.rules.get("check_need_for_approval")
+    rule_set.remove("business rule 1")
+    rule_set.add(
+        BusinessRule(
+            name="business rule 1",
+            source="TP2",
+            target="Oracle",
+            expression="document.amount >= 40000 or document.header.incoterms == 'DDP'",
+        )
+    )
+
+
+def _naive_new_field() -> WorkflowType:
+    """In the naive type every decode/encode/transform step is revisited."""
+    payload = _naive_fig9_type().to_dict()
+    for step in payload["steps"]:
+        if step["step_id"].startswith(("decode_", "encode_", "transform_")):
+            step["params"] = {**step["params"], "schema_version": 2}
+    return WorkflowType.from_dict(payload)
+
+
+# -- 4. new partner on an existing protocol (§4.6: rules only) -----------------
+
+
+def _advanced_add_partner(model: IntegrationModel) -> None:
+    model.partners.add_partner(TradingPartner("TP4", protocols=("rosettanet",)))
+    model.partners.add_agreement(TradingPartnerAgreement("TP4", "rosettanet", "seller"))
+    approval = model.rules.get("check_need_for_approval")
+    approval.add(BusinessRule("TP4 via SAP", source="TP4", target="SAP",
+                              expression="document.amount >= 25000"))
+    approval.add(BusinessRule("TP4 via Oracle", source="TP4", target="Oracle",
+                              expression="document.amount >= 25000"))
+    routing = model.rules.get("select_target_application")
+    routing.add(BusinessRule("route TP4", source="TP4", expression="'SAP'"))
+
+
+def _naive_add_partner() -> WorkflowType:
+    topology = NaiveTopology.figure9()
+    topology.partner_protocol["TP4"] = "rosettanet"
+    topology.thresholds["TP4"] = 25000
+    topology.routing["TP4"] = "SAP"
+    return _naive_fig9_type(topology)
+
+
+# -- 5. new partner on a NEW protocol (Figure 10) --------------------------------
+
+
+def _advanced_add_partner_new_protocol(model: IntegrationModel) -> None:
+    model.add_protocol(get_protocol("oagis-http"), "private-po-seller")
+    model.partners.add_partner(TradingPartner("TP3", protocols=("oagis-http",)))
+    model.partners.add_agreement(TradingPartnerAgreement("TP3", "oagis-http", "seller"))
+    approval = model.rules.get("check_need_for_approval")
+    approval.add(BusinessRule("TP3 via SAP", source="TP3", target="SAP",
+                              expression="document.amount >= 10000"))
+    approval.add(BusinessRule("TP3 via Oracle", source="TP3", target="Oracle",
+                              expression="document.amount >= 10000"))
+    routing = model.rules.get("select_target_application")
+    routing.add(BusinessRule("route TP3", source="TP3", expression="'SAP'"))
+
+
+def _naive_add_partner_new_protocol() -> WorkflowType:
+    return build_naive_seller_type(NaiveTopology.figure10(), name="naive-seller")
+
+
+# -- 6. new back-end application --------------------------------------------------
+
+
+def _advanced_add_backend(model: IntegrationModel) -> None:
+    model.add_application("SAP-EU", "sap-idoc", "private-po-seller")
+    approval = model.rules.get("check_need_for_approval")
+    approval.add(BusinessRule("TP1 via SAP-EU", source="TP1", target="SAP-EU",
+                              expression="document.amount >= 55000"))
+    approval.add(BusinessRule("TP2 via SAP-EU", source="TP2", target="SAP-EU",
+                              expression="document.amount >= 40000"))
+
+
+def _naive_add_backend() -> WorkflowType:
+    topology = NaiveTopology.figure9()
+    topology.backends["SAP-EU"] = "sap-idoc"
+    return _naive_fig9_type(topology)
+
+
+# -- 7. rule threshold change -------------------------------------------------------
+
+
+def _advanced_change_threshold(model: IntegrationModel) -> None:
+    rule_set = model.rules.get("check_need_for_approval")
+    rule_set.remove("business rule 2")
+    rule_set.add(
+        BusinessRule("business rule 2", source="TP1", target="SAP",
+                     expression="document.amount >= 60000")
+    )
+
+
+def _naive_change_threshold() -> WorkflowType:
+    topology = NaiveTopology.figure9()
+    topology.thresholds["TP1"] = 60000
+    return _naive_fig9_type(topology)
+
+
+# -- 8. partner off-boarding ----------------------------------------------------------
+
+
+def _advanced_remove_partner(model: IntegrationModel) -> None:
+    model.partners.remove_partner("TP2")
+    approval = model.rules.get("check_need_for_approval")
+    for rule in list(approval.rules):
+        if rule.source == "TP2":
+            approval.remove(rule.name)
+    routing = model.rules.get("select_target_application")
+    for rule in list(routing.rules):
+        if rule.source == "TP2":
+            routing.remove(rule.name)
+
+
+def _naive_remove_partner() -> WorkflowType:
+    topology = NaiveTopology.figure9()
+    del topology.partner_protocol["TP2"]
+    del topology.thresholds["TP2"]
+    del topology.routing["TP2"]
+    return _naive_fig9_type(topology)
+
+
+# -- 9. a second private process (invoice handling) -----------------------------------
+
+
+def _advanced_add_private_process(model: IntegrationModel) -> None:
+    builder = WorkflowBuilder("private-invoice", owner=model.name)
+    builder.variable("document").variable("source", "")
+    builder.activity(
+        "check_invoice",
+        "evaluate_business_rule",
+        params={"function": "check_need_for_approval"},
+        inputs={"source": "source", "target": "source", "document": "document"},
+        outputs={"flag": "result"},
+        tags=("business-rule",),
+    )
+    builder.activity("record_invoice", "noop", after="check_invoice")
+    model.add_private_process(builder.build())
+
+
+def _naive_add_private_process() -> WorkflowType:
+    """The naive architecture needs a *second monolithic type* replicating
+    all protocol and back-end handling; measured here as the combined
+    index of both types."""
+    return build_naive_seller_type(NaiveTopology.figure9(), name="naive-invoice")
+
+
+CHANGE_SCENARIOS: list[ChangeScenario] = [
+    ChangeScenario(
+        "add_audit_step",
+        "Add an audit step to the outgoing POA path (the paper's §4.5 local example)",
+        "local",
+        _advanced_add_audit,
+        _naive_add_audit,
+    ),
+    ChangeScenario(
+        "model_transport_acks",
+        "Explicitly model transport acknowledgments for RosettaNet (§4.5 local example)",
+        "local",
+        _advanced_transport_acks,
+        _naive_transport_acks,
+    ),
+    ChangeScenario(
+        "add_document_field",
+        "Add a field to the purchase-order document (§4.5 non-local example)",
+        "non-local",
+        _advanced_new_field,
+        _naive_new_field,
+    ),
+    ChangeScenario(
+        "add_partner_same_protocol",
+        "On-board TP4 speaking an already-deployed protocol (§4.6: rules only)",
+        "local",
+        _advanced_add_partner,
+        _naive_add_partner,
+    ),
+    ChangeScenario(
+        "add_partner_new_protocol",
+        "On-board TP3 with OAGIS (the Figure 9 -> Figure 10 change)",
+        "local",
+        _advanced_add_partner_new_protocol,
+        _naive_add_partner_new_protocol,
+    ),
+    ChangeScenario(
+        "add_backend",
+        "Deploy a second SAP-like back end (§4.6)",
+        "local",
+        _advanced_add_backend,
+        _naive_add_backend,
+    ),
+    ChangeScenario(
+        "change_rule_threshold",
+        "Raise TP1's approval threshold to 60 000",
+        "local",
+        _advanced_change_threshold,
+        _naive_change_threshold,
+    ),
+    ChangeScenario(
+        "remove_partner",
+        "Off-board TP2",
+        "local",
+        _advanced_remove_partner,
+        _naive_remove_partner,
+    ),
+    ChangeScenario(
+        "add_private_process",
+        "Introduce invoice handling as a new process (§4.6)",
+        "local",
+        _advanced_add_private_process,
+        _naive_add_private_process,
+    ),
+]
+
+
+def change_table() -> list[dict[str, object]]:
+    """Run every scenario; returns the §4.5/§4.6 comparison table rows."""
+    rows = []
+    for scenario in CHANGE_SCENARIOS:
+        row = scenario.run()
+        if scenario.name == "add_private_process":
+            # The naive 'after' is a second full type; its whole index is new.
+            naive_second = naive_element_index(_naive_add_private_process())
+            row["naive_impact"] = len(naive_second)
+            row["naive_modified"] = 0
+        rows.append(row)
+    return rows

@@ -1,0 +1,114 @@
+"""Model-complexity growth curves: naive vs advanced (F9/F10, §4.6).
+
+The paper's Figures 9 and 10 are snapshots of the naive workflow type at
+(2 protocols, 2 partners, 2 back ends) and (3, 3, 2); its qualitative
+claim is that the naive type grows with the *product* of the dimensions
+while the advanced model grows with their *sum*.  These helpers turn that
+claim into data: per-dimension sweeps of total authored elements for both
+architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.scenarios import advanced_synthetic_model
+from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type, naive_element_index
+from repro.core.change import ChangeReport, diff_indexes
+from repro.core.metrics import ModelMetrics, measure_model, measure_workflow_type
+
+__all__ = [
+    "naive_metrics",
+    "advanced_metrics",
+    "growth_rows",
+    "figure9_to_figure10_change",
+]
+
+
+def naive_metrics(protocol_count: int, partner_count: int, backend_count: int) -> ModelMetrics:
+    """Size the naive monolithic workflow type for a topology."""
+    topology = NaiveTopology.synthetic(protocol_count, partner_count, backend_count)
+    return measure_workflow_type(build_naive_seller_type(topology))
+
+
+def advanced_metrics(protocol_count: int, partner_count: int, backend_count: int) -> ModelMetrics:
+    """Size the advanced integration model for a topology."""
+    return measure_model(
+        advanced_synthetic_model(protocol_count, partner_count, backend_count)
+    )
+
+
+def growth_rows(
+    dimension: str,
+    values: Iterable[int],
+    base: tuple[int, int, int] = (2, 2, 2),
+) -> list[dict[str, object]]:
+    """Sweep one dimension and report both architectures' sizes.
+
+    :param dimension: ``protocols`` | ``partners`` | ``backends``.
+    :param values: the swept dimension's values.
+    :param base: (protocols, partners, backends) for the fixed dimensions.
+    :returns: one row per value with naive/advanced element counts.
+    """
+    index = {"protocols": 0, "partners": 1, "backends": 2}[dimension]
+    rows: list[dict[str, object]] = []
+    for value in values:
+        topology = list(base)
+        topology[index] = value
+        # A topology needs at least one partner per protocol to be coherent.
+        if dimension == "protocols":
+            topology[1] = max(topology[1], value)
+        naive = naive_metrics(*topology)
+        advanced = advanced_metrics(*topology)
+        rows.append(
+            {
+                "dimension": dimension,
+                "value": value,
+                "topology": tuple(topology),
+                "naive_total": naive.total_elements,
+                "advanced_total": advanced.total_elements,
+                "naive_steps": naive.workflow_steps,
+                "advanced_private_steps": advanced.workflow_steps,
+                "naive_transform_steps": naive.inline_transform_steps,
+                "advanced_mappings": advanced.mappings,
+                "naive_decision_terms": naive.decision_surface,
+                "advanced_rules": advanced.business_rules,
+            }
+        )
+    return rows
+
+
+def figure9_to_figure10_change() -> dict[str, object]:
+    """Reproduce the Figure 9 -> Figure 10 jump.
+
+    The paper: "the workflow type has to be changed significantly to
+    incorporate the additional protocol as well as business rule."
+    Returns the naive before/after sizes and the step-granular change
+    report, plus the advanced counterpart for contrast.
+    """
+    naive_before = build_naive_seller_type(NaiveTopology.figure9(), name="naive-seller")
+    naive_after = build_naive_seller_type(NaiveTopology.figure10(), name="naive-seller")
+    naive_change: ChangeReport = diff_indexes(
+        naive_element_index(naive_before),
+        naive_element_index(naive_after),
+        label="figure9 -> figure10 (naive)",
+    )
+    metrics_before = measure_workflow_type(naive_before)
+    metrics_after = measure_workflow_type(naive_after)
+
+    # Advanced counterpart: same topology growth, measured on the model.
+    advanced_before = advanced_metrics(2, 2, 2)
+    advanced_after = advanced_metrics(3, 3, 2)
+    return {
+        "naive_steps_before": metrics_before.workflow_steps,
+        "naive_steps_after": metrics_after.workflow_steps,
+        "naive_total_before": metrics_before.total_elements,
+        "naive_total_after": metrics_after.total_elements,
+        "naive_elements_touched": naive_change.impact_count,
+        "naive_elements_modified": len(naive_change.modified),
+        "naive_report": naive_change,
+        "advanced_total_before": advanced_before.total_elements,
+        "advanced_total_after": advanced_after.total_elements,
+        "advanced_private_steps_before": advanced_before.workflow_steps,
+        "advanced_private_steps_after": advanced_after.workflow_steps,
+    }

@@ -1,0 +1,29 @@
+"""B2B protocol layer: protocol descriptors and public-process templates.
+
+Three protocols with genuinely different transport disciplines, matching
+Section 5.1's standards landscape:
+
+* ``edi-van`` — X12 interchanges over a store-and-forward Value Added
+  Network (lossless, batch pickup, no acknowledgment machinery);
+* ``rosettanet`` — PIP-3A4-like XML over RNIF-style reliable messaging
+  (acks, time-outs, retries over the lossy Internet);
+* ``oagis-http`` — OAGIS BODs over plain point-to-point delivery.
+"""
+
+from repro.b2b.protocol import (
+    B2BProtocol,
+    WireCodec,
+    extended_protocols,
+    get_protocol,
+    standard_protocols,
+)
+from repro.b2b.custom import negotiated_protocol
+
+__all__ = [
+    "B2BProtocol",
+    "WireCodec",
+    "standard_protocols",
+    "extended_protocols",
+    "get_protocol",
+    "negotiated_protocol",
+]

@@ -1,0 +1,73 @@
+"""ebXML-style negotiated collaborations (Section 5.1).
+
+Where RosettaNet pre-defines its PIPs, ebXML "provides a general language
+(ebXML BPSS) to define arbitrary public processes called collaborations
+... two enterprises have to agree on a definition of their public
+processes first".  :func:`negotiated_protocol` is that agreement artifact:
+the two parties supply their public-process step lists, and the resulting
+descriptor refuses to exist unless the two sides are *complementary* —
+the CPA-activation check the paper's Section 3 sequencing requirement
+demands.
+
+The paper's ebXML example — acknowledging "line items separately" or
+adding documents a pre-defined PIP would not allow — becomes a few lines
+of step definitions (see ``tests/integration/test_negotiated.py`` for a
+PO -> POA -> invoice collaboration negotiated over OAGIS BODs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.b2b.protocol import B2BProtocol, TRANSPORT_PLAIN, WireCodec
+from repro.core.public_process import (
+    PublicProcessDefinition,
+    PublicStep,
+    check_complementary,
+)
+from repro.errors import ProtocolError
+
+__all__ = ["negotiated_protocol"]
+
+
+def negotiated_protocol(
+    name: str,
+    codec: WireCodec,
+    buyer_steps: Sequence[PublicStep],
+    seller_steps: Sequence[PublicStep],
+    transport: str = TRANSPORT_PLAIN,
+    ack_timeout: float = 1.0,
+    max_retries: int = 3,
+) -> B2BProtocol:
+    """Build a protocol descriptor from two negotiated public processes.
+
+    :param name: the collaboration's agreed name (the CPA id).
+    :param codec: the wire format both sides agreed on.
+    :param buyer_steps / seller_steps: each party's public process.
+    :raises ProtocolError: when the two sides cannot collaborate — a
+        mis-negotiated CPA must fail *before* deployment, not at runtime.
+    """
+    buyer_definition = PublicProcessDefinition(
+        f"{name}/buyer", name, "buyer", codec.format_name, list(buyer_steps)
+    )
+    seller_definition = PublicProcessDefinition(
+        f"{name}/seller", name, "seller", codec.format_name, list(seller_steps)
+    )
+    problems = check_complementary(buyer_definition, seller_definition)
+    if problems:
+        raise ProtocolError(
+            f"collaboration {name!r} cannot be activated: {'; '.join(problems)}"
+        )
+    return B2BProtocol(
+        name=name,
+        codec=codec,
+        transport=transport,
+        ack_timeout=ack_timeout,
+        max_retries=max_retries,
+        buyer_process=lambda: PublicProcessDefinition(
+            f"{name}/buyer", name, "buyer", codec.format_name, list(buyer_steps)
+        ),
+        seller_process=lambda: PublicProcessDefinition(
+            f"{name}/seller", name, "seller", codec.format_name, list(seller_steps)
+        ),
+    )

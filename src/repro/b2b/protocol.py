@@ -1,0 +1,394 @@
+"""B2B protocol descriptors.
+
+A :class:`B2BProtocol` bundles everything the B2B engine must know to run
+one standard: the wire format and its codec, the transport discipline
+(reliable / VAN / plain), retry parameters, and factories for the buyer and
+seller public-process definitions.  Adding a new standard to an enterprise
+means registering one of these plus its mappings — the locality the
+Section 4.6 scalability experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.public_process import (
+    PublicProcessDefinition,
+    buyer_request_reply,
+    seller_request_reply,
+)
+from repro.documents import edi, oagis, rosettanet
+from repro.documents.model import Document
+from repro.errors import ProtocolError
+from repro.messaging.disciplines import (
+    ALL_TRANSPORTS as _TRANSPORTS,
+    TRANSPORT_PLAIN,
+    TRANSPORT_RELIABLE,
+    TRANSPORT_VAN,
+)
+
+__all__ = [
+    "TRANSPORT_RELIABLE",
+    "TRANSPORT_VAN",
+    "TRANSPORT_PLAIN",
+    "WireCodec",
+    "B2BProtocol",
+    "standard_protocols",
+    "get_protocol",
+]
+
+
+@dataclass(frozen=True)
+class WireCodec:
+    """Serialize/parse functions for one wire format."""
+
+    format_name: str
+    to_wire: Callable[[Document], str]
+    from_wire: Callable[[str], Document]
+
+
+@dataclass(frozen=True)
+class B2BProtocol:
+    """Everything the engine needs to speak one B2B standard.
+
+    :param name: protocol id used in agreements and messages.
+    :param codec: the wire format codec.
+    :param transport: delivery discipline (see module constants).
+    :param ack_timeout / max_retries: reliable-transport knobs (RNIF
+        profile); ignored by other transports.
+    :param buyer_process / seller_process: factories returning the two
+        public-process definitions.
+    :param receipt_builder: for protocols whose public processes model
+        business-level receipt acknowledgments (Section 4.5's "explicitly
+        model transport acknowledgments" variant): builds the receipt
+        document for a received wire document.  ``None`` for protocols
+        without modeled receipts.
+    """
+
+    name: str
+    codec: WireCodec
+    transport: str
+    ack_timeout: float = 1.0
+    max_retries: int = 3
+    buyer_process: Callable[[], PublicProcessDefinition] = field(repr=False, default=None)  # type: ignore[assignment]
+    seller_process: Callable[[], PublicProcessDefinition] = field(repr=False, default=None)  # type: ignore[assignment]
+    receipt_builder: Callable[[Document, float], Document] | None = field(
+        repr=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if self.transport not in _TRANSPORTS:
+            raise ProtocolError(f"unknown transport {self.transport!r}")
+        if self.buyer_process is None or self.seller_process is None:
+            raise ProtocolError(f"protocol {self.name!r} needs both process factories")
+
+    @property
+    def wire_format(self) -> str:
+        """The wire document layout name."""
+        return self.codec.format_name
+
+    def public_process(self, role: str) -> PublicProcessDefinition:
+        """Build the public process definition for ``role``."""
+        if role == "buyer":
+            return self.buyer_process()
+        if role == "seller":
+            return self.seller_process()
+        raise ProtocolError(f"unknown role {role!r}")
+
+
+def _edi_van() -> B2BProtocol:
+    return B2BProtocol(
+        name="edi-van",
+        codec=WireCodec(edi.EDI_X12, edi.to_wire, edi.from_wire),
+        transport=TRANSPORT_VAN,
+        buyer_process=lambda: buyer_request_reply(
+            "edi-van/850-855/buyer", "edi-van", edi.EDI_X12
+        ),
+        seller_process=lambda: seller_request_reply(
+            "edi-van/850-855/seller", "edi-van", edi.EDI_X12
+        ),
+    )
+
+
+def _rosettanet() -> B2BProtocol:
+    return B2BProtocol(
+        name="rosettanet",
+        codec=WireCodec(rosettanet.ROSETTANET, rosettanet.to_wire, rosettanet.from_wire),
+        transport=TRANSPORT_RELIABLE,
+        ack_timeout=2.0,
+        max_retries=3,
+        buyer_process=lambda: buyer_request_reply(
+            "rosettanet/3a4/buyer", "rosettanet", rosettanet.ROSETTANET
+        ),
+        seller_process=lambda: seller_request_reply(
+            "rosettanet/3a4/seller", "rosettanet", rosettanet.ROSETTANET
+        ),
+    )
+
+
+def _oagis_http() -> B2BProtocol:
+    return B2BProtocol(
+        name="oagis-http",
+        codec=WireCodec(oagis.OAGIS, oagis.to_wire, oagis.from_wire),
+        transport=TRANSPORT_PLAIN,
+        buyer_process=lambda: buyer_request_reply(
+            "oagis-http/po-bod/buyer", "oagis-http", oagis.OAGIS
+        ),
+        seller_process=lambda: seller_request_reply(
+            "oagis-http/po-bod/seller", "oagis-http", oagis.OAGIS
+        ),
+    )
+
+
+def _rosettanet_acknowledged() -> B2BProtocol:
+    """RosettaNet with *business-level* receipt acknowledgments modeled in
+    the public processes (Section 4.5's local-change example): every
+    receive is answered with a ReceiptAcknowledgment, every send awaits
+    one.  The receipts are produced and consumed entirely at the public
+    level — the private process never sees them.
+    """
+    from repro.core.public_process import PublicProcessDefinition, PublicStep
+
+    def buyer() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "rosettanet-ra/3a4/buyer",
+            "rosettanet-ra",
+            "buyer",
+            rosettanet.ROSETTANET,
+            [
+                PublicStep("from_binding_request", "from_binding", "purchase_order"),
+                PublicStep("send_request", "send", "purchase_order"),
+                PublicStep("receive_request_receipt", "receive", "receipt_ack",
+                           {"ack": True}),
+                PublicStep("receive_reply", "receive", "po_ack"),
+                PublicStep("send_reply_receipt", "send", "receipt_ack",
+                           {"auto_ack": True}),
+                PublicStep("to_binding_reply", "to_binding", "po_ack"),
+            ],
+        )
+
+    def seller() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "rosettanet-ra/3a4/seller",
+            "rosettanet-ra",
+            "seller",
+            rosettanet.ROSETTANET,
+            [
+                PublicStep("receive_request", "receive", "purchase_order"),
+                PublicStep("send_request_receipt", "send", "receipt_ack",
+                           {"auto_ack": True}),
+                PublicStep("to_binding_request", "to_binding", "purchase_order"),
+                PublicStep("from_binding_reply", "from_binding", "po_ack"),
+                PublicStep("send_reply", "send", "po_ack"),
+                PublicStep("receive_reply_receipt", "receive", "receipt_ack",
+                           {"ack": True}),
+            ],
+        )
+
+    return B2BProtocol(
+        name="rosettanet-ra",
+        codec=WireCodec(rosettanet.ROSETTANET, rosettanet.to_wire, rosettanet.from_wire),
+        transport=TRANSPORT_RELIABLE,
+        ack_timeout=2.0,
+        max_retries=3,
+        buyer_process=buyer,
+        seller_process=seller,
+        receipt_builder=rosettanet.make_receipt_ack,
+    )
+
+
+def _oagis_fulfillment() -> B2BProtocol:
+    """A one-way, multi-step exchange: the *seller* dispatches a ship
+    notice and then an invoice; the buyer only receives.  Demonstrates the
+    paper's claim that the public/private concepts "support the general
+    case of all possible patterns like one-way messages ... or multi-step
+    message exchanges" (Section 1).
+    """
+    from repro.core.public_process import PublicProcessDefinition, PublicStep
+
+    def seller() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "oagis-fulfillment/dispatch",
+            "oagis-fulfillment",
+            "seller",
+            oagis.OAGIS,
+            [
+                PublicStep("from_binding_asn", "from_binding", "ship_notice"),
+                PublicStep("send_asn", "send", "ship_notice"),
+                PublicStep("from_binding_invoice", "from_binding", "invoice"),
+                PublicStep("send_invoice", "send", "invoice"),
+            ],
+        )
+
+    def buyer() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "oagis-fulfillment/receipt",
+            "oagis-fulfillment",
+            "buyer",
+            oagis.OAGIS,
+            [
+                PublicStep("receive_asn", "receive", "ship_notice"),
+                PublicStep("to_binding_asn", "to_binding", "ship_notice"),
+                PublicStep("receive_invoice", "receive", "invoice"),
+                PublicStep("to_binding_invoice", "to_binding", "invoice"),
+            ],
+        )
+
+    return B2BProtocol(
+        name="oagis-fulfillment",
+        codec=WireCodec(oagis.OAGIS, oagis.to_wire, oagis.from_wire),
+        transport=TRANSPORT_PLAIN,
+        buyer_process=buyer,
+        seller_process=seller,
+    )
+
+
+def _edi_van_997() -> B2BProtocol:
+    """EDI over the VAN with 997 functional acknowledgments modeled in
+    the public processes — the EDI-world twin of ``rosettanet-ra``."""
+    from repro.core.public_process import PublicProcessDefinition, PublicStep
+
+    def buyer() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "edi-van-997/850-855/buyer",
+            "edi-van-997",
+            "buyer",
+            edi.EDI_X12,
+            [
+                PublicStep("from_binding_request", "from_binding", "purchase_order"),
+                PublicStep("send_request", "send", "purchase_order"),
+                PublicStep("receive_request_997", "receive", "functional_ack",
+                           {"ack": True}),
+                PublicStep("receive_reply", "receive", "po_ack"),
+                PublicStep("send_reply_997", "send", "functional_ack",
+                           {"auto_ack": True}),
+                PublicStep("to_binding_reply", "to_binding", "po_ack"),
+            ],
+        )
+
+    def seller() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "edi-van-997/850-855/seller",
+            "edi-van-997",
+            "seller",
+            edi.EDI_X12,
+            [
+                PublicStep("receive_request", "receive", "purchase_order"),
+                PublicStep("send_request_997", "send", "functional_ack",
+                           {"auto_ack": True}),
+                PublicStep("to_binding_request", "to_binding", "purchase_order"),
+                PublicStep("from_binding_reply", "from_binding", "po_ack"),
+                PublicStep("send_reply", "send", "po_ack"),
+                PublicStep("receive_reply_997", "receive", "functional_ack",
+                           {"ack": True}),
+            ],
+        )
+
+    return B2BProtocol(
+        name="edi-van-997",
+        codec=WireCodec(edi.EDI_X12, edi.to_wire, edi.from_wire),
+        transport=TRANSPORT_VAN,
+        buyer_process=buyer,
+        seller_process=seller,
+        receipt_builder=edi.make_functional_ack,
+    )
+
+
+def _edi_fulfillment() -> B2BProtocol:
+    """The one-way fulfillment dispatch over classic EDI: an 856 advance
+    ship notice followed by an 810 invoice through the VAN."""
+    from repro.core.public_process import PublicProcessDefinition, PublicStep
+
+    def seller() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "edi-fulfillment/dispatch",
+            "edi-fulfillment",
+            "seller",
+            edi.EDI_X12,
+            [
+                PublicStep("from_binding_asn", "from_binding", "ship_notice"),
+                PublicStep("send_asn", "send", "ship_notice"),
+                PublicStep("from_binding_invoice", "from_binding", "invoice"),
+                PublicStep("send_invoice", "send", "invoice"),
+            ],
+        )
+
+    def buyer() -> PublicProcessDefinition:
+        return PublicProcessDefinition(
+            "edi-fulfillment/receipt",
+            "edi-fulfillment",
+            "buyer",
+            edi.EDI_X12,
+            [
+                PublicStep("receive_asn", "receive", "ship_notice"),
+                PublicStep("to_binding_asn", "to_binding", "ship_notice"),
+                PublicStep("receive_invoice", "receive", "invoice"),
+                PublicStep("to_binding_invoice", "to_binding", "invoice"),
+            ],
+        )
+
+    return B2BProtocol(
+        name="edi-fulfillment",
+        codec=WireCodec(edi.EDI_X12, edi.to_wire, edi.from_wire),
+        transport=TRANSPORT_VAN,
+        buyer_process=buyer,
+        seller_process=seller,
+    )
+
+
+def _oagis_quotation() -> B2BProtocol:
+    """RFQ/quote over OAGIS BODs — the exchange behind the paper's
+    Section 2.3 confidentiality example.  Buyers typically *broadcast* the
+    RFQ to several sellers (``B2BEngine.broadcast``); each resulting
+    conversation is an ordinary request/reply instance of this protocol.
+    """
+    return B2BProtocol(
+        name="oagis-quotation",
+        codec=WireCodec(oagis.OAGIS, oagis.to_wire, oagis.from_wire),
+        transport=TRANSPORT_PLAIN,
+        buyer_process=lambda: buyer_request_reply(
+            "oagis-quotation/buyer", "oagis-quotation", oagis.OAGIS,
+            request_doc="request_for_quote", reply_doc="quote",
+        ),
+        seller_process=lambda: seller_request_reply(
+            "oagis-quotation/seller", "oagis-quotation", oagis.OAGIS,
+            request_doc="request_for_quote", reply_doc="quote",
+        ),
+    )
+
+
+_STANDARD: dict[str, Callable[[], B2BProtocol]] = {
+    "edi-van": _edi_van,
+    "rosettanet": _rosettanet,
+    "oagis-http": _oagis_http,
+}
+
+_EXTENDED: dict[str, Callable[[], B2BProtocol]] = {
+    **_STANDARD,
+    "rosettanet-ra": _rosettanet_acknowledged,
+    "edi-van-997": _edi_van_997,
+    "oagis-fulfillment": _oagis_fulfillment,
+    "edi-fulfillment": _edi_fulfillment,
+    "oagis-quotation": _oagis_quotation,
+}
+
+
+def standard_protocols() -> dict[str, B2BProtocol]:
+    """Build the paper's three standard protocol descriptors."""
+    return {name: factory() for name, factory in _STANDARD.items()}
+
+
+def extended_protocols() -> dict[str, B2BProtocol]:
+    """All protocols including the receipt-acknowledged RosettaNet variant."""
+    return {name: factory() for name, factory in _EXTENDED.items()}
+
+
+def get_protocol(name: str) -> B2BProtocol:
+    """Build one protocol descriptor by name."""
+    try:
+        return _EXTENDED[name]()
+    except KeyError:
+        raise ProtocolError(
+            f"unknown B2B protocol {name!r}; known: {sorted(_EXTENDED)}"
+        ) from None

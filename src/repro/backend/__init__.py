@@ -1,0 +1,35 @@
+"""Back-end application simulators (the paper's ERPs).
+
+Figure 1's process starts and ends inside "ERP" boxes: purchase orders are
+*extracted from* and acknowledgments *stored into* back-end applications.
+This package simulates two ERPs with genuinely different native formats —
+an SAP-like system speaking IDoc flat files and an Oracle-like system
+speaking open-interface-table records — so the integration layer has real
+heterogeneity to bridge (the substitution table in DESIGN.md records why
+these stand in for the paper's SAP [41] and Oracle [37]).
+
+Each simulator owns an order store, an acceptance policy deciding how
+incoming POs are acknowledged, an outbound document queue the integration
+layer extracts from, and an optional processing delay on the shared event
+scheduler.
+"""
+
+from repro.backend.base import (
+    ERPSimulator,
+    OrderRecord,
+    accept_all,
+    reject_over,
+    partial_backorder,
+)
+from repro.backend.sap_sim import SapSimulator
+from repro.backend.oracle_sim import OracleSimulator
+
+__all__ = [
+    "ERPSimulator",
+    "OrderRecord",
+    "SapSimulator",
+    "OracleSimulator",
+    "accept_all",
+    "reject_over",
+    "partial_backorder",
+]

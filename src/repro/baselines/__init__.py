@@ -1,0 +1,32 @@
+"""The rejected architectures, built and executable for comparison.
+
+The paper's argument is comparative; to reproduce it the alternatives must
+exist as real systems, not straw men:
+
+* :mod:`repro.baselines.distributed_interorg` — Section 2's distributed
+  inter-organizational workflow (shared types, instance migration,
+  master/slave subworkflow distribution) with the knowledge-exposure
+  metric of Section 2.3;
+* :mod:`repro.baselines.cooperative` — Section 3's cooperative workflows
+  (Figure 8): independent local workflows with message exchange,
+  transformation and business rules coded inside the workflow types;
+* :mod:`repro.baselines.monolithic` — the Figure 9/10 generator: the naive
+  workflow type for any (protocols x partners x back ends) topology, both
+  runnable and measurable, exhibiting the combinatorial growth the paper
+  criticizes.
+"""
+
+from repro.baselines.monolithic import build_naive_seller_type, naive_element_index
+from repro.baselines.cooperative import CooperativeCommunity
+from repro.baselines.distributed_interorg import (
+    build_interorg_roundtrip_types,
+    foreign_rule_exposure,
+)
+
+__all__ = [
+    "build_naive_seller_type",
+    "naive_element_index",
+    "CooperativeCommunity",
+    "build_interorg_roundtrip_types",
+    "foreign_rule_exposure",
+]

@@ -1,0 +1,145 @@
+"""Activities used by the baseline (naive) workflow types.
+
+In the naive architectures, parsing, transformation, back-end access and
+message sending are ordinary workflow steps *inside* the workflow type —
+the entanglement Section 3 criticizes.  These activity implementations are
+deliberately thin wrappers over the same substrates the advanced
+architecture uses (codecs, the mapping catalog, the ERP simulators), so
+the comparison measures *architecture*, not implementation quality.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.b2b.protocol import get_protocol
+from repro.errors import ActivityError
+from repro.workflow.activities import ActivityContext, ActivityRegistry, Waiting
+
+__all__ = ["register_naive_activities"]
+
+
+def _decode_wire(context: ActivityContext) -> dict[str, Any]:
+    """Parse a wire string into its format-layout document.
+
+    Params: ``protocol``.  Inputs: ``wire_text``.  Output: ``document``.
+    """
+    protocol = get_protocol(context.params["protocol"])
+    return {"document": protocol.codec.from_wire(context.inputs["wire_text"])}
+
+
+def _encode_wire(context: ActivityContext) -> dict[str, Any]:
+    """Serialize a format-layout document to its wire string.
+
+    Params: ``protocol``.  Inputs: ``document``.  Output: ``wire_text``.
+    """
+    protocol = get_protocol(context.params["protocol"])
+    return {"wire_text": protocol.codec.to_wire(context.inputs["document"])}
+
+
+def _transform_document(context: ActivityContext) -> dict[str, Any]:
+    """An inline transformation step (the naive Figure 9 'Transform X to Y').
+
+    Params: ``target_format``.  Inputs: ``document``.  Output: ``document``.
+    """
+    transforms = context.service("transforms")
+    document = transforms.transform(
+        context.inputs["document"],
+        context.params["target_format"],
+        {"now": context.now, **{k: v for k, v in context.inputs.items() if k != "document"}},
+    )
+    return {"document": document}
+
+
+def _naive_determine_target(context: ActivityContext) -> dict[str, Any]:
+    """The naive 'Target' decision step with its routing table hardcoded
+    into the workflow type (params), not externalized as a rule.
+
+    Params: ``routing`` (partner -> application).  Inputs: ``source``.
+    Output: ``target``.
+    """
+    routing: dict[str, str] = context.params["routing"]
+    source = context.inputs["source"]
+    if source not in routing:
+        raise ActivityError(f"naive routing table has no entry for {source!r}")
+    return {"target": routing[source]}
+
+
+def _store_backend(context: ActivityContext) -> dict[str, Any]:
+    """Store a native-format document directly into a back end.
+
+    Params: ``application``.  Inputs: ``document``.
+    Outputs: ``po_number``, ``amount``.
+    """
+    backends = context.service("backends")
+    application = context.params["application"]
+    try:
+        backend = backends[application]
+    except KeyError:
+        raise ActivityError(f"no back end {application!r} wired") from None
+    document = context.inputs["document"]
+    backend.store_document(document)
+    if document.doc_type == "purchase_order":
+        po_number, amount, _ = backend._po_fields(document)
+        return {"po_number": po_number, "amount": amount}
+    return {"po_number": backend._document_po_number(document), "amount": 0.0}
+
+
+def _extract_backend(context: ActivityContext) -> dict[str, Any] | Waiting:
+    """Extract a document from a back end (native format).
+
+    Params: ``application``, ``doc_type``.  Inputs: ``po_number``.
+    Output: ``document``.
+    """
+    backends = context.service("backends")
+    application = context.params["application"]
+    doc_type = context.params.get("doc_type", "po_ack")
+    try:
+        backend = backends[application]
+    except KeyError:
+        raise ActivityError(f"no back end {application!r} wired") from None
+    document = backend.extract_document_for(context.inputs["po_number"], doc_type)
+    if document is None:
+        return Waiting(wait_key=f"erp:{application}:{context.inputs['po_number']}:{doc_type}")
+    return {"document": document}
+
+
+def _send_wire(context: ActivityContext) -> dict[str, Any]:
+    """Send a wire string to a partner through the naive runtime's sender.
+
+    Params: ``protocol``.  Inputs: ``wire_text``, ``destination``,
+    ``conversation_id``.
+    """
+    sender = context.service("naive_sender")
+    sender(
+        context.params["protocol"],
+        context.inputs["destination"],
+        context.inputs["wire_text"],
+        context.inputs.get("conversation_id", ""),
+    )
+    return {}
+
+
+def _receive_wire(context: ActivityContext) -> Waiting:
+    """Park until the naive runtime delivers the awaited wire message.
+
+    Inputs: ``conversation_id``.  Completed with ``{"wire_text": ...}``.
+    """
+    return Waiting(wait_key=f"naive:{context.inputs['conversation_id']}:reply")
+
+
+def register_naive_activities(registry: ActivityRegistry) -> ActivityRegistry:
+    """Register every naive-baseline activity into ``registry``."""
+    registry.register_many(
+        {
+            "decode_wire": _decode_wire,
+            "encode_wire": _encode_wire,
+            "transform_document": _transform_document,
+            "naive_determine_target": _naive_determine_target,
+            "store_backend": _store_backend,
+            "extract_backend": _extract_backend,
+            "send_wire": _send_wire,
+            "receive_wire": _receive_wire,
+        }
+    )
+    return registry

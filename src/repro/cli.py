@@ -1,0 +1,210 @@
+"""Command-line interface: run the paper's scenarios from a shell.
+
+::
+
+    python -m repro demo            # the Figure 1 round trip, narrated
+    python -m repro report          # Figure 15 community + seller report
+    python -m repro growth          # the Figure 9/10 growth tables
+    python -m repro changes         # the Section 4.5 change-impact table
+    python -m repro patterns        # Section 1's four exchange patterns
+
+Installed as the ``repro-b2b`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable
+
+__all__ = ["main"]
+
+DEMO_LINES = [
+    {"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0},
+    {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+]
+
+
+def _table(rows: list[dict], columns: list[str], title: str = "") -> str:
+    widths = {
+        column: max(len(column), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines += [title, "-" * len(title)]
+    lines.append("  ".join(column.ljust(widths[column]) for column in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import build_two_enterprise_pair
+    from repro.core.enterprise import run_community
+
+    pair = build_two_enterprise_pair(args.protocol, seller_delay=0.5)
+    instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-1001", DEMO_LINES)
+    rounds = run_community(pair.enterprises())
+    instance = pair.buyer.instance(instance_id)
+    print(f"protocol        : {args.protocol}")
+    print(f"buyer instance  : {instance.status} after {rounds} community round(s)")
+    print(f"seller order    : "
+          f"{pair.seller.backends['Oracle'].order('PO-1001').status}")
+    print(f"buyer stored ack: {'PO-1001' in pair.buyer.backends['SAP'].stored_acks}")
+    trace = next(iter(pair.buyer.b2b.conversations.values())).documents
+    print(f"exchange trace  : {' -> '.join(trace)}")
+    return 0 if instance.status == "completed" else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import build_fig15_community
+    from repro.core.enterprise import run_community
+    from repro.core.reporting import render_report
+
+    community = build_fig15_community(seller_delay=0.2)
+    for partner_id, buyer in community.buyers.items():
+        buyer.submit_order("SAP", "ACME", f"PO-{partner_id}", DEMO_LINES)
+    run_community(community.enterprises())
+    print(render_report(community.seller))
+    return 0
+
+
+def _cmd_growth(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import growth_rows
+
+    rows: list[dict] = []
+    for dimension, values in (
+        ("protocols", args.values or [1, 2, 3, 4, 6]),
+        ("partners", args.values or [2, 4, 8, 16]),
+        ("backends", args.values or [1, 2, 4, 8]),
+    ):
+        if args.dimension in (None, dimension):
+            rows += growth_rows(dimension, values)
+    print(_table(
+        rows,
+        ["dimension", "value", "topology", "naive_total", "advanced_total"],
+        "Total authored model elements: naive vs advanced (Figures 9/10, Sec 4.6)",
+    ))
+    return 0
+
+
+def _cmd_changes(args: argparse.Namespace) -> int:
+    from repro.analysis.change_impact import change_table
+
+    rows = [
+        {
+            "scenario": row["scenario"],
+            "advanced_impact": row["advanced_impact"],
+            "advanced_modified": row["advanced_modified"],
+            "advanced_locality": row["advanced_locality"],
+            "naive_impact": row["naive_impact"],
+            "naive_modified": row["naive_modified"],
+        }
+        for row in change_table()
+    ]
+    print(_table(
+        rows,
+        ["scenario", "advanced_impact", "advanced_modified",
+         "advanced_locality", "naive_impact", "naive_modified"],
+        "Change impact per scenario (Section 4.5)",
+    ))
+    return 0
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import (
+        build_order_to_cash_pair,
+        build_sourcing_community,
+        build_two_enterprise_pair,
+    )
+    from repro.core.enterprise import run_community
+
+    rows = []
+    for protocol, label in (("rosettanet", "request/reply"),
+                            ("rosettanet-ra", "acknowledged request/reply")):
+        pair = build_two_enterprise_pair(protocol, seller_delay=0.2)
+        pair.buyer.submit_order("SAP", "ACME", "PO-P", DEMO_LINES)
+        run_community(pair.enterprises())
+        conversation = next(iter(pair.buyer.b2b.conversations.values()))
+        rows.append({"pattern": label, "initiator": "buyer",
+                     "trace": " -> ".join(conversation.documents)})
+
+    pair = build_order_to_cash_pair(seller_delay=0.2)
+    pair.buyer.submit_order("SAP", "ACME", "PO-P", DEMO_LINES)
+    run_community(pair.enterprises())
+    pair.seller.submit_shipment("Oracle", "TP1", "PO-P")
+    run_community(pair.enterprises())
+    conversation = next(
+        c for c in pair.seller.b2b.conversations.values()
+        if c.protocol == "oagis-fulfillment"
+    )
+    rows.append({"pattern": "one-way multi-step", "initiator": "seller",
+                 "trace": " -> ".join(conversation.documents)})
+
+    community = build_sourcing_community(
+        {"ACME": {"GPU": 1500.0}, "GLOBEX": {"GPU": 1450.0}}
+    )
+    instance_id = community.buyer.submit_rfq(
+        ["ACME", "GLOBEX"], "RFQ-P", [{"sku": "GPU", "quantity": 5}]
+    )
+    run_community(community.enterprises())
+    instance = community.buyer.instance(instance_id)
+    rows.append({
+        "pattern": "broadcast RFQ",
+        "initiator": "buyer",
+        "trace": f"2x RFQ out -> {len(instance.variables['quotes'])}x quote in "
+                 f"-> winner {instance.variables['chosen_partner']}",
+    })
+    print(_table(rows, ["pattern", "initiator", "trace"],
+                 "Exchange patterns on one architecture (Section 1)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-b2b",
+        description="Semantic B2B integration (Bussler reproduction) scenarios",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the Figure 1 PO-POA round trip")
+    demo.add_argument("--protocol", default="rosettanet",
+                      choices=["edi-van", "rosettanet", "oagis-http", "rosettanet-ra"])
+    demo.set_defaults(handler=_cmd_demo)
+
+    report = subparsers.add_parser(
+        "report", help="run the Figure 15 community and print the seller report"
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    growth = subparsers.add_parser("growth", help="print the growth tables")
+    growth.add_argument("--dimension",
+                        choices=["protocols", "partners", "backends"])
+    growth.add_argument("--values", type=int, nargs="+")
+    growth.set_defaults(handler=_cmd_growth)
+
+    changes = subparsers.add_parser(
+        "changes", help="print the Section 4.5 change-impact table"
+    )
+    changes.set_defaults(handler=_cmd_changes)
+
+    patterns = subparsers.add_parser(
+        "patterns", help="run the four exchange patterns"
+    )
+    patterns.set_defaults(handler=_cmd_patterns)
+    return parser
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

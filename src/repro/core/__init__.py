@@ -1,0 +1,49 @@
+"""The paper's contribution: public/private process management (Section 4).
+
+* :mod:`repro.core.public_process` — organization-external message-exchange
+  behaviour, one definition per B2B protocol and role (Section 4.1);
+* :mod:`repro.core.binding` — the processes that connect public processes
+  to private processes (and private processes to applications), hosting
+  every transformation (Section 4.2);
+* :mod:`repro.core.rules` — business rules defined and evaluated *outside*
+  workflow types, selected by (source, target) at runtime (Section 4.3);
+* :mod:`repro.core.private_process` — domain business logic as ordinary
+  workflow types over the normalized format (Section 4.4);
+* :mod:`repro.core.integration` — the integration model (the deployed
+  configuration) and the B2B engine runtime that executes exchanges;
+* :mod:`repro.core.enterprise` — one enterprise node wiring engine, WFMS,
+  back ends and network together;
+* :mod:`repro.core.metrics` / :mod:`repro.core.change` — the model
+  complexity and change-impact instruments behind the Section 4.5/4.6
+  experiments.
+"""
+
+from repro.core.rules import BusinessRule, RuleEngine, RuleSet, approval_rule_set
+from repro.core.public_process import PublicProcessDefinition, PublicProcessInstance, PublicStep
+from repro.core.binding import Binding, BindingStep, make_application_binding, make_protocol_binding
+from repro.core.integration import B2BEngine, IntegrationModel
+from repro.core.enterprise import Enterprise
+from repro.core.metrics import ModelMetrics, measure_model, measure_workflow_type
+from repro.core.change import ChangeReport, diff_models
+
+__all__ = [
+    "BusinessRule",
+    "RuleSet",
+    "RuleEngine",
+    "approval_rule_set",
+    "PublicStep",
+    "PublicProcessDefinition",
+    "PublicProcessInstance",
+    "Binding",
+    "BindingStep",
+    "make_protocol_binding",
+    "make_application_binding",
+    "IntegrationModel",
+    "B2BEngine",
+    "Enterprise",
+    "ModelMetrics",
+    "measure_model",
+    "measure_workflow_type",
+    "ChangeReport",
+    "diff_models",
+]

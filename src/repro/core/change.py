@@ -1,0 +1,96 @@
+"""Change-impact analysis (Section 4.5 change management).
+
+The paper classifies changes as **local** (confined to one of public
+process, private process, or binding) or **non-local** (rippling across
+them, e.g. a new document field).  :func:`diff_models` compares the
+element indexes of a model before and after an edit and reports exactly
+which elements were added, removed or modified — and therefore how local
+the change was.
+
+Element keys are ``kind:name`` strings from
+:meth:`~repro.core.integration.IntegrationModel.element_index`; kinds are
+``mapping``, ``public``, ``binding``, ``private``, ``rule``, ``partner``,
+``agreement`` and ``application``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ChangeReport", "diff_models", "diff_indexes"]
+
+# Kinds whose elements encode competitive business logic; a change touching
+# more than one logic kind is non-local by the paper's criteria.
+_LOGIC_KINDS = ("public", "private", "binding", "rule", "mapping")
+
+
+@dataclass
+class ChangeReport:
+    """The impact set of one change scenario."""
+
+    label: str = ""
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    modified: list[str] = field(default_factory=list)
+
+    @property
+    def touched(self) -> list[str]:
+        """Every element affected in any way."""
+        return sorted({*self.added, *self.removed, *self.modified})
+
+    @property
+    def impact_count(self) -> int:
+        """Number of affected elements (the experiment's y-axis)."""
+        return len(self.touched)
+
+    def kinds_touched(self) -> set[str]:
+        """The element kinds affected."""
+        return {key.split(":", 1)[0] for key in self.touched}
+
+    @property
+    def modified_kinds(self) -> set[str]:
+        """Kinds of *pre-existing* elements that had to change."""
+        return {key.split(":", 1)[0] for key in (*self.modified, *self.removed)}
+
+    def is_local(self) -> bool:
+        """Section 4.5 locality: a change is local when the pre-existing
+        elements it modifies belong to at most one logic kind (purely
+        additive changes are local by definition)."""
+        return len(self.modified_kinds & set(_LOGIC_KINDS)) <= 1
+
+    def locality(self) -> str:
+        """Human label for tables."""
+        return "local" if self.is_local() else "non-local"
+
+    def summary(self) -> dict[str, object]:
+        """One row for the change-impact table."""
+        return {
+            "label": self.label,
+            "added": len(self.added),
+            "modified": len(self.modified),
+            "removed": len(self.removed),
+            "impact": self.impact_count,
+            "kinds": ",".join(sorted(self.kinds_touched())),
+            "locality": self.locality(),
+        }
+
+
+def diff_indexes(
+    before: Mapping[str, str], after: Mapping[str, str], label: str = ""
+) -> ChangeReport:
+    """Diff two element indexes into a :class:`ChangeReport`."""
+    report = ChangeReport(label=label)
+    before_keys = set(before)
+    after_keys = set(after)
+    report.added = sorted(after_keys - before_keys)
+    report.removed = sorted(before_keys - after_keys)
+    report.modified = sorted(
+        key for key in before_keys & after_keys if before[key] != after[key]
+    )
+    return report
+
+
+def diff_models(before, after, label: str = "") -> ChangeReport:
+    """Diff two integration models (objects with ``element_index()``)."""
+    return diff_indexes(before.element_index(), after.element_index(), label=label)

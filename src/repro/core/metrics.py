@@ -1,0 +1,160 @@
+"""Model-complexity metrics (the instrument behind experiments F9/F10 and
+Section 4.6).
+
+The paper's quantitative claim is about *model size and growth*: the naive
+approach multiplies steps and transformations across (protocol x partner x
+back end) combinations inside workflow types, while the advanced approach
+grows additively in separated elements.  :func:`measure_workflow_type`
+sizes a single (possibly naive) workflow type; :func:`measure_model` sizes
+an advanced :class:`~repro.core.integration.IntegrationModel`; both produce
+the same :class:`ModelMetrics` record so the growth curves are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, fields
+
+from repro.core.integration import IntegrationModel
+from repro.workflow.definitions import WorkflowType
+from repro.workflow.expressions import Expression
+
+__all__ = ["ModelMetrics", "measure_workflow_type", "measure_model", "comparison_terms"]
+
+
+@dataclass
+class ModelMetrics:
+    """Element counts of one integration model (naive or advanced).
+
+    ``total_elements`` is the headline series of the growth experiments:
+    everything a human must author and maintain.
+    """
+
+    workflow_types: int = 0
+    workflow_steps: int = 0
+    transitions: int = 0
+    conditions: int = 0
+    condition_terms: int = 0          # comparisons inside transition conditions
+    inline_transform_steps: int = 0   # transformations coded inside workflows (naive)
+    inline_rule_terms: int = 0        # partner/amount comparisons inside workflows (naive)
+    public_processes: int = 0
+    public_steps: int = 0
+    bindings: int = 0
+    binding_steps: int = 0
+    business_rules: int = 0
+    mappings: int = 0
+    partners: int = 0
+    agreements: int = 0
+    applications: int = 0
+    labels: dict[str, str] = field(default_factory=dict, compare=False)
+
+    @property
+    def total_elements(self) -> int:
+        """Everything authored: steps, arcs, inline condition terms,
+        rules, binding/public steps, and mappings (partner/agreement
+        registry entries excluded — both approaches need those equally).
+
+        Condition terms count because each ``amount >= X and source ==
+        'TPn'`` pairing is an authored, maintained artifact — in the naive
+        model they hide inside transition conditions, in the advanced
+        model the equivalent artifact is the external business rule.
+        """
+        return (
+            self.workflow_steps
+            + self.transitions
+            + self.condition_terms
+            + self.public_steps
+            + self.binding_steps
+            + self.business_rules
+            + self.mappings
+        )
+
+    @property
+    def decision_surface(self) -> int:
+        """Conditions plus rule terms — where partner-specific logic lives.
+
+        In the naive model this grows with every partner; in the advanced
+        model it is concentrated in external business rules.
+        """
+        return self.condition_terms + self.inline_rule_terms + self.business_rules
+
+    def as_dict(self) -> dict[str, int]:
+        """Numeric fields as a flat dict (benchmark table rows)."""
+        values = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "labels"
+        }
+        values["total_elements"] = self.total_elements
+        values["decision_surface"] = self.decision_surface
+        return values
+
+    def __add__(self, other: "ModelMetrics") -> "ModelMetrics":
+        combined = ModelMetrics()
+        for f in fields(ModelMetrics):
+            if f.name == "labels":
+                continue
+            setattr(combined, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return combined
+
+
+def comparison_terms(condition: str) -> int:
+    """Count comparison operations in a condition expression.
+
+    ``PO_amount >= 55000 and source == 'TP1' or PO_amount >= 40000 and
+    source == 'TP2'`` has 4 terms — one per (partner x threshold) pairing,
+    which is exactly how Figures 9/10 grow.
+    """
+    expression = Expression(condition)
+    count = 0
+    for node in ast.walk(expression._tree):  # noqa: SLF001 - metrics are a friend module
+        if isinstance(node, ast.Compare):
+            count += len(node.ops)
+    return count
+
+
+def measure_workflow_type(workflow_type: WorkflowType) -> ModelMetrics:
+    """Size one workflow type (the naive baselines are single types)."""
+    metrics = ModelMetrics(
+        workflow_types=1,
+        workflow_steps=workflow_type.step_count(),
+        transitions=workflow_type.transition_count(),
+        conditions=workflow_type.condition_count(),
+    )
+    for transition in workflow_type.transitions:
+        if transition.condition is not None:
+            metrics.condition_terms += comparison_terms(transition.condition)
+    metrics.inline_transform_steps = len(workflow_type.steps_tagged("transformation"))
+    for transition in workflow_type.transitions:
+        if transition.condition is not None and _mentions_partner(transition.condition):
+            metrics.inline_rule_terms += comparison_terms(transition.condition)
+    metrics.labels["name"] = workflow_type.name
+    return metrics
+
+
+def _mentions_partner(condition: str) -> bool:
+    """Heuristic: naive rule conditions compare against the partner variable."""
+    return "source" in Expression(condition).variables_used()
+
+
+def measure_model(model: IntegrationModel) -> ModelMetrics:
+    """Size an advanced integration model."""
+    metrics = ModelMetrics()
+    for workflow_type in model.private_processes.values():
+        metrics += measure_workflow_type(workflow_type)
+    metrics.public_processes = len(model.public_processes)
+    metrics.public_steps = sum(
+        definition.step_count() for definition in model.public_processes.values()
+    )
+    metrics.bindings = len(model.bindings)
+    metrics.binding_steps = sum(
+        binding.step_count() for binding in model.bindings.values()
+    )
+    metrics.business_rules = model.rules.rule_count()
+    metrics.mappings = len(model.transforms)
+    metrics.partners = len(model.partners.partners())
+    metrics.agreements = len(model.partners.agreements())
+    metrics.applications = len(model.applications)
+    metrics.labels["name"] = model.name
+    return metrics

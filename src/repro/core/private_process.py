@@ -1,0 +1,842 @@
+"""Private processes: domain logic as workflow types (Section 4.4).
+
+A private process is an ordinary workflow type executed by the
+enterprise's own WFMS.  It operates **exclusively on the normalized
+document format**, reaches trading partners only through *connection
+activities* that hand documents to bindings, and delegates every
+partner-specific decision to the external rule engine — which is why the
+builders here mention no partner, protocol, wire format, or threshold
+(compare Figure 13: "the workflow is trading partner independent").
+
+This module contributes two things:
+
+* the **connection/rule/application activities** private processes use
+  (registered into a WFMS via :func:`register_private_activities`);
+* builders for the paper's two running private processes — the **seller**
+  process of Figures 13-15 (check need for approval -> approve -> store to
+  back end -> extract POA -> return it) and the mirrored **buyer** process
+  of Figure 1's left half (extract PO -> approval -> send -> await POA ->
+  store it).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.documents.normalized import (
+    make_invoice,
+    make_po_ack,
+    make_quote,
+    make_rfq,
+    make_ship_notice,
+)
+from repro.errors import ActivityError
+from repro.workflow.activities import ActivityContext, ActivityRegistry, Waiting
+from repro.workflow.definitions import WorkflowBuilder, WorkflowType
+
+__all__ = [
+    "register_private_activities",
+    "seller_po_process",
+    "buyer_po_process",
+    "seller_fulfillment_process",
+    "buyer_goods_receipt_process",
+    "buyer_sourcing_process",
+    "seller_quotation_process",
+    "APPROVAL_FUNCTION",
+    "ROUTING_FUNCTION",
+    "INVOICE_MATCH_FUNCTION",
+    "PRICING_FUNCTION",
+    "QUOTE_SCORING_FUNCTION",
+]
+
+APPROVAL_FUNCTION = "check_need_for_approval"
+ROUTING_FUNCTION = "select_target_application"
+INVOICE_MATCH_FUNCTION = "check_invoice_match"
+PRICING_FUNCTION = "price_catalog"
+QUOTE_SCORING_FUNCTION = "score_quote"
+
+
+# ---------------------------------------------------------------------------
+# Activities
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_business_rule(context: ActivityContext) -> dict[str, Any]:
+    """Generic rule-invocation step of Figure 13.
+
+    Params: ``function`` — the rule set to call.
+    Inputs: ``source``, ``document``, optional ``target``.
+    Output: ``result``.
+    """
+    rules = context.service("rules")
+    function = context.params.get("function")
+    if not function:
+        raise ActivityError("evaluate_business_rule needs params['function']")
+    result = rules.evaluate(
+        function,
+        context.inputs.get("source", ""),
+        context.inputs.get("target", ""),
+        context.inputs["document"],
+    )
+    return {"result": result}
+
+
+def _request_approval(context: ActivityContext) -> dict[str, Any] | Waiting:
+    """Raise a work item; completes immediately under an auto policy.
+
+    Inputs: ``document`` (shown to the approver).
+    Output: ``approved`` (bool).
+    """
+    worklist = context.service("worklist")
+    document = context.inputs["document"]
+    item = worklist.add(
+        context.instance_id,
+        context.step_id,
+        subject=context.params.get("subject", "Approve PO"),
+        payload={
+            "po_number": document.get("header.po_number", default=""),
+            "amount": document.get("summary.total_amount", default=0.0),
+        },
+        role=context.params.get("role", "approver"),
+        now=context.now,
+    )
+    if item.status == "completed":
+        return {"approved": bool(item.decision.get("approved", False))}
+    return Waiting(wait_key=f"worklist:{item.item_id}")
+
+
+def _store_to_application(context: ActivityContext) -> dict[str, Any]:
+    """Store a normalized document into a back-end application through its
+    application binding (Figure 14's right-hand flow).
+
+    Inputs: ``document`` (normalized), ``application`` (name).
+    Output: ``po_number``.
+    """
+    backends = context.service("backends")
+    bindings = context.service("app_bindings")
+    transforms = context.service("transforms")
+    application = context.inputs["application"]
+    document = context.inputs["document"]
+    try:
+        backend = backends[application]
+        binding = bindings[application]
+    except KeyError:
+        raise ActivityError(f"no back-end application {application!r} is wired") from None
+    native = binding.apply_outbound(document, transforms, {"now": context.now})
+    if native is None:
+        raise ActivityError(
+            f"application binding {binding.name!r} consumed the document"
+        )
+    backend.store_document(native)
+    return {"po_number": document.get("header.po_number")}
+
+
+def _extract_from_application(context: ActivityContext) -> dict[str, Any] | Waiting:
+    """Extract a document from a back end and normalize it inbound.
+
+    Inputs: ``application``, ``po_number``; params: ``doc_type``
+    (default ``po_ack``).  Output: ``document`` (normalized).  Parks on
+    ``erp:<application>:<po_number>:<doc_type>`` when nothing is queued yet
+    (asynchronous ERP processing).
+    """
+    backends = context.service("backends")
+    bindings = context.service("app_bindings")
+    transforms = context.service("transforms")
+    application = context.inputs["application"]
+    po_number = context.inputs["po_number"]
+    doc_type = context.params.get("doc_type", "po_ack")
+    try:
+        backend = backends[application]
+        binding = bindings[application]
+    except KeyError:
+        raise ActivityError(f"no back-end application {application!r} is wired") from None
+    native = backend.extract_document_for(po_number, doc_type)
+    if native is None:
+        return Waiting(wait_key=f"erp:{application}:{po_number}:{doc_type}")
+    normalized = binding.apply_inbound(native, transforms, {"now": context.now})
+    if normalized is None:
+        raise ActivityError(
+            f"application binding {binding.name!r} consumed the extraction"
+        )
+    return {"document": normalized}
+
+
+def _send_to_binding(context: ActivityContext) -> dict[str, Any]:
+    """Connection exit step: hand a normalized document to the binding of
+    an existing conversation (the private -> public direction).
+
+    Inputs: ``document``, ``conversation_id``.
+    """
+    b2b = context.service("b2b")
+    b2b.dispatch_outbound(context.inputs["conversation_id"], context.inputs["document"])
+    return {}
+
+
+def _start_conversation(context: ActivityContext) -> dict[str, Any]:
+    """Open a new conversation with a partner (connection exit of the
+    initiating side).
+
+    Inputs: ``document`` (normalized first message), ``partner_id``;
+    params: ``role`` — the agreement role we play (default ``buyer``;
+    fulfillment dispatches initiate as ``seller``) and optional
+    ``protocol`` to disambiguate between agreements.
+    Output: ``conversation_id``.
+    """
+    b2b = context.service("b2b")
+    conversation_id = b2b.start_conversation(
+        context.inputs["partner_id"],
+        context.inputs["document"],
+        our_role=context.params.get("role", "buyer"),
+        protocol=context.inputs.get("protocol") or context.params.get("protocol"),
+    )
+    return {"conversation_id": conversation_id}
+
+
+def _await_reply(context: ActivityContext) -> Waiting:
+    """Connection entry step: park until the binding delivers the reply.
+
+    Inputs: ``conversation_id``.  Completed by the B2B engine with
+    ``{"document": <normalized reply>}``.
+    """
+    conversation_id = context.inputs["conversation_id"]
+    return Waiting(wait_key=f"conv:{conversation_id}:reply")
+
+
+def _build_ship_notice(context: ActivityContext) -> dict[str, Any]:
+    """Build a normalized advance ship notice for a booked order.
+
+    The order's PO lives in the back end in its *native* format; the
+    application binding normalizes it (the Figure 14 extraction path) and
+    the ship notice is derived from the normalized PO.
+
+    Inputs: ``application``, ``po_number``.  Output: ``document``.
+    """
+    backend = context.service("backends")[context.inputs["application"]]
+    binding = context.service("app_bindings")[context.inputs["application"]]
+    transforms = context.service("transforms")
+    record = backend.order(context.inputs["po_number"])
+    normalized_po = binding.apply_inbound(record.document, transforms,
+                                          {"now": context.now})
+    if normalized_po is None:
+        raise ActivityError("application binding consumed the order document")
+    asn = make_ship_notice(
+        normalized_po,
+        shipment_id=f"SHIP-{record.po_number}",
+        carrier=context.params.get("carrier", "SIMFREIGHT"),
+        issued_at=context.now,
+    )
+    return {"document": asn}
+
+
+def _build_invoice(context: ActivityContext) -> dict[str, Any]:
+    """Build a normalized invoice for a booked order (see
+    :func:`_build_ship_notice` for the extraction path).
+
+    Inputs: ``application``, ``po_number``; params: ``tax_rate``.
+    Output: ``document``.
+    """
+    backend = context.service("backends")[context.inputs["application"]]
+    binding = context.service("app_bindings")[context.inputs["application"]]
+    transforms = context.service("transforms")
+    record = backend.order(context.inputs["po_number"])
+    normalized_po = binding.apply_inbound(record.document, transforms,
+                                          {"now": context.now})
+    if normalized_po is None:
+        raise ActivityError("application binding consumed the order document")
+    invoice = make_invoice(
+        normalized_po,
+        invoice_number=f"INV-{record.po_number}",
+        issued_at=context.now,
+        tax_rate=context.params.get("tax_rate", 0.0),
+    )
+    return {"document": invoice}
+
+
+def _archive_document(context: ActivityContext) -> dict[str, Any]:
+    """File a normalized document in the enterprise document archive.
+
+    Inputs: ``document``.  Output: ``reference`` (the archive key).
+    """
+    archive = context.service("archive")
+    reference = archive.store(context.inputs["document"])
+    return {"reference": reference}
+
+
+def _build_rfq(context: ActivityContext) -> dict[str, Any]:
+    """Build a normalized RFQ (the broadcast re-addresses it per seller).
+
+    Inputs: ``rfq_number``, ``buyer_id``, ``lines``; optional
+    ``respond_by``.  Output: ``document``.
+    """
+    return {
+        "document": make_rfq(
+            context.inputs["rfq_number"],
+            context.inputs["buyer_id"],
+            seller_id="",
+            lines=context.inputs["lines"],
+            respond_by=float(context.inputs.get("respond_by") or 0.0),
+            issued_at=context.now,
+        )
+    }
+
+
+def _broadcast_document(context: ActivityContext) -> dict[str, Any]:
+    """Fan a document out to several partners (Section 1's broadcast).
+
+    Inputs: ``document``, ``partners`` (list of ids), optional
+    ``deadline`` (relative).  Params: ``role``.  Output: ``batch_id``.
+    """
+    b2b = context.service("b2b")
+    deadline = context.inputs.get("deadline")
+    batch_id = b2b.broadcast(
+        list(context.inputs["partners"]),
+        context.inputs["document"],
+        our_role=context.params.get("role", "buyer"),
+        deadline=float(deadline) if deadline else None,
+    )
+    return {"batch_id": batch_id}
+
+
+def _await_broadcast(context: ActivityContext) -> Waiting:
+    """Park until the broadcast batch collects every reply (or closes at
+    its deadline).  Inputs: ``batch_id``.  Completed with
+    ``{"documents": [{"partner_id", "document"}, ...]}``.
+    """
+    return Waiting(wait_key=f"broadcast:{context.inputs['batch_id']}")
+
+
+def _select_best_quote(context: ActivityContext) -> dict[str, Any]:
+    """Pick the winning quote by the *external* scoring rule.
+
+    This is the Section 2.3 punchline: the selection logic that
+    distributed inter-organizational workflow would have exposed to every
+    bidder lives in a private rule set no partner can see.
+
+    Inputs: ``quotes`` (broadcast collection).  Params: ``function``.
+    Outputs: ``partner_id``, ``document``, ``score``.
+    """
+    rules = context.service("rules")
+    function = context.params.get("function", QUOTE_SCORING_FUNCTION)
+    quotes = context.inputs["quotes"]
+    if not quotes:
+        raise ActivityError("no quotes received before the deadline")
+    best: dict[str, Any] | None = None
+    for entry in quotes:
+        score = float(
+            rules.evaluate(function, entry["partner_id"], "", entry["document"])
+        )
+        candidate = {
+            "partner_id": entry["partner_id"],
+            "document": entry["document"],
+            "score": score,
+            # deterministic tie-breakers: cheaper, then lexicographic
+            "_tie": (
+                -float(entry["document"].get("summary.total_amount")),
+                entry["partner_id"],
+            ),
+        }
+        if best is None or (score, candidate["_tie"]) > (best["score"], best["_tie"]):
+            best = candidate
+    assert best is not None
+    best.pop("_tie")
+    return best
+
+
+def _build_quote(context: ActivityContext) -> dict[str, Any]:
+    """Price an RFQ through the external pricing rule and build the quote.
+
+    Inputs: ``document`` (the RFQ), ``source`` (the requesting buyer).
+    Params: ``function`` (pricing rule set).  Output: ``document``.
+    """
+    rules = context.service("rules")
+    function = context.params.get("function", PRICING_FUNCTION)
+    rfq = context.inputs["document"]
+    prices = rules.evaluate(function, context.inputs.get("source", ""), "", rfq)
+    quote = make_quote(
+        rfq,
+        unit_prices=prices,
+        quote_number=f"Q-{rfq.get('header.rfq_number')}",
+        valid_until=context.now + 100.0,
+        issued_at=context.now,
+    )
+    return {"document": quote}
+
+
+def _build_rejection_ack(context: ActivityContext) -> dict[str, Any]:
+    """Build a 'rejected' acknowledgment for an unapproved purchase order
+    without involving any back end.
+
+    Inputs: ``document`` (the normalized PO).  Output: ``document``.
+    """
+    po = context.inputs["document"]
+    return {"document": make_po_ack(po, status="rejected", issued_at=context.now)}
+
+
+def register_private_activities(registry: ActivityRegistry) -> ActivityRegistry:
+    """Register every private-process activity into ``registry``."""
+    registry.register_many(
+        {
+            "evaluate_business_rule": _evaluate_business_rule,
+            "request_approval": _request_approval,
+            "store_to_application": _store_to_application,
+            "extract_from_application": _extract_from_application,
+            "send_to_binding": _send_to_binding,
+            "start_conversation": _start_conversation,
+            "await_reply": _await_reply,
+            "build_rejection_ack": _build_rejection_ack,
+            "build_ship_notice": _build_ship_notice,
+            "build_invoice": _build_invoice,
+            "archive_document": _archive_document,
+            "build_rfq": _build_rfq,
+            "broadcast_document": _broadcast_document,
+            "await_broadcast": _await_broadcast,
+            "select_best_quote": _select_best_quote,
+            "build_quote": _build_quote,
+        }
+    )
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# The paper's private processes
+# ---------------------------------------------------------------------------
+
+
+def seller_po_process(
+    name: str = "private-po-seller",
+    owner: str = "",
+    approval_function: str = APPROVAL_FUNCTION,
+    routing_function: str = ROUTING_FUNCTION,
+) -> WorkflowType:
+    """The seller private process of Figures 13-15.
+
+    Instance variables supplied by the B2B engine at creation:
+    ``document`` (normalized PO), ``source`` (trading partner id),
+    ``conversation_id``.
+
+    Note what is *absent*: no partner names, no protocols, no formats, no
+    amounts — routing and approval both go through external rule functions,
+    and all formats were normalized by the binding before this process saw
+    the document.
+    """
+    builder = WorkflowBuilder(name, owner=owner)
+    builder.variable("document").variable("source", "")
+    builder.variable("conversation_id", "")
+    builder.variable("target", "").variable("approval_required", False)
+    builder.variable("approved", False).variable("ack")
+
+    builder.activity(
+        "select_target",
+        "evaluate_business_rule",
+        params={"function": routing_function},
+        inputs={"source": "source", "document": "document"},
+        outputs={"target": "result"},
+        tags=("business-rule",),
+        label="Select target application",
+    )
+    builder.activity(
+        "check_need_for_approval",
+        "evaluate_business_rule",
+        params={"function": approval_function},
+        inputs={"source": "source", "target": "target", "document": "document"},
+        outputs={"approval_required": "result"},
+        tags=("business-rule",),
+        label="Check need for approval",
+        after="select_target",
+    )
+    builder.activity(
+        "approve_po",
+        "request_approval",
+        inputs={"document": "document"},
+        params={"subject": "Approve inbound PO"},
+        outputs={"approved": "approved"},
+        tags=("approval",),
+        label="Approve PO",
+    )
+    builder.activity(
+        "store_po",
+        "store_to_application",
+        inputs={"document": "document", "application": "target"},
+        outputs={"po_number": "po_number"},
+        join="XOR",
+        tags=("application",),
+        label="Store PO",
+    )
+    builder.activity(
+        "extract_poa",
+        "extract_from_application",
+        inputs={"application": "target", "po_number": "po_number"},
+        params={"doc_type": "po_ack"},
+        outputs={"ack": "document"},
+        tags=("application",),
+        label="Extract POA",
+        after="store_po",
+    )
+    builder.activity(
+        "return_poa",
+        "send_to_binding",
+        inputs={"document": "ack", "conversation_id": "conversation_id"},
+        tags=("connection",),
+        label="Return POA to binding",
+        after="extract_poa",
+    )
+    builder.activity(
+        "build_rejection",
+        "build_rejection_ack",
+        inputs={"document": "document"},
+        outputs={"ack": "document"},
+        label="Build rejection POA",
+    )
+    builder.activity(
+        "return_rejection",
+        "send_to_binding",
+        inputs={"document": "ack", "conversation_id": "conversation_id"},
+        tags=("connection",),
+        label="Return rejection to binding",
+        after="build_rejection",
+    )
+
+    # Approval routing: skip approval when not required; reject path when
+    # the approver declines.
+    builder.link("check_need_for_approval", "approve_po", condition="approval_required == True")
+    builder.link("check_need_for_approval", "store_po", otherwise=True)
+    builder.link("approve_po", "store_po", condition="approved == True")
+    builder.link("approve_po", "build_rejection", otherwise=True)
+    builder.meta(private=True, doc_types=["purchase_order", "po_ack"])
+    return builder.build()
+
+
+def buyer_po_process(
+    name: str = "private-po-buyer",
+    owner: str = "",
+    approval_function: str = APPROVAL_FUNCTION,
+) -> WorkflowType:
+    """The buyer private process (Figure 1, left enterprise).
+
+    Instance variables supplied at creation: ``application`` (the back end
+    holding the order), ``po_number``, ``partner_id`` (the seller).
+    """
+    builder = WorkflowBuilder(name, owner=owner)
+    builder.variable("application", "").variable("po_number", "")
+    builder.variable("partner_id", "")
+    builder.variable("po_protocol", None)  # optional agreement disambiguator
+    builder.variable("document").variable("approval_required", False)
+    builder.variable("approved", False)
+    builder.variable("conversation_id", "").variable("ack")
+
+    builder.activity(
+        "extract_po",
+        "extract_from_application",
+        inputs={"application": "application", "po_number": "po_number"},
+        params={"doc_type": "purchase_order"},
+        outputs={"document": "document"},
+        tags=("application",),
+        label="Extract PO",
+    )
+    builder.activity(
+        "check_need_for_approval",
+        "evaluate_business_rule",
+        params={"function": approval_function},
+        inputs={"source": "application", "target": "partner_id", "document": "document"},
+        outputs={"approval_required": "result"},
+        tags=("business-rule",),
+        label="Check need for approval",
+        after="extract_po",
+    )
+    builder.activity(
+        "approve_po",
+        "request_approval",
+        inputs={"document": "document"},
+        params={"subject": "Approve outbound PO"},
+        outputs={"approved": "approved"},
+        tags=("approval",),
+        label="Approve PO",
+    )
+    builder.activity(
+        "send_po",
+        "start_conversation",
+        inputs={
+            "document": "document",
+            "partner_id": "partner_id",
+            "protocol": "po_protocol",
+        },
+        outputs={"conversation_id": "conversation_id"},
+        join="XOR",
+        tags=("connection",),
+        label="Send PO via binding",
+    )
+    builder.activity(
+        "await_poa",
+        "await_reply",
+        inputs={"conversation_id": "conversation_id"},
+        outputs={"ack": "document"},
+        tags=("connection",),
+        label="Await POA",
+        after="send_po",
+    )
+    builder.activity(
+        "store_poa",
+        "store_to_application",
+        inputs={"document": "ack", "application": "application"},
+        outputs={"stored_po_number": "po_number"},
+        tags=("application",),
+        label="Store POA",
+        after="await_poa",
+    )
+    builder.activity(
+        "cancel_order",
+        "noop",
+        label="Cancel unapproved order",
+        tags=("application",),
+    )
+
+    builder.link("check_need_for_approval", "approve_po", condition="approval_required == True")
+    builder.link("check_need_for_approval", "send_po", otherwise=True)
+    builder.link("approve_po", "send_po", condition="approved == True")
+    builder.link("approve_po", "cancel_order", otherwise=True)
+    builder.meta(private=True, doc_types=["purchase_order", "po_ack"])
+    return builder.build()
+
+
+def seller_fulfillment_process(
+    name: str = "private-fulfillment-seller",
+    owner: str = "",
+    tax_rate: float = 0.0,
+) -> WorkflowType:
+    """The seller's order-to-cash dispatch: ship notice, then invoice.
+
+    A *multi-step, one-way* exchange — the paper's Section 1 insists the
+    concepts are "by no means restricted to request/reply patterns"; this
+    process proves it on the same public/binding/rule machinery.  Instance
+    variables supplied at creation: ``application``, ``po_number``,
+    ``partner_id``.
+    """
+    builder = WorkflowBuilder(name, owner=owner)
+    builder.variable("application", "").variable("po_number", "")
+    builder.variable("partner_id", "")
+    builder.variable("asn").variable("invoice").variable("conversation_id", "")
+
+    builder.activity(
+        "build_asn",
+        "build_ship_notice",
+        inputs={"application": "application", "po_number": "po_number"},
+        outputs={"asn": "document"},
+        tags=("application",),
+        label="Build ship notice",
+    )
+    builder.activity(
+        "dispatch_asn",
+        "start_conversation",
+        params={"role": "seller"},
+        inputs={"document": "asn", "partner_id": "partner_id"},
+        outputs={"conversation_id": "conversation_id"},
+        tags=("connection",),
+        label="Dispatch ship notice",
+        after="build_asn",
+    )
+    builder.activity(
+        "build_invoice",
+        "build_invoice",
+        params={"tax_rate": tax_rate},
+        inputs={"application": "application", "po_number": "po_number"},
+        outputs={"invoice": "document"},
+        tags=("application",),
+        label="Build invoice",
+        after="dispatch_asn",
+    )
+    builder.activity(
+        "dispatch_invoice",
+        "send_to_binding",
+        inputs={"document": "invoice", "conversation_id": "conversation_id"},
+        tags=("connection",),
+        label="Dispatch invoice",
+        after="build_invoice",
+    )
+    builder.meta(private=True, doc_types=["ship_notice", "invoice"])
+    return builder.build()
+
+
+def buyer_goods_receipt_process(
+    name: str = "private-goods-receipt",
+    owner: str = "",
+    match_function: str = INVOICE_MATCH_FUNCTION,
+) -> WorkflowType:
+    """The buyer's receiving side of order-to-cash.
+
+    The arriving ship notice starts the instance; the invoice resumes it;
+    the (external) invoice-match rule decides whether accounts-payable can
+    post it straight through or a human must resolve a dispute.  Instance
+    variables supplied at creation: ``document`` (the normalized ship
+    notice), ``source``, ``conversation_id``.
+    """
+    builder = WorkflowBuilder(name, owner=owner)
+    builder.variable("document").variable("source", "")
+    builder.variable("conversation_id", "")
+    builder.variable("invoice").variable("matched", False)
+    builder.variable("resolved", False)
+
+    builder.activity(
+        "post_goods_receipt",
+        "archive_document",
+        inputs={"document": "document"},
+        tags=("application",),
+        label="Post goods receipt",
+    )
+    builder.activity(
+        "await_invoice",
+        "await_reply",
+        inputs={"conversation_id": "conversation_id"},
+        outputs={"invoice": "document"},
+        tags=("connection",),
+        label="Await invoice",
+        after="post_goods_receipt",
+    )
+    builder.activity(
+        "check_invoice_match",
+        "evaluate_business_rule",
+        params={"function": match_function},
+        inputs={"source": "source", "document": "invoice"},
+        outputs={"matched": "result"},
+        tags=("business-rule",),
+        label="Check invoice match",
+        after="await_invoice",
+    )
+    builder.activity(
+        "resolve_dispute",
+        "request_approval",
+        inputs={"document": "invoice"},
+        params={"subject": "Invoice dispute", "role": "accounts-payable"},
+        outputs={"resolved": "approved"},
+        tags=("approval",),
+        label="Resolve invoice dispute",
+    )
+    builder.activity(
+        "post_invoice",
+        "archive_document",
+        inputs={"document": "invoice"},
+        join="XOR",
+        tags=("application",),
+        label="Post invoice",
+    )
+    builder.link("check_invoice_match", "post_invoice", condition="matched == True")
+    builder.link("check_invoice_match", "resolve_dispute", otherwise=True)
+    builder.link("resolve_dispute", "post_invoice")
+    builder.meta(private=True, doc_types=["ship_notice", "invoice"])
+    return builder.build()
+
+
+def buyer_sourcing_process(
+    name: str = "private-sourcing",
+    owner: str = "",
+    scoring_function: str = QUOTE_SCORING_FUNCTION,
+) -> WorkflowType:
+    """The buyer's sourcing process: broadcast an RFQ, await quotes, pick.
+
+    The Section 2.3 scenario made executable under the advanced
+    architecture: the quote-selection rule is evaluated privately — no
+    bidder can "structure future quotes in such a way that the sender's
+    selection will select his quote", because the scoring logic never
+    leaves the enterprise.  Instance variables supplied at creation:
+    ``rfq_number``, ``buyer_id``, ``lines``, ``partners``, optional
+    ``respond_by_delay``.
+    """
+    builder = WorkflowBuilder(name, owner=owner)
+    builder.variable("rfq_number", "").variable("buyer_id", "")
+    builder.variable("lines", []).variable("partners", [])
+    builder.variable("respond_by_delay", None)
+    builder.variable("rfq").variable("batch_id", "")
+    builder.variable("quotes", []).variable("chosen_partner", "")
+    builder.variable("chosen_quote")
+
+    builder.activity(
+        "build_rfq",
+        "build_rfq",
+        inputs={
+            "rfq_number": "rfq_number",
+            "buyer_id": "buyer_id",
+            "lines": "lines",
+            "respond_by": "respond_by_delay",
+        },
+        outputs={"rfq": "document"},
+        label="Build RFQ",
+    )
+    builder.activity(
+        "broadcast_rfq",
+        "broadcast_document",
+        inputs={
+            "document": "rfq",
+            "partners": "partners",
+            "deadline": "respond_by_delay",
+        },
+        outputs={"batch_id": "batch_id"},
+        tags=("connection",),
+        label="Broadcast RFQ",
+        after="build_rfq",
+    )
+    builder.activity(
+        "await_quotes",
+        "await_broadcast",
+        inputs={"batch_id": "batch_id"},
+        outputs={"quotes": "documents"},
+        tags=("connection",),
+        label="Await quotes",
+        after="broadcast_rfq",
+    )
+    builder.activity(
+        "select_quote",
+        "select_best_quote",
+        params={"function": scoring_function},
+        inputs={"quotes": "quotes"},
+        outputs={"chosen_partner": "partner_id", "chosen_quote": "document"},
+        tags=("business-rule",),
+        label="Select winning quote",
+        after="await_quotes",
+    )
+    builder.activity(
+        "file_quote",
+        "archive_document",
+        inputs={"document": "chosen_quote"},
+        tags=("application",),
+        label="File winning quote",
+        after="select_quote",
+    )
+    builder.meta(private=True, doc_types=["request_for_quote", "quote"])
+    return builder.build()
+
+
+def seller_quotation_process(
+    name: str = "private-quotation-seller",
+    owner: str = "",
+    pricing_function: str = PRICING_FUNCTION,
+) -> WorkflowType:
+    """The seller's side of the RFQ exchange: price it, quote it.
+
+    Pricing is an external rule (a *body* rule over the seller's price
+    catalog), so — mirroring the buyer's confidentiality — "the requester
+    would see how receivers respond to quotes" is equally impossible.
+    Instance variables supplied at creation: ``document`` (the RFQ),
+    ``source``, ``conversation_id``.
+    """
+    builder = WorkflowBuilder(name, owner=owner)
+    builder.variable("document").variable("source", "")
+    builder.variable("conversation_id", "").variable("quote")
+
+    builder.activity(
+        "price_rfq",
+        "build_quote",
+        params={"function": pricing_function},
+        inputs={"document": "document", "source": "source"},
+        outputs={"quote": "document"},
+        tags=("business-rule",),
+        label="Price RFQ from the catalog",
+    )
+    builder.activity(
+        "return_quote",
+        "send_to_binding",
+        inputs={"document": "quote", "conversation_id": "conversation_id"},
+        tags=("connection",),
+        label="Return quote to binding",
+        after="price_rfq",
+    )
+    builder.meta(private=True, doc_types=["request_for_quote", "quote"])
+    return builder.build()

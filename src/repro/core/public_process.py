@@ -1,0 +1,313 @@
+"""Public processes: organization-external message exchange (Section 4.1).
+
+A :class:`PublicProcessDefinition` models one role's side of a B2B
+protocol exchange — e.g. the *seller* side of a PIP-3A4-like PO round trip
+is ``receive PO -> to binding -> from binding -> send POA`` (Figure 11).
+Step kinds:
+
+* ``receive`` — consume a wire message from the trading partner;
+* ``send`` — emit a wire message to the trading partner;
+* ``to_binding`` — pass the current message *and control* to the binding
+  (the connection step that forks control, Section 4.1.1);
+* ``from_binding`` — wait for a message/control back from the binding
+  (the connection step that joins control);
+* ``produce`` — synthesize a protocol-level document the private side does
+  not supply (e.g. an explicit receipt acknowledgment a standard demands).
+
+Definitions are strictly sequential — every exchange in the paper's
+figures is — and the instance enforces the message sequencing contract of
+Section 3: feeding a step out of order raises
+:class:`~repro.errors.ProtocolError` instead of silently desynchronizing
+the collaboration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "PublicStep",
+    "PublicProcessDefinition",
+    "PublicProcessInstance",
+    "buyer_request_reply",
+    "seller_request_reply",
+    "check_complementary",
+]
+
+KIND_RECEIVE = "receive"
+KIND_SEND = "send"
+KIND_TO_BINDING = "to_binding"
+KIND_FROM_BINDING = "from_binding"
+KIND_PRODUCE = "produce"
+
+_KINDS = (KIND_RECEIVE, KIND_SEND, KIND_TO_BINDING, KIND_FROM_BINDING, KIND_PRODUCE)
+
+
+@dataclass(frozen=True)
+class PublicStep:
+    """One step of a public process.
+
+    :param doc_type: the business document kind the step carries (empty for
+        pure control steps).
+    :param params: protocol extras, e.g. ``{"timeout": 30.0}`` on a receive
+        step or a producer name on a produce step.
+    """
+
+    step_id: str
+    kind: str
+    doc_type: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.step_id:
+            raise ProtocolError("public step needs a step_id")
+        if self.kind not in _KINDS:
+            raise ProtocolError(f"unknown public step kind {self.kind!r}")
+        if self.kind in (KIND_RECEIVE, KIND_SEND) and not self.doc_type:
+            raise ProtocolError(
+                f"public step {self.step_id!r} ({self.kind}) needs a doc_type"
+            )
+
+
+class PublicProcessDefinition:
+    """One role's external behaviour under one B2B protocol.
+
+    :param name: unique definition name (e.g. ``"rosettanet/3a4/seller"``).
+    :param protocol: the governing protocol name.
+    :param role: ``buyer`` or ``seller``.
+    :param wire_format: the document layout this process exchanges.
+    :param steps: the sequential step list.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        protocol: str,
+        role: str,
+        wire_format: str,
+        steps: list[PublicStep],
+    ):
+        if not steps:
+            raise ProtocolError(f"public process {name!r} has no steps")
+        if role not in ("buyer", "seller"):
+            raise ProtocolError(f"public process {name!r}: bad role {role!r}")
+        duplicate_ids = {step.step_id for step in steps}
+        if len(duplicate_ids) != len(steps):
+            raise ProtocolError(f"public process {name!r} has duplicate step ids")
+        self.name = name
+        self.protocol = protocol
+        self.role = role
+        self.wire_format = wire_format
+        self.steps = list(steps)
+
+    def step_count(self) -> int:
+        """Number of steps (complexity metric)."""
+        return len(self.steps)
+
+    def connection_step_count(self) -> int:
+        """Number of binding connection steps."""
+        return sum(
+            1 for step in self.steps if step.kind in (KIND_TO_BINDING, KIND_FROM_BINDING)
+        )
+
+    def initiating(self) -> bool:
+        """True when this side opens the conversation (first step isn't a
+        partner receive)."""
+        return self.steps[0].kind != KIND_RECEIVE
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable description (change detection / persistence)."""
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "role": self.role,
+            "wire_format": self.wire_format,
+            "steps": [
+                {
+                    "step_id": step.step_id,
+                    "kind": step.kind,
+                    "doc_type": step.doc_type,
+                    "params": dict(step.params),
+                }
+                for step in self.steps
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"PublicProcessDefinition({self.name!r}, {len(self.steps)} steps)"
+
+
+class PublicProcessInstance:
+    """Runtime state of one public process within one conversation.
+
+    The B2B engine drives it strictly in step order; :meth:`expect` is the
+    sequencing guard, :meth:`complete_current` the only state advance.
+    """
+
+    def __init__(self, definition: PublicProcessDefinition, conversation_id: str, partner_id: str):
+        self.definition = definition
+        self.conversation_id = conversation_id
+        self.partner_id = partner_id
+        self.position = 0
+        self.trace: list[str] = []
+
+    @property
+    def completed(self) -> bool:
+        """True when every step has executed."""
+        return self.position >= len(self.definition.steps)
+
+    def current_step(self) -> PublicStep:
+        """The step the process is waiting to execute."""
+        if self.completed:
+            raise ProtocolError(
+                f"public process {self.definition.name!r} in conversation "
+                f"{self.conversation_id} is already complete"
+            )
+        return self.definition.steps[self.position]
+
+    def expect(self, kind: str, doc_type: str = "") -> PublicStep:
+        """Assert the current step matches; the sequencing contract.
+
+        This is where the paper's "message is sent but there is no
+        corresponding receiving step" failure becomes a loud error.
+        """
+        step = self.current_step()
+        if step.kind != kind or (doc_type and step.doc_type and step.doc_type != doc_type):
+            raise ProtocolError(
+                f"conversation {self.conversation_id}: public process "
+                f"{self.definition.name!r} expected {step.kind}"
+                f"{f'[{step.doc_type}]' if step.doc_type else ''} at position "
+                f"{self.position}, got {kind}{f'[{doc_type}]' if doc_type else ''}"
+            )
+        return step
+
+    def complete_current(self, note: str = "") -> PublicStep:
+        """Mark the current step executed and advance."""
+        step = self.current_step()
+        self.trace.append(f"{step.step_id}:{step.kind}{f' {note}' if note else ''}")
+        self.position += 1
+        return step
+
+    def __repr__(self) -> str:
+        return (
+            f"PublicProcessInstance({self.definition.name!r}, "
+            f"conversation={self.conversation_id}, position={self.position})"
+        )
+
+
+def check_complementary(
+    first: PublicProcessDefinition, second: PublicProcessDefinition
+) -> list[str]:
+    """Statically verify that two public processes can collaborate.
+
+    Section 3: "the local workflows have to make sure that they implement
+    the same message sequences so that the collaborative workflows never
+    get into a situation where a message is sent but there is no
+    corresponding receiving step or if a receiving step waits but there is
+    no corresponding sending step."  With public processes this becomes a
+    *deployable static check*: project each definition onto its wire
+    behaviour (the sequence of sends and receives, ignoring connection
+    steps) and require them to be mirror images.
+
+    Returns the list of mismatches (empty = complementary).  ebXML-style
+    negotiated collaborations run this check before a CPA is activated.
+    """
+    problems: list[str] = []
+    if first.protocol != second.protocol:
+        problems.append(
+            f"protocol mismatch: {first.protocol!r} vs {second.protocol!r}"
+        )
+    if first.wire_format != second.wire_format:
+        problems.append(
+            f"wire format mismatch: {first.wire_format!r} vs {second.wire_format!r}"
+        )
+    if first.role == second.role:
+        problems.append(f"both sides play the {first.role!r} role")
+
+    first_wire = [
+        (step.kind, step.doc_type)
+        for step in first.steps
+        if step.kind in (KIND_SEND, KIND_RECEIVE)
+    ]
+    second_wire = [
+        (step.kind, step.doc_type)
+        for step in second.steps
+        if step.kind in (KIND_SEND, KIND_RECEIVE)
+    ]
+    if len(first_wire) != len(second_wire):
+        problems.append(
+            f"wire step counts differ: {first.name!r} has {len(first_wire)}, "
+            f"{second.name!r} has {len(second_wire)}"
+        )
+        return problems
+    mirror = {KIND_SEND: KIND_RECEIVE, KIND_RECEIVE: KIND_SEND}
+    for position, ((kind_a, doc_a), (kind_b, doc_b)) in enumerate(
+        zip(first_wire, second_wire)
+    ):
+        if kind_b != mirror[kind_a]:
+            problems.append(
+                f"position {position}: {first.name!r} {kind_a}s but "
+                f"{second.name!r} does not {mirror[kind_a]}"
+            )
+        if doc_a != doc_b:
+            problems.append(
+                f"position {position}: document kinds differ "
+                f"({doc_a!r} vs {doc_b!r})"
+            )
+    if first_wire and first_wire[0][0] == KIND_RECEIVE and second_wire[0][0] == KIND_RECEIVE:
+        problems.append("deadlock: both sides start by receiving")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Template factories for request/reply exchanges (the paper's running example)
+# ---------------------------------------------------------------------------
+
+
+def buyer_request_reply(
+    name: str,
+    protocol: str,
+    wire_format: str,
+    request_doc: str = "purchase_order",
+    reply_doc: str = "po_ack",
+) -> PublicProcessDefinition:
+    """The buyer side of a request/reply exchange (Figure 11, mirrored):
+    from binding -> send request -> receive reply -> to binding."""
+    return PublicProcessDefinition(
+        name,
+        protocol,
+        "buyer",
+        wire_format,
+        [
+            PublicStep("from_binding_request", KIND_FROM_BINDING, request_doc),
+            PublicStep("send_request", KIND_SEND, request_doc),
+            PublicStep("receive_reply", KIND_RECEIVE, reply_doc),
+            PublicStep("to_binding_reply", KIND_TO_BINDING, reply_doc),
+        ],
+    )
+
+
+def seller_request_reply(
+    name: str,
+    protocol: str,
+    wire_format: str,
+    request_doc: str = "purchase_order",
+    reply_doc: str = "po_ack",
+) -> PublicProcessDefinition:
+    """The seller side of a request/reply exchange (Figure 11):
+    receive request -> to binding -> from binding -> send reply."""
+    return PublicProcessDefinition(
+        name,
+        protocol,
+        "seller",
+        wire_format,
+        [
+            PublicStep("receive_request", KIND_RECEIVE, request_doc),
+            PublicStep("to_binding_request", KIND_TO_BINDING, request_doc),
+            PublicStep("from_binding_reply", KIND_FROM_BINDING, reply_doc),
+            PublicStep("send_reply", KIND_SEND, reply_doc),
+        ],
+    )

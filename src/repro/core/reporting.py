@@ -1,0 +1,164 @@
+"""Operational reporting: model inventory and runtime statistics.
+
+The administration view a deployment team would actually look at: what is
+deployed (the integration model, element by element) and what the runtime
+has done (conversations, messages, rules fired, ERP traffic).  Everything
+is returned both as structured rows and as rendered text, so examples and
+operators share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.enterprise import Enterprise
+from repro.core.integration import IntegrationModel
+from repro.core.metrics import measure_model
+
+__all__ = ["model_inventory", "runtime_statistics", "render_report"]
+
+
+def model_inventory(model: IntegrationModel) -> dict[str, Any]:
+    """Summarize the deployed integration model.
+
+    Returns a dict with the headline metrics plus per-kind listings —
+    the human-readable face of :meth:`IntegrationModel.element_index`.
+    """
+    metrics = measure_model(model)
+    return {
+        "enterprise": model.name,
+        "metrics": metrics.as_dict(),
+        "protocols": sorted(model.protocols),
+        "public_processes": [
+            {
+                "name": definition.name,
+                "role": definition.role,
+                "steps": definition.step_count(),
+                "initiating": definition.initiating(),
+            }
+            for definition in sorted(
+                model.public_processes.values(), key=lambda d: d.name
+            )
+        ],
+        "bindings": [
+            {
+                "name": binding.name,
+                "counterpart": binding.public_process or binding.application,
+                "transform_steps": binding.transformation_step_count(),
+            }
+            for binding in sorted(model.bindings.values(), key=lambda b: b.name)
+        ],
+        "private_processes": [
+            {
+                "name": workflow.name,
+                "version": workflow.version,
+                "steps": workflow.step_count(),
+                "rule_steps": len(workflow.steps_tagged("business-rule")),
+            }
+            for workflow in sorted(
+                model.private_processes.values(), key=lambda w: w.name
+            )
+        ],
+        "rule_sets": [
+            {"function": rule_set.function, "rules": len(rule_set.rules)}
+            for rule_set in model.rules.sets()
+        ],
+        "partners": [
+            {
+                "partner_id": partner.partner_id,
+                "protocols": sorted(partner.protocols),
+            }
+            for partner in model.partners.partners()
+        ],
+        "applications": dict(model.applications),
+    }
+
+
+def runtime_statistics(enterprise: Enterprise) -> dict[str, Any]:
+    """Snapshot what an enterprise's runtime has done so far."""
+    conversations = list(enterprise.b2b.conversations.values())
+    by_status: dict[str, int] = {}
+    for conversation in conversations:
+        by_status[conversation.status] = by_status.get(conversation.status, 0) + 1
+    instances = enterprise.wfms.database.list_instances()
+    instance_by_status: dict[str, int] = {}
+    for instance in instances:
+        instance_by_status[instance.status] = (
+            instance_by_status.get(instance.status, 0) + 1
+        )
+    return {
+        "enterprise": enterprise.name,
+        "conversations": {"total": len(conversations), **by_status},
+        "messages": {
+            "business_sent": enterprise.b2b.messages_sent,
+            "business_received": enterprise.b2b.messages_received,
+            "reliable_retries": enterprise.reliable.stats.retries,
+            "acks_sent": enterprise.reliable.stats.acks_sent,
+            "duplicates_suppressed": enterprise.reliable.stats.duplicates_suppressed,
+        },
+        "faults": len(enterprise.b2b.faults),
+        "journal_entries": len(enterprise.b2b.journal),
+        "workflow_instances": {"total": len(instances), **instance_by_status},
+        "steps_executed": enterprise.wfms.steps_executed,
+        "rule_evaluations": {
+            rule_set.function: rule_set.evaluations
+            for rule_set in enterprise.rules.sets()
+        },
+        "transformations": enterprise.model.transforms.applications(),
+        "work_items_completed": enterprise.worklist.completed_count(),
+        "backends": {
+            name: {
+                "orders": backend.order_count(),
+                "stored_docs": backend.stored_count,
+                "extracted_docs": backend.extracted_count,
+            }
+            for name, backend in sorted(enterprise.backends.items())
+        },
+        "archive_documents": enterprise.archive.count(),
+    }
+
+
+def render_report(enterprise: Enterprise) -> str:
+    """Render the inventory + runtime snapshot as readable text."""
+    inventory = model_inventory(enterprise.model)
+    statistics = runtime_statistics(enterprise)
+    lines: list[str] = []
+    lines.append(f"=== {enterprise.name}: integration report ===")
+    lines.append("")
+    lines.append("deployed model:")
+    metrics = inventory["metrics"]
+    lines.append(
+        f"  {metrics['total_elements']} authored elements | "
+        f"{len(inventory['protocols'])} protocols | "
+        f"{metrics['mappings']} mappings | "
+        f"{metrics['business_rules']} business rules"
+    )
+    for definition in inventory["public_processes"]:
+        marker = "initiates" if definition["initiating"] else "responds"
+        lines.append(
+            f"  public  {definition['name']:<34} {definition['steps']} steps, {marker}"
+        )
+    for binding in inventory["bindings"]:
+        lines.append(
+            f"  binding {binding['name']:<34} <-> {binding['counterpart']}"
+        )
+    for workflow in inventory["private_processes"]:
+        lines.append(
+            f"  private {workflow['name']:<34} v{workflow['version']}, "
+            f"{workflow['steps']} steps, {workflow['rule_steps']} rule steps"
+        )
+    for rule_set in inventory["rule_sets"]:
+        lines.append(
+            f"  rules   {rule_set['function']:<34} {rule_set['rules']} rule(s)"
+        )
+    lines.append("")
+    lines.append("runtime:")
+    lines.append(f"  conversations : {statistics['conversations']}")
+    lines.append(f"  messages      : {statistics['messages']}")
+    lines.append(f"  instances     : {statistics['workflow_instances']}")
+    lines.append(f"  rules fired   : {statistics['rule_evaluations']}")
+    lines.append(f"  transformations applied: {statistics['transformations']}")
+    lines.append(f"  faults recorded: {statistics['faults']}")
+    for name, backend in statistics["backends"].items():
+        lines.append(f"  back end {name:<8}: {backend}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Document substrate: generic documents, schemas, and wire formats.
+
+The paper's architecture distinguishes three kinds of document
+representation (Sections 3.2 and 4.2):
+
+* **wire formats** used between trading partners (EDI, RosettaNet XML,
+  OAGIS XML),
+* **back-end formats** required by applications (SAP IDoc-like, Oracle
+  open-interface-table-like), and
+* the **normalized format** that private processes exclusively operate on.
+
+Every representation here is a :class:`~repro.documents.model.Document` with
+a format-specific field layout; the format modules only translate between a
+layout and its external string ("wire") form.  Mapping *between* layouts is
+the transformation substrate's job (:mod:`repro.transform`), mirroring the
+paper's strict separation of parsing from transformation.
+"""
+
+from repro.documents.model import Document, DocumentPath
+from repro.documents.schema import DocumentSchema, FieldSpec
+from repro.documents.normalized import (
+    NORMALIZED,
+    make_purchase_order,
+    make_po_ack,
+    normalized_po_schema,
+    normalized_poa_schema,
+    po_total_amount,
+)
+
+__all__ = [
+    "Document",
+    "DocumentPath",
+    "DocumentSchema",
+    "FieldSpec",
+    "NORMALIZED",
+    "make_purchase_order",
+    "make_po_ack",
+    "normalized_po_schema",
+    "normalized_poa_schema",
+    "po_total_amount",
+]

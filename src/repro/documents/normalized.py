@@ -1,0 +1,559 @@
+"""The normalized document format private processes operate on.
+
+Section 4.2 of the paper: "the normalized format has the benefit that the
+private process does not have to be aware of all the different formats as
+required by public processes (as well as back end applications)".  Every
+binding transforms wire/back-end layouts to and from this one layout, so its
+definition is the single most load-bearing contract in the system.
+
+Layout for a purchase order (``doc_type="purchase_order"``)::
+
+    header:   document_id, po_number, issued_at, buyer_id, seller_id,
+              currency, payment_terms?
+    lines[]:  line_no, sku, description, quantity, unit_price
+    summary:  total_amount, line_count
+
+Layout for a purchase order acknowledgment (``doc_type="po_ack"``)::
+
+    header:   document_id, po_number, issued_at, buyer_id, seller_id, status
+    lines[]:  line_no, sku, status, quantity
+    summary:  accepted_amount
+
+Invoice and ship-notice layouts are provided for the multi-document
+extension scenarios (the paper's introduction motivates invoices and
+shipment notices alongside POs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.documents.model import Document
+from repro.documents.schema import DocumentSchema, FieldSpec
+from repro.errors import DocumentError
+
+__all__ = [
+    "NORMALIZED",
+    "DOC_PURCHASE_ORDER",
+    "DOC_PO_ACK",
+    "DOC_INVOICE",
+    "DOC_SHIP_NOTICE",
+    "DOC_RFQ",
+    "DOC_QUOTE",
+    "POA_STATUSES",
+    "LINE_ACK_STATUSES",
+    "make_purchase_order",
+    "make_po_ack",
+    "make_invoice",
+    "make_ship_notice",
+    "make_rfq",
+    "make_quote",
+    "po_total_amount",
+    "normalized_po_schema",
+    "normalized_poa_schema",
+    "normalized_invoice_schema",
+    "normalized_ship_notice_schema",
+    "normalized_rfq_schema",
+    "normalized_quote_schema",
+    "schema_for",
+]
+
+NORMALIZED = "normalized"
+
+DOC_PURCHASE_ORDER = "purchase_order"
+DOC_PO_ACK = "po_ack"
+DOC_INVOICE = "invoice"
+DOC_SHIP_NOTICE = "ship_notice"
+DOC_RFQ = "request_for_quote"
+DOC_QUOTE = "quote"
+
+POA_STATUSES = ("accepted", "rejected", "partial")
+LINE_ACK_STATUSES = ("accepted", "rejected", "backordered")
+
+
+def _round_money(value: float) -> float:
+    return round(float(value), 2)
+
+
+def _build_lines(lines: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    built: list[dict[str, Any]] = []
+    for position, line in enumerate(lines, start=1):
+        try:
+            built.append(
+                {
+                    "line_no": int(line.get("line_no", position)),
+                    "sku": str(line["sku"]),
+                    "description": str(line.get("description", "")),
+                    "quantity": float(line["quantity"]),
+                    "unit_price": _round_money(line["unit_price"]),
+                }
+            )
+        except KeyError as exc:
+            raise DocumentError(f"purchase-order line {position} missing {exc}") from None
+    return built
+
+
+def make_purchase_order(
+    po_number: str,
+    buyer_id: str,
+    seller_id: str,
+    lines: Sequence[dict[str, Any]],
+    currency: str = "USD",
+    issued_at: float = 0.0,
+    document_id: str | None = None,
+    payment_terms: str = "NET30",
+) -> Document:
+    """Build a normalized purchase order.
+
+    ``lines`` items need ``sku``, ``quantity`` and ``unit_price``;
+    ``line_no`` and ``description`` default.  The ``summary`` block (total
+    amount, line count) is computed — business rules address it as
+    ``document.summary.total_amount`` (the paper's ``PO.amount``).
+    """
+    if not lines:
+        raise DocumentError("a purchase order needs at least one line")
+    built_lines = _build_lines(lines)
+    total = _round_money(
+        sum(line["quantity"] * line["unit_price"] for line in built_lines)
+    )
+    data = {
+        "header": {
+            "document_id": document_id or f"PO-DOC-{po_number}",
+            "po_number": str(po_number),
+            "issued_at": float(issued_at),
+            "buyer_id": str(buyer_id),
+            "seller_id": str(seller_id),
+            "currency": str(currency),
+            "payment_terms": str(payment_terms),
+        },
+        "lines": built_lines,
+        "summary": {"total_amount": total, "line_count": len(built_lines)},
+    }
+    return Document(NORMALIZED, DOC_PURCHASE_ORDER, data)
+
+
+def make_po_ack(
+    purchase_order: Document,
+    status: str = "accepted",
+    line_statuses: dict[int, str] | None = None,
+    issued_at: float = 0.0,
+    document_id: str | None = None,
+) -> Document:
+    """Build a normalized PO acknowledgment answering ``purchase_order``.
+
+    ``line_statuses`` maps line numbers to per-line statuses; unlisted lines
+    inherit the header status (``rejected`` lines acknowledge quantity 0).
+    """
+    if purchase_order.doc_type != DOC_PURCHASE_ORDER:
+        raise DocumentError(
+            f"can only acknowledge a purchase order, got {purchase_order.doc_type!r}"
+        )
+    if status not in POA_STATUSES:
+        raise DocumentError(f"invalid POA status {status!r}")
+    line_statuses = line_statuses or {}
+    po_number = purchase_order.get("header.po_number")
+    ack_lines: list[dict[str, Any]] = []
+    accepted_amount = 0.0
+    for line in purchase_order.get("lines"):
+        line_status = line_statuses.get(line["line_no"], _default_line_status(status))
+        if line_status not in LINE_ACK_STATUSES:
+            raise DocumentError(f"invalid line ack status {line_status!r}")
+        quantity = 0.0 if line_status == "rejected" else float(line["quantity"])
+        if line_status == "accepted":
+            accepted_amount += quantity * line["unit_price"]
+        ack_lines.append(
+            {
+                "line_no": line["line_no"],
+                "sku": line["sku"],
+                "status": line_status,
+                "quantity": quantity,
+            }
+        )
+    data = {
+        "header": {
+            "document_id": document_id or f"POA-DOC-{po_number}",
+            "po_number": po_number,
+            "issued_at": float(issued_at),
+            # A POA travels seller -> buyer, so sender roles flip.
+            "buyer_id": purchase_order.get("header.buyer_id"),
+            "seller_id": purchase_order.get("header.seller_id"),
+            "status": status,
+        },
+        "lines": ack_lines,
+        "summary": {"accepted_amount": _round_money(accepted_amount)},
+    }
+    return Document(NORMALIZED, DOC_PO_ACK, data)
+
+
+def _default_line_status(header_status: str) -> str:
+    return "accepted" if header_status in ("accepted", "partial") else "rejected"
+
+
+def make_invoice(
+    purchase_order: Document,
+    invoice_number: str,
+    issued_at: float = 0.0,
+    tax_rate: float = 0.0,
+) -> Document:
+    """Build a normalized invoice for an accepted purchase order."""
+    subtotal = float(purchase_order.get("summary.total_amount"))
+    tax = _round_money(subtotal * tax_rate)
+    data = {
+        "header": {
+            "document_id": f"INV-DOC-{invoice_number}",
+            "invoice_number": str(invoice_number),
+            "po_number": purchase_order.get("header.po_number"),
+            "issued_at": float(issued_at),
+            "buyer_id": purchase_order.get("header.buyer_id"),
+            "seller_id": purchase_order.get("header.seller_id"),
+            "currency": purchase_order.get("header.currency"),
+        },
+        "lines": [
+            {
+                "line_no": line["line_no"],
+                "sku": line["sku"],
+                "quantity": line["quantity"],
+                "unit_price": line["unit_price"],
+                "amount": _round_money(line["quantity"] * line["unit_price"]),
+            }
+            for line in purchase_order.get("lines")
+        ],
+        "summary": {
+            "subtotal": _round_money(subtotal),
+            "tax": tax,
+            "total_due": _round_money(subtotal + tax),
+        },
+    }
+    return Document(NORMALIZED, DOC_INVOICE, data)
+
+
+def make_ship_notice(
+    purchase_order: Document,
+    shipment_id: str,
+    carrier: str = "SIMFREIGHT",
+    issued_at: float = 0.0,
+) -> Document:
+    """Build a normalized advance ship notice for a purchase order."""
+    data = {
+        "header": {
+            "document_id": f"ASN-DOC-{shipment_id}",
+            "shipment_id": str(shipment_id),
+            "po_number": purchase_order.get("header.po_number"),
+            "issued_at": float(issued_at),
+            "buyer_id": purchase_order.get("header.buyer_id"),
+            "seller_id": purchase_order.get("header.seller_id"),
+            "carrier": str(carrier),
+        },
+        "lines": [
+            {
+                "line_no": line["line_no"],
+                "sku": line["sku"],
+                "quantity_shipped": line["quantity"],
+            }
+            for line in purchase_order.get("lines")
+        ],
+        "summary": {"package_count": len(purchase_order.get("lines"))},
+    }
+    return Document(NORMALIZED, DOC_SHIP_NOTICE, data)
+
+
+def make_rfq(
+    rfq_number: str,
+    buyer_id: str,
+    seller_id: str,
+    lines: Sequence[dict[str, Any]],
+    respond_by: float = 0.0,
+    issued_at: float = 0.0,
+    document_id: str | None = None,
+) -> Document:
+    """Build a normalized request for quotation (the Section 2.3 example).
+
+    ``lines`` items need ``sku`` and ``quantity`` (no prices — that is what
+    the quotes are for).  A broadcast clones this per addressed seller.
+    """
+    if not lines:
+        raise DocumentError("an RFQ needs at least one line")
+    built_lines = [
+        {
+            "line_no": int(line.get("line_no", position)),
+            "sku": str(line["sku"]),
+            "description": str(line.get("description", "")),
+            "quantity": float(line["quantity"]),
+        }
+        for position, line in enumerate(lines, start=1)
+    ]
+    data = {
+        "header": {
+            "document_id": document_id or f"RFQ-DOC-{rfq_number}",
+            "rfq_number": str(rfq_number),
+            "issued_at": float(issued_at),
+            "buyer_id": str(buyer_id),
+            "seller_id": str(seller_id),
+            "respond_by": float(respond_by),
+        },
+        "lines": built_lines,
+        "summary": {"line_count": len(built_lines)},
+    }
+    return Document(NORMALIZED, DOC_RFQ, data)
+
+
+def make_quote(
+    rfq: Document,
+    unit_prices: dict[str, float],
+    quote_number: str,
+    currency: str = "USD",
+    valid_until: float = 0.0,
+    issued_at: float = 0.0,
+) -> Document:
+    """Build a normalized quote answering ``rfq``.
+
+    ``unit_prices`` maps sku -> offered unit price; every RFQ line must be
+    priced.  The quote travels seller -> buyer.
+    """
+    if rfq.doc_type != DOC_RFQ:
+        raise DocumentError(f"can only quote an RFQ, got {rfq.doc_type!r}")
+    lines = []
+    total = 0.0
+    for line in rfq.get("lines"):
+        if line["sku"] not in unit_prices:
+            raise DocumentError(f"no offered price for sku {line['sku']!r}")
+        price = _round_money(unit_prices[line["sku"]])
+        total += line["quantity"] * price
+        lines.append(
+            {
+                "line_no": line["line_no"],
+                "sku": line["sku"],
+                "quantity": line["quantity"],
+                "unit_price": price,
+            }
+        )
+    data = {
+        "header": {
+            "document_id": f"QUOTE-DOC-{quote_number}",
+            "quote_number": str(quote_number),
+            "rfq_number": rfq.get("header.rfq_number"),
+            "issued_at": float(issued_at),
+            "buyer_id": rfq.get("header.buyer_id"),
+            "seller_id": rfq.get("header.seller_id"),
+            "currency": str(currency),
+            "valid_until": float(valid_until),
+        },
+        "lines": lines,
+        "summary": {"total_amount": _round_money(total)},
+    }
+    return Document(NORMALIZED, DOC_QUOTE, data)
+
+
+def po_total_amount(document: Document) -> float:
+    """Return the paper's ``PO.amount`` for a normalized purchase order."""
+    return float(document.get("summary.total_amount"))
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+
+def _line_schema(*specs: FieldSpec) -> DocumentSchema:
+    schema = DocumentSchema("line")
+    for spec in specs:
+        schema.add(spec)
+    return schema
+
+
+def normalized_po_schema() -> DocumentSchema:
+    """Schema for the normalized purchase order layout."""
+    return DocumentSchema(
+        "normalized/purchase_order",
+        format_name=NORMALIZED,
+        doc_type=DOC_PURCHASE_ORDER,
+        fields=[
+            FieldSpec("header.document_id"),
+            FieldSpec("header.po_number"),
+            FieldSpec("header.issued_at", "number"),
+            FieldSpec("header.buyer_id"),
+            FieldSpec("header.seller_id"),
+            FieldSpec("header.currency"),
+            FieldSpec("header.payment_terms", required=False),
+            FieldSpec(
+                "lines",
+                "list",
+                min_items=1,
+                items=_line_schema(
+                    FieldSpec("line_no", "int"),
+                    FieldSpec("sku"),
+                    FieldSpec("description", required=False),
+                    FieldSpec(
+                        "quantity", "number",
+                        check=lambda value: value > 0,
+                        check_label="quantity > 0",
+                    ),
+                    FieldSpec(
+                        "unit_price", "number",
+                        check=lambda value: value >= 0,
+                        check_label="unit_price >= 0",
+                    ),
+                ),
+            ),
+            FieldSpec(
+                "summary.total_amount", "number",
+                check=lambda value: value >= 0,
+                check_label="total_amount >= 0",
+            ),
+            FieldSpec("summary.line_count", "int"),
+        ],
+    )
+
+
+def normalized_poa_schema() -> DocumentSchema:
+    """Schema for the normalized PO-acknowledgment layout."""
+    return DocumentSchema(
+        "normalized/po_ack",
+        format_name=NORMALIZED,
+        doc_type=DOC_PO_ACK,
+        fields=[
+            FieldSpec("header.document_id"),
+            FieldSpec("header.po_number"),
+            FieldSpec("header.issued_at", "number"),
+            FieldSpec("header.buyer_id"),
+            FieldSpec("header.seller_id"),
+            FieldSpec("header.status", choices=POA_STATUSES),
+            FieldSpec(
+                "lines",
+                "list",
+                min_items=1,
+                items=_line_schema(
+                    FieldSpec("line_no", "int"),
+                    FieldSpec("sku"),
+                    FieldSpec("status", choices=LINE_ACK_STATUSES),
+                    FieldSpec("quantity", "number"),
+                ),
+            ),
+            FieldSpec("summary.accepted_amount", "number"),
+        ],
+    )
+
+
+def normalized_invoice_schema() -> DocumentSchema:
+    """Schema for the normalized invoice layout."""
+    return DocumentSchema(
+        "normalized/invoice",
+        format_name=NORMALIZED,
+        doc_type=DOC_INVOICE,
+        fields=[
+            FieldSpec("header.document_id"),
+            FieldSpec("header.invoice_number"),
+            FieldSpec("header.po_number"),
+            FieldSpec("header.buyer_id"),
+            FieldSpec("header.seller_id"),
+            FieldSpec("summary.subtotal", "number"),
+            FieldSpec("summary.tax", "number"),
+            FieldSpec("summary.total_due", "number"),
+            FieldSpec("lines", "list", min_items=1),
+        ],
+    )
+
+
+def normalized_ship_notice_schema() -> DocumentSchema:
+    """Schema for the normalized advance-ship-notice layout."""
+    return DocumentSchema(
+        "normalized/ship_notice",
+        format_name=NORMALIZED,
+        doc_type=DOC_SHIP_NOTICE,
+        fields=[
+            FieldSpec("header.document_id"),
+            FieldSpec("header.shipment_id"),
+            FieldSpec("header.po_number"),
+            FieldSpec("header.buyer_id"),
+            FieldSpec("header.seller_id"),
+            FieldSpec("header.carrier"),
+            FieldSpec("lines", "list", min_items=1),
+            FieldSpec("summary.package_count", "int"),
+        ],
+    )
+
+
+def normalized_rfq_schema() -> DocumentSchema:
+    """Schema for the normalized request-for-quote layout."""
+    return DocumentSchema(
+        "normalized/request_for_quote",
+        format_name=NORMALIZED,
+        doc_type=DOC_RFQ,
+        fields=[
+            FieldSpec("header.document_id"),
+            FieldSpec("header.rfq_number"),
+            FieldSpec("header.issued_at", "number"),
+            FieldSpec("header.buyer_id"),
+            FieldSpec("header.seller_id"),
+            FieldSpec("header.respond_by", "number"),
+            FieldSpec(
+                "lines",
+                "list",
+                min_items=1,
+                items=_line_schema(
+                    FieldSpec("line_no", "int"),
+                    FieldSpec("sku"),
+                    FieldSpec("description", required=False),
+                    FieldSpec(
+                        "quantity", "number",
+                        check=lambda value: value > 0,
+                        check_label="quantity > 0",
+                    ),
+                ),
+            ),
+            FieldSpec("summary.line_count", "int"),
+        ],
+    )
+
+
+def normalized_quote_schema() -> DocumentSchema:
+    """Schema for the normalized quote layout."""
+    return DocumentSchema(
+        "normalized/quote",
+        format_name=NORMALIZED,
+        doc_type=DOC_QUOTE,
+        fields=[
+            FieldSpec("header.document_id"),
+            FieldSpec("header.quote_number"),
+            FieldSpec("header.rfq_number"),
+            FieldSpec("header.issued_at", "number"),
+            FieldSpec("header.buyer_id"),
+            FieldSpec("header.seller_id"),
+            FieldSpec("header.currency"),
+            FieldSpec("header.valid_until", "number"),
+            FieldSpec(
+                "lines",
+                "list",
+                min_items=1,
+                items=_line_schema(
+                    FieldSpec("line_no", "int"),
+                    FieldSpec("sku"),
+                    FieldSpec("quantity", "number"),
+                    FieldSpec(
+                        "unit_price", "number",
+                        check=lambda value: value >= 0,
+                        check_label="unit_price >= 0",
+                    ),
+                ),
+            ),
+            FieldSpec("summary.total_amount", "number"),
+        ],
+    )
+
+
+_SCHEMA_FACTORIES = {
+    DOC_PURCHASE_ORDER: normalized_po_schema,
+    DOC_PO_ACK: normalized_poa_schema,
+    DOC_INVOICE: normalized_invoice_schema,
+    DOC_SHIP_NOTICE: normalized_ship_notice_schema,
+    DOC_RFQ: normalized_rfq_schema,
+    DOC_QUOTE: normalized_quote_schema,
+}
+
+
+def schema_for(doc_type: str) -> DocumentSchema:
+    """Return the normalized-format schema for ``doc_type``."""
+    try:
+        return _SCHEMA_FACTORIES[doc_type]()
+    except KeyError:
+        raise DocumentError(f"no normalized schema for doc_type {doc_type!r}") from None

@@ -1,0 +1,170 @@
+"""Document schemas: declarative structure checks for document layouts.
+
+Transformations and bindings validate documents at the boundaries where the
+paper places format obligations: public processes must produce documents in
+their protocol's wire layout, private processes only ever see the normalized
+layout (Section 4.2).  A schema failure at one of these seams is a modelling
+bug, so violations are collected exhaustively and raised together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.documents.model import Document
+from repro.errors import SchemaError, ValidationError
+
+__all__ = ["FieldSpec", "DocumentSchema"]
+
+_TYPE_NAMES: dict[str, type | tuple[type, ...]] = {
+    "str": str,
+    "int": int,
+    "float": (int, float),
+    "number": (int, float),
+    "bool": bool,
+}
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field constraint inside a :class:`DocumentSchema`.
+
+    :param path: document path of the field (list fields are expressed via
+        an ``items`` sub-schema on the containing spec instead).
+    :param type_name: one of ``str int float number bool list dict``.
+    :param required: whether the field must be present.
+    :param choices: optional closed set of allowed values.
+    :param check: optional predicate ``value -> bool`` for extra constraints
+        (e.g. non-negative amounts); described by ``check_label`` in
+        violation messages.
+    :param items: for ``list`` fields, a schema every element must satisfy
+        (elements are dicts, validated as anonymous sub-documents).
+    :param min_items: for ``list`` fields, minimum number of elements.
+    """
+
+    path: str
+    type_name: str = "str"
+    required: bool = True
+    choices: tuple[Any, ...] | None = None
+    check: Callable[[Any], bool] | None = None
+    check_label: str = "custom check"
+    items: "DocumentSchema | None" = None
+    min_items: int = 0
+
+    def __post_init__(self) -> None:
+        if self.type_name not in (*_TYPE_NAMES, "list", "dict"):
+            raise SchemaError(
+                f"unknown type {self.type_name!r} for field {self.path!r}"
+            )
+        if self.items is not None and self.type_name != "list":
+            raise SchemaError(
+                f"field {self.path!r}: items= requires type 'list'"
+            )
+
+    def violations_for(self, document: Document) -> list[str]:
+        """Return the list of violations of this spec in ``document``."""
+        marker = object()
+        value = document.get(self.path, default=marker)
+        if value is marker:
+            if self.required:
+                return [f"{self.path}: required field is missing"]
+            return []
+        return self._check_value(value)
+
+    def _check_value(self, value: Any) -> list[str]:
+        problems: list[str] = []
+        if self.type_name == "list":
+            if not isinstance(value, list):
+                return [f"{self.path}: expected list, got {type(value).__name__}"]
+            if len(value) < self.min_items:
+                problems.append(
+                    f"{self.path}: expected at least {self.min_items} item(s), "
+                    f"got {len(value)}"
+                )
+            if self.items is not None:
+                for index, element in enumerate(value):
+                    if not isinstance(element, dict):
+                        problems.append(
+                            f"{self.path}[{index}]: expected dict item, got "
+                            f"{type(element).__name__}"
+                        )
+                        continue
+                    item_doc = Document("item", "item", element)
+                    for spec in self.items.fields:
+                        problems.extend(
+                            f"{self.path}[{index}].{violation}"
+                            for violation in spec.violations_for(item_doc)
+                        )
+            return problems
+        if self.type_name == "dict":
+            if not isinstance(value, dict):
+                return [f"{self.path}: expected dict, got {type(value).__name__}"]
+            return problems
+        expected = _TYPE_NAMES[self.type_name]
+        if isinstance(value, bool) and self.type_name in ("int", "float", "number"):
+            problems.append(f"{self.path}: expected {self.type_name}, got bool")
+        elif not isinstance(value, expected):
+            problems.append(
+                f"{self.path}: expected {self.type_name}, got {type(value).__name__}"
+            )
+        if self.choices is not None and value not in self.choices:
+            problems.append(
+                f"{self.path}: value {value!r} not in allowed choices {self.choices!r}"
+            )
+        if self.check is not None and not problems:
+            try:
+                passed = bool(self.check(value))
+            except Exception as exc:  # checks must never crash validation
+                passed = False
+                problems.append(f"{self.path}: {self.check_label} raised {exc!r}")
+            else:
+                if not passed:
+                    problems.append(f"{self.path}: failed {self.check_label}")
+        return problems
+
+
+@dataclass
+class DocumentSchema:
+    """A named set of field constraints for one (format, doc_type) layout."""
+
+    name: str
+    format_name: str = ""
+    doc_type: str = ""
+    fields: list[FieldSpec] = field(default_factory=list)
+
+    def add(self, spec: FieldSpec) -> "DocumentSchema":
+        """Append a field spec (fluent)."""
+        self.fields.append(spec)
+        return self
+
+    def violations(self, document: Document) -> list[str]:
+        """Return every violation of this schema in ``document``."""
+        problems: list[str] = []
+        if self.format_name and document.format_name != self.format_name:
+            problems.append(
+                f"format mismatch: schema {self.name!r} expects "
+                f"{self.format_name!r}, document is {document.format_name!r}"
+            )
+        if self.doc_type and document.doc_type != self.doc_type:
+            problems.append(
+                f"doc_type mismatch: schema {self.name!r} expects "
+                f"{self.doc_type!r}, document is {document.doc_type!r}"
+            )
+        for spec in self.fields:
+            problems.extend(spec.violations_for(document))
+        return problems
+
+    def validate(self, document: Document) -> None:
+        """Raise :class:`ValidationError` when ``document`` violates this schema."""
+        problems = self.violations(document)
+        if problems:
+            raise ValidationError(
+                f"document failed schema {self.name!r}: "
+                f"{len(problems)} violation(s): " + "; ".join(problems[:5]),
+                violations=problems,
+            )
+
+    def is_valid(self, document: Document) -> bool:
+        """Return True when ``document`` satisfies this schema."""
+        return not self.violations(document)

@@ -1,0 +1,347 @@
+"""Minimal XML reader/writer used by the XML wire formats.
+
+The paper's B2B protocols (RosettaNet, OAGIS) are XML-based.  Per the
+reproduction rule ("B2B/XML tooling weaker — build the substrate"), this is
+a small, dependency-free XML subset implemented from scratch:
+
+* elements with attributes and text,
+* the five predefined entities (``&amp; &lt; &gt; &quot; &apos;``) plus
+  numeric character references,
+* comments and an optional XML declaration (both skipped on parse),
+* UTF-8 text in, text out.
+
+It deliberately excludes namespaces-as-objects (prefixes are kept verbatim
+in tag names), CDATA, DTDs and processing instructions — none of which the
+wire formats here use.  ``parse(serialize(tree)) == tree`` is property-tested
+in ``tests/documents/test_xmlio.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import XmlSyntaxError
+
+__all__ = ["XmlElement", "parse", "serialize"]
+
+
+@dataclass
+class XmlElement:
+    """An XML element: tag, attributes, text chunks and child elements.
+
+    ``content`` is the ordered mixed content: a list whose items are either
+    ``str`` (text) or :class:`XmlElement` (child).  Convenience accessors
+    cover the common case of element-only or text-only content.
+    """
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    content: list["XmlElement | str"] = field(default_factory=list)
+
+    # -- construction helpers ------------------------------------------------
+
+    def child(self, tag: str, text: str | None = None, **attrs: str) -> "XmlElement":
+        """Append and return a new child element (optionally with text)."""
+        element = XmlElement(tag, dict(attrs))
+        if text is not None:
+            element.content.append(text)
+        self.content.append(element)
+        return element
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def children(self) -> list["XmlElement"]:
+        """Child elements, in document order (text chunks excluded)."""
+        return [item for item in self.content if isinstance(item, XmlElement)]
+
+    @property
+    def text(self) -> str:
+        """Concatenated direct text content."""
+        return "".join(item for item in self.content if isinstance(item, str))
+
+    def find(self, tag: str) -> "XmlElement | None":
+        """Return the first direct child with ``tag``, or ``None``."""
+        for element in self.children:
+            if element.tag == tag:
+                return element
+        return None
+
+    def find_all(self, tag: str) -> list["XmlElement"]:
+        """Return all direct children with ``tag``."""
+        return [element for element in self.children if element.tag == tag]
+
+    def require(self, tag: str) -> "XmlElement":
+        """Like :meth:`find` but raises when the child is absent."""
+        element = self.find(tag)
+        if element is None:
+            raise XmlSyntaxError(f"<{self.tag}> is missing required child <{tag}>")
+        return element
+
+    def child_text(self, tag: str, default: str | None = None) -> str | None:
+        """Return the text of the first ``tag`` child, or ``default``."""
+        element = self.find(tag)
+        return element.text if element is not None else default
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for element in self.children:
+            yield from element.iter()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XmlElement)
+            and self.tag == other.tag
+            and self.attrs == other.attrs
+            and self.content == other.content
+        )
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+_NAME_START = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+def _escape(value: str, table: dict[str, str]) -> str:
+    for raw, replacement in table.items():
+        value = value.replace(raw, replacement)
+    return value
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0] not in _NAME_START or any(
+        character not in _NAME_CHARS for character in name
+    ):
+        raise XmlSyntaxError(f"invalid XML name {name!r}")
+    return name
+
+
+def serialize(root: XmlElement, declaration: bool = True, indent: int = 0) -> str:
+    """Serialize ``root`` to an XML string.
+
+    ``indent > 0`` pretty-prints element-only content with that many spaces
+    per level; mixed content (text alongside elements) is always emitted
+    verbatim so that round-tripping preserves text exactly.
+    """
+    pieces: list[str] = []
+    if declaration:
+        pieces.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if indent:
+            pieces.append("\n")
+    _serialize_element(root, pieces, indent, 0)
+    return "".join(pieces)
+
+
+def _serialize_element(
+    element: XmlElement, pieces: list[str], indent: int, depth: int
+) -> None:
+    pad = " " * (indent * depth) if indent else ""
+    pieces.append(f"{pad}<{_check_name(element.tag)}")
+    for key in element.attrs:
+        pieces.append(f' {_check_name(key)}="{_escape(element.attrs[key], _ATTR_ESCAPES)}"')
+    if not element.content:
+        pieces.append("/>")
+        if indent:
+            pieces.append("\n")
+        return
+    pieces.append(">")
+    element_only = all(isinstance(item, XmlElement) for item in element.content)
+    if indent and element_only:
+        pieces.append("\n")
+        for item in element.content:
+            _serialize_element(item, pieces, indent, depth + 1)  # type: ignore[arg-type]
+        pieces.append(pad)
+    else:
+        for item in element.content:
+            if isinstance(item, str):
+                pieces.append(_escape(item, _TEXT_ESCAPES))
+            else:
+                _serialize_element(item, pieces, 0, 0)
+    pieces.append(f"</{element.tag}>")
+    if indent:
+        pieces.append("\n")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class _Parser:
+    """A single-pass recursive-descent parser over the input string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def error(self, message: str) -> XmlSyntaxError:
+        return XmlSyntaxError(message, position=self.pos)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def skip_misc(self) -> None:
+        """Skip whitespace, comments and the XML declaration."""
+        while True:
+            self.skip_whitespace()
+            if self.startswith("<!--"):
+                end = self.text.find("-->", self.pos + 4)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.startswith("<?"):
+                end = self.text.find("?>", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated declaration")
+                self.pos = end + 2
+            else:
+                return
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.peek() not in _NAME_START:
+            raise self.error("expected XML name")
+        self.pos += 1
+        while self.peek() in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_entity(self) -> str:
+        self.expect("&")
+        end = self.text.find(";", self.pos)
+        if end < 0 or end - self.pos > 10:
+            raise self.error("unterminated entity reference")
+        body = self.text[self.pos:end]
+        self.pos = end + 1
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        if body in _ENTITIES:
+            return _ENTITIES[body]
+        raise self.error(f"unknown entity &{body};")
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_document(self) -> XmlElement:
+        self.skip_misc()
+        if not self.startswith("<"):
+            raise self.error("expected root element")
+        root = self.parse_element()
+        self.skip_misc()
+        if self.pos != self.length:
+            raise self.error("content after document root")
+        return root
+
+    def parse_element(self) -> XmlElement:
+        self.expect("<")
+        tag = self.read_name()
+        attrs = self.parse_attributes()
+        if self.startswith("/>"):
+            self.pos += 2
+            return XmlElement(tag, attrs)
+        self.expect(">")
+        content = self.parse_content(tag)
+        return XmlElement(tag, attrs, content)
+
+    def parse_attributes(self) -> dict[str, str]:
+        attrs: dict[str, str] = {}
+        while True:
+            self.skip_whitespace()
+            if self.peek() in (">", "/") or self.pos >= self.length:
+                return attrs
+            name = self.read_name()
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            quote = self.peek()
+            if quote not in ('"', "'"):
+                raise self.error("attribute value must be quoted")
+            self.pos += 1
+            value_pieces: list[str] = []
+            while self.peek() != quote:
+                if self.pos >= self.length:
+                    raise self.error("unterminated attribute value")
+                if self.peek() == "&":
+                    value_pieces.append(self.read_entity())
+                elif self.peek() == "<":
+                    raise self.error("'<' not allowed in attribute value")
+                else:
+                    value_pieces.append(self.peek())
+                    self.pos += 1
+            self.pos += 1
+            if name in attrs:
+                raise self.error(f"duplicate attribute {name!r}")
+            attrs[name] = "".join(value_pieces)
+
+    def parse_content(self, open_tag: str) -> list[XmlElement | str]:
+        content: list[XmlElement | str] = []
+        text_pieces: list[str] = []
+
+        def flush_text() -> None:
+            if text_pieces:
+                content.append("".join(text_pieces))
+                text_pieces.clear()
+
+        while True:
+            if self.pos >= self.length:
+                raise self.error(f"unterminated element <{open_tag}>")
+            if self.startswith("</"):
+                flush_text()
+                self.pos += 2
+                closing = self.read_name()
+                if closing != open_tag:
+                    raise self.error(
+                        f"mismatched closing tag </{closing}> for <{open_tag}>"
+                    )
+                self.skip_whitespace()
+                self.expect(">")
+                return content
+            if self.startswith("<!--"):
+                end = self.text.find("-->", self.pos + 4)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.peek() == "<":
+                flush_text()
+                content.append(self.parse_element())
+            elif self.peek() == "&":
+                text_pieces.append(self.read_entity())
+            else:
+                text_pieces.append(self.peek())
+                self.pos += 1
+
+
+def parse(text: str) -> XmlElement:
+    """Parse an XML string and return its root :class:`XmlElement`."""
+    if not isinstance(text, str):
+        raise XmlSyntaxError(f"expected str, got {type(text).__name__}")
+    return _Parser(text).parse_document()

@@ -1,0 +1,245 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each substrate (documents, transform, messaging, workflow) and the core
+integration layer raises exceptions derived from :class:`ReproError` so that
+callers can catch at whatever granularity they need: a single substrate
+(``except DocumentError``), one precise condition (``except
+DuplicateMessageError``), or anything raised by the library (``except
+ReproError``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    # documents
+    "DocumentError",
+    "DocumentPathError",
+    "SchemaError",
+    "ValidationError",
+    "WireFormatError",
+    "XmlSyntaxError",
+    # transform
+    "TransformError",
+    "MappingError",
+    "NoRouteError",
+    # messaging
+    "MessagingError",
+    "EndpointError",
+    "DeliveryError",
+    "DuplicateMessageError",
+    "CorrelationError",
+    "RetryExhaustedError",
+    # workflow
+    "WorkflowError",
+    "DefinitionError",
+    "ExpressionError",
+    "InstanceError",
+    "ActivityError",
+    "PersistenceError",
+    "MigrationError",
+    "WorklistError",
+    # core / B2B
+    "IntegrationError",
+    "BindingError",
+    "RuleError",
+    "NoApplicableRuleError",
+    "PartnerError",
+    "AgreementError",
+    "BackendError",
+    "ProtocolError",
+    "ChangeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was assembled or configured inconsistently."""
+
+
+# ---------------------------------------------------------------------------
+# Document substrate
+# ---------------------------------------------------------------------------
+
+
+class DocumentError(ReproError):
+    """Base class for document-model and wire-format errors."""
+
+
+class DocumentPathError(DocumentError):
+    """A document path did not resolve (bad segment, index out of range...)."""
+
+
+class SchemaError(DocumentError):
+    """A document schema is itself malformed."""
+
+
+class ValidationError(DocumentError):
+    """A document does not conform to its schema.
+
+    Carries the list of individual violations in :attr:`violations`.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None):
+        super().__init__(message)
+        self.violations: list[str] = violations or []
+
+
+class WireFormatError(DocumentError):
+    """A wire representation (EDI, IDoc, ...) could not be parsed or built."""
+
+
+class XmlSyntaxError(WireFormatError):
+    """The minimal XML parser rejected its input."""
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# Transformation substrate
+# ---------------------------------------------------------------------------
+
+
+class TransformError(ReproError):
+    """Base class for transformation errors."""
+
+
+class MappingError(TransformError):
+    """A mapping rule failed to apply to a concrete document."""
+
+
+class NoRouteError(TransformError):
+    """No transformation (or chain of them) connects two formats."""
+
+
+# ---------------------------------------------------------------------------
+# Messaging substrate
+# ---------------------------------------------------------------------------
+
+
+class MessagingError(ReproError):
+    """Base class for network / transport / reliable-messaging errors."""
+
+
+class EndpointError(MessagingError):
+    """An endpoint address is unknown or already registered."""
+
+
+class DeliveryError(MessagingError):
+    """A message could not be delivered (and the failure is terminal)."""
+
+
+class DuplicateMessageError(MessagingError):
+    """A message id was seen before by a duplicate-detecting receiver."""
+
+
+class CorrelationError(MessagingError):
+    """A reply or acknowledgment could not be correlated to a request."""
+
+
+class RetryExhaustedError(MessagingError):
+    """Reliable delivery gave up after the configured number of retries."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+# ---------------------------------------------------------------------------
+# Workflow substrate
+# ---------------------------------------------------------------------------
+
+
+class WorkflowError(ReproError):
+    """Base class for workflow definition and execution errors."""
+
+
+class DefinitionError(WorkflowError):
+    """A workflow type is structurally invalid."""
+
+
+class ExpressionError(WorkflowError):
+    """A condition/data expression failed to parse or evaluate."""
+
+
+class InstanceError(WorkflowError):
+    """An operation was applied to a workflow instance in the wrong state."""
+
+
+class ActivityError(WorkflowError):
+    """An activity implementation failed or is missing from the registry."""
+
+
+class PersistenceError(WorkflowError):
+    """The workflow database rejected a load or store."""
+
+
+class MigrationError(WorkflowError):
+    """Workflow instance/type migration between engines failed."""
+
+
+class WorklistError(WorkflowError):
+    """A work item operation (claim, complete) was invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Core integration layer
+# ---------------------------------------------------------------------------
+
+
+class IntegrationError(ReproError):
+    """Base class for public/private process and B2B engine errors."""
+
+
+class BindingError(IntegrationError):
+    """A binding is mis-wired or failed while routing a message."""
+
+
+class RuleError(IntegrationError):
+    """A business rule failed to evaluate.
+
+    This is the paper's explicit ``result := error`` case: when no rule in a
+    rule set applies to a (source, target) pair the engine must surface an
+    error rather than guess (Section 4.3).
+    """
+
+
+class NoApplicableRuleError(RuleError):
+    """No business rule in the set applies to the given source/target."""
+
+    def __init__(self, function: str, source: str, target: str):
+        super().__init__(
+            f"no business rule in {function!r} applies to "
+            f"source={source!r} target={target!r}"
+        )
+        self.function = function
+        self.source = source
+        self.target = target
+
+
+class PartnerError(IntegrationError):
+    """A trading partner is unknown or inconsistently defined."""
+
+
+class AgreementError(IntegrationError):
+    """No trading partner agreement covers a requested exchange."""
+
+
+class BackendError(IntegrationError):
+    """A back-end application simulator rejected an operation."""
+
+
+class ProtocolError(IntegrationError):
+    """A B2B protocol constraint was violated (bad sequence, wrong format)."""
+
+
+class ChangeError(IntegrationError):
+    """A change scenario could not be applied to a model."""

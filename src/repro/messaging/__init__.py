@@ -1,0 +1,34 @@
+"""Messaging substrate: simulated networks, transports, reliable delivery.
+
+The paper assumes (Section 1) that messages between trading partners can be
+"lost ... incorrect ... or duplicate", and that B2B protocol stacks such as
+RNIF compensate with "message level acknowledgments, time-outs and sending
+retries" (Section 5.1).  This package provides:
+
+* :mod:`repro.messaging.network` — a deterministic discrete-event network
+  with configurable loss, duplication, corruption and latency;
+* :mod:`repro.messaging.envelope` — message envelopes with ids,
+  conversations and correlation;
+* :mod:`repro.messaging.transport` — endpoints on the network, plus a
+  store-and-forward Value Added Network mailbox service (the pre-Internet
+  EDI transport the paper's introduction describes);
+* :mod:`repro.messaging.reliable` — an RNIF-like reliable-messaging layer
+  (acknowledgments, retry timers, duplicate suppression) delivering
+  exactly-once above the lossy network.
+"""
+
+from repro.messaging.envelope import IdGenerator, Message
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.messaging.transport import Endpoint, ValueAddedNetwork
+from repro.messaging.reliable import ReliableEndpoint, RetryPolicy
+
+__all__ = [
+    "Message",
+    "IdGenerator",
+    "NetworkConditions",
+    "SimulatedNetwork",
+    "Endpoint",
+    "ValueAddedNetwork",
+    "ReliableEndpoint",
+    "RetryPolicy",
+]

@@ -1,0 +1,14 @@
+"""Transport discipline names shared by the protocol and core layers.
+
+Kept in the messaging substrate (a leaf package) so that both
+:mod:`repro.b2b.protocol` and :mod:`repro.core.integration` can name the
+disciplines without importing each other.
+"""
+
+TRANSPORT_RELIABLE = "reliable"   # RNIF-style: acks, time-outs, retries
+TRANSPORT_VAN = "van"             # store-and-forward mailboxes
+TRANSPORT_PLAIN = "plain"         # point-to-point, no retransmission
+
+ALL_TRANSPORTS = (TRANSPORT_RELIABLE, TRANSPORT_VAN, TRANSPORT_PLAIN)
+
+__all__ = ["TRANSPORT_RELIABLE", "TRANSPORT_VAN", "TRANSPORT_PLAIN", "ALL_TRANSPORTS"]

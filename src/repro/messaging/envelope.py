@@ -1,0 +1,130 @@
+"""Message envelopes exchanged between enterprises.
+
+A :class:`Message` carries a *wire-format string body* (never a live
+document object — enterprises share "business data ... not data about
+workflow instances, their state or their type", Section 3) plus the
+envelope metadata every B2B protocol needs: sender/receiver addresses, a
+message id, a conversation id grouping one business exchange (e.g. one
+PO--POA round trip), and a correlation id pointing back at the message this
+one answers or acknowledges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import MessagingError
+
+__all__ = ["Message", "IdGenerator", "KIND_BUSINESS", "KIND_ACK", "KIND_EXCEPTION"]
+
+KIND_BUSINESS = "business"
+KIND_ACK = "ack"
+KIND_EXCEPTION = "exception"
+
+_KINDS = (KIND_BUSINESS, KIND_ACK, KIND_EXCEPTION)
+
+
+class IdGenerator:
+    """Deterministic id factory (``<prefix>-000001`` ...).
+
+    Wall-clock-free so that simulation runs are reproducible.
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise MessagingError("id prefix must be non-empty")
+        self.prefix = prefix
+        self._counter = itertools.count(1)
+
+    def next(self) -> str:
+        """Return the next id."""
+        return f"{self.prefix}-{next(self._counter):06d}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message envelope.
+
+    :param message_id: globally unique id (duplicate detection key).
+    :param sender: network address of the sending enterprise.
+    :param receiver: network address of the receiving enterprise.
+    :param kind: ``business`` payload, transport-level ``ack``, or
+        ``exception`` notification.
+    :param protocol: B2B protocol name governing this exchange
+        (e.g. ``"rosettanet"``); transport acks inherit it.
+    :param doc_type: business document kind in the body (empty for acks).
+    :param body: the wire-format string payload (empty for acks).
+    :param conversation_id: groups the messages of one business exchange.
+    :param correlation_id: id of the message this one answers/acknowledges.
+    :param headers: protocol-specific extras (PIP code, attempt number...).
+    :param sent_at: logical send timestamp, stamped by the endpoint.
+    """
+
+    message_id: str
+    sender: str
+    receiver: str
+    kind: str = KIND_BUSINESS
+    protocol: str = ""
+    doc_type: str = ""
+    body: str = ""
+    conversation_id: str = ""
+    correlation_id: str = ""
+    headers: dict[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.message_id:
+            raise MessagingError("message_id must be non-empty")
+        if not self.sender or not self.receiver:
+            raise MessagingError(
+                f"message {self.message_id} needs sender and receiver"
+            )
+        if self.kind not in _KINDS:
+            raise MessagingError(f"unknown message kind {self.kind!r}")
+
+    def ack(self, ack_id: str, sent_at: float = 0.0) -> "Message":
+        """Build the transport acknowledgment for this message."""
+        return Message(
+            message_id=ack_id,
+            sender=self.receiver,
+            receiver=self.sender,
+            kind=KIND_ACK,
+            protocol=self.protocol,
+            conversation_id=self.conversation_id,
+            correlation_id=self.message_id,
+            sent_at=sent_at,
+        )
+
+    def with_body(self, body: str) -> "Message":
+        """Return a copy with a different body (used by fault injection)."""
+        return replace(self, body=body)
+
+    def stamped(self, sent_at: float) -> "Message":
+        """Return a copy stamped with the logical send time."""
+        return replace(self, sent_at=sent_at)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-compatible representation (audit trails)."""
+        return {
+            "message_id": self.message_id,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "doc_type": self.doc_type,
+            "body": self.body,
+            "conversation_id": self.conversation_id,
+            "correlation_id": self.correlation_id,
+            "headers": dict(self.headers),
+            "sent_at": self.sent_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Message":
+        """Rebuild a message serialized with :meth:`to_dict`."""
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise MessagingError(f"malformed message payload: {exc}") from None

@@ -1,0 +1,243 @@
+"""RNIF-like reliable messaging: acks, retry timers, duplicate suppression.
+
+Section 5.1 of the paper: "RNIF provides a specification how messages are
+exchanged reliably over the Internet using techniques like message level
+acknowledgments, time-outs and sending retries ... PIPs assume a reliable
+message exchange layer and this is provided by RNIF."
+
+:class:`ReliableEndpoint` is that layer.  Public processes hand it business
+messages and receive business messages from it; acknowledgments, retries and
+duplicates never reach them — exactly the abstraction split that makes
+"public process has to model transport acknowledgments" a *local* change in
+Section 4.5.
+
+Guarantees over an arbitrarily lossy/duplicating :class:`SimulatedNetwork`:
+
+* **at-least-once transmission** — unacknowledged messages are re-sent up to
+  ``RetryPolicy.max_retries`` times, then reported as failed;
+* **at-most-once delivery** — receivers remember seen message ids and
+  re-acknowledge duplicates without re-delivering them;
+
+together: exactly-once delivery whenever any of the attempts gets through
+(property-tested in ``tests/messaging/test_reliable.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import MessagingError, RetryExhaustedError
+from repro.messaging.envelope import KIND_ACK, KIND_BUSINESS, Message
+from repro.messaging.transport import Endpoint
+from repro.sim import ScheduledEvent
+
+__all__ = ["RetryPolicy", "ReliableStats", "ReliableEndpoint"]
+
+DeliveryHandler = Callable[[Message], None]
+FailureHandler = Callable[[Message, RetryExhaustedError], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry knobs for one reliable endpoint.
+
+    :param ack_timeout: time to wait for an acknowledgment before re-sending.
+    :param max_retries: re-sends after the initial transmission; when they
+        are exhausted the message is reported failed.
+    :param backoff: multiplier applied to the timeout after every retry
+        (RNIF profiles typically back off).
+    """
+
+    ack_timeout: float = 1.0
+    max_retries: int = 3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise MessagingError(f"ack_timeout must be > 0, got {self.ack_timeout}")
+        if self.max_retries < 0:
+            raise MessagingError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 1.0:
+            raise MessagingError(f"backoff must be >= 1, got {self.backoff}")
+
+    def timeout_for_attempt(self, attempt: int) -> float:
+        """Return the ack timeout for transmission number ``attempt`` (1-based)."""
+        return self.ack_timeout * (self.backoff ** (attempt - 1))
+
+
+@dataclass
+class ReliableStats:
+    """Counters for the reliability overhead experiment (E-MSG)."""
+
+    business_sent: int = 0
+    retries: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    duplicates_suppressed: int = 0
+    delivered: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "business_sent": self.business_sent,
+            "retries": self.retries,
+            "acks_sent": self.acks_sent,
+            "acks_received": self.acks_received,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "delivered": self.delivered,
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class _PendingSend:
+    message: Message
+    attempt: int = 1
+    timer: ScheduledEvent | None = None
+    on_delivered: Callable[[Message], None] | None = None
+    on_failed: FailureHandler | None = None
+
+
+class ReliableEndpoint:
+    """Reliable-messaging wrapper around a raw :class:`Endpoint`.
+
+    :param endpoint: the raw network endpoint to wrap (its push handler is
+        taken over by this wrapper).
+    :param policy: retry policy for outbound messages.
+    :param dedup_window: how many delivered message ids to remember for
+        duplicate suppression (bounded so long simulations don't grow
+        without limit; well above any in-flight population).
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        policy: RetryPolicy | None = None,
+        dedup_window: int = 10_000,
+    ):
+        self.endpoint = endpoint
+        self.policy = policy or RetryPolicy()
+        self.stats = ReliableStats()
+        self._pending: dict[str, _PendingSend] = {}
+        self._seen: dict[str, None] = {}
+        self._dedup_window = dedup_window
+        self._handler: DeliveryHandler | None = None
+        self._failure_handler: FailureHandler | None = None
+        endpoint.on_message(self._on_raw_message)
+
+    @property
+    def address(self) -> str:
+        """The underlying network address."""
+        return self.endpoint.address
+
+    @property
+    def scheduler(self):
+        """The shared event scheduler (convenience for protocol timers)."""
+        return self.endpoint.network.scheduler
+
+    # -- application-facing API ------------------------------------------------
+
+    def on_message(self, handler: DeliveryHandler | None) -> None:
+        """Register the business-message handler (exactly-once delivery)."""
+        self._handler = handler
+
+    def on_failure(self, handler: FailureHandler | None) -> None:
+        """Register the default handler for sends that exhaust retries."""
+        self._failure_handler = handler
+
+    def send_reliable(
+        self,
+        message: Message,
+        on_delivered: Callable[[Message], None] | None = None,
+        on_failed: FailureHandler | None = None,
+    ) -> None:
+        """Send ``message`` with at-least-once retransmission.
+
+        ``on_delivered`` fires when the receiver's acknowledgment arrives;
+        ``on_failed`` (or the endpoint-level failure handler) fires when
+        retries are exhausted.
+        """
+        if message.kind != KIND_BUSINESS:
+            raise MessagingError("send_reliable only carries business messages")
+        if message.message_id in self._pending:
+            raise MessagingError(
+                f"message {message.message_id} is already in flight"
+            )
+        pending = _PendingSend(message, on_delivered=on_delivered, on_failed=on_failed)
+        self._pending[message.message_id] = pending
+        self.stats.business_sent += 1
+        self._transmit(pending)
+
+    def in_flight(self) -> int:
+        """Return the number of unacknowledged outbound messages."""
+        return len(self._pending)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _transmit(self, pending: _PendingSend) -> None:
+        self.endpoint.send(pending.message)
+        timeout = self.policy.timeout_for_attempt(pending.attempt)
+        pending.timer = self.scheduler.after(
+            timeout,
+            lambda: self._on_timeout(pending.message.message_id),
+            label=f"ack-timeout {pending.message.message_id}",
+        )
+
+    def _on_timeout(self, message_id: str) -> None:
+        pending = self._pending.get(message_id)
+        if pending is None:
+            return
+        if pending.attempt > self.policy.max_retries:
+            del self._pending[message_id]
+            self.stats.failed += 1
+            error = RetryExhaustedError(
+                f"message {message_id} to {pending.message.receiver} "
+                f"unacknowledged after {pending.attempt} transmission(s)",
+                attempts=pending.attempt,
+            )
+            handler = pending.on_failed or self._failure_handler
+            if handler is None:
+                raise error
+            handler(pending.message, error)
+            return
+        pending.attempt += 1
+        self.stats.retries += 1
+        self._transmit(pending)
+
+    def _on_raw_message(self, message: Message) -> None:
+        if message.kind == KIND_ACK:
+            self._on_ack(message)
+            return
+        self._acknowledge(message)
+        if message.message_id in self._seen:
+            self.stats.duplicates_suppressed += 1
+            return
+        self._remember(message.message_id)
+        self.stats.delivered += 1
+        if self._handler is not None:
+            self._handler(message)
+
+    def _on_ack(self, ack: Message) -> None:
+        self.stats.acks_received += 1
+        pending = self._pending.pop(ack.correlation_id, None)
+        if pending is None:
+            return  # ack for a retry we already accounted for
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if pending.on_delivered is not None:
+            pending.on_delivered(pending.message)
+
+    def _acknowledge(self, message: Message) -> None:
+        ack = message.ack(
+            ack_id=self.endpoint.next_message_id(),
+            sent_at=self.scheduler.clock.now(),
+        )
+        self.endpoint.send(ack)
+        self.stats.acks_sent += 1
+
+    def _remember(self, message_id: str) -> None:
+        self._seen[message_id] = None
+        if len(self._seen) > self._dedup_window:
+            oldest = next(iter(self._seen))
+            del self._seen[oldest]

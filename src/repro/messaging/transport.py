@@ -1,0 +1,140 @@
+"""Endpoints on the simulated network, and a VAN mailbox service.
+
+An :class:`Endpoint` is an enterprise's attachment point: it stamps and
+sends outbound messages and dispatches inbound ones to registered handlers
+(or queues them for polling — both push and pull consumption are used by
+the protocol layer).
+
+A :class:`ValueAddedNetwork` models the paper's pre-Internet EDI transport
+(Section 1): a trusted store-and-forward intermediary with per-subscriber
+mailboxes.  Senders post interchanges; receivers poll their mailbox on
+their own schedule.  The VAN never loses messages — its trade-off is batch
+latency, not unreliability — which is why the EDI protocol in
+:mod:`repro.b2b.edi_van` does not need the RNIF-style retry machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import EndpointError
+from repro.messaging.envelope import IdGenerator, Message
+from repro.messaging.network import SimulatedNetwork
+
+__all__ = ["Endpoint", "ValueAddedNetwork"]
+
+Handler = Callable[[Message], None]
+
+
+class Endpoint:
+    """An enterprise's send/receive port on the simulated network.
+
+    :param address: unique network address (conventionally the enterprise id).
+    :param network: the shared :class:`SimulatedNetwork`.
+
+    Inbound messages go to the handler registered with :meth:`on_message`;
+    when none is set they accumulate in :attr:`inbox` for :meth:`poll`.
+    """
+
+    def __init__(self, address: str, network: SimulatedNetwork):
+        self.address = address
+        self.network = network
+        self.inbox: deque[Message] = deque()
+        self._handler: Handler | None = None
+        self._ids = IdGenerator(f"MSG-{address}")
+        self.sent_count = 0
+        self.received_count = 0
+        network.register(address, self._receive)
+
+    # -- sending ------------------------------------------------------------
+
+    def next_message_id(self) -> str:
+        """Return a fresh message id scoped to this endpoint."""
+        return self._ids.next()
+
+    def send(self, message: Message) -> Message:
+        """Stamp ``message`` with the logical time and transmit it."""
+        if message.sender != self.address:
+            raise EndpointError(
+                f"endpoint {self.address!r} cannot send a message from "
+                f"{message.sender!r}"
+            )
+        stamped = message.stamped(self.network.scheduler.clock.now())
+        self.network.send(stamped)
+        self.sent_count += 1
+        return stamped
+
+    # -- receiving ----------------------------------------------------------
+
+    def on_message(self, handler: Handler | None) -> None:
+        """Set (or clear) the push handler; queued messages are flushed."""
+        self._handler = handler
+        if handler is not None:
+            while self.inbox:
+                handler(self.inbox.popleft())
+
+    def poll(self) -> Message | None:
+        """Pop the oldest queued message, or ``None``."""
+        return self.inbox.popleft() if self.inbox else None
+
+    def _receive(self, message: Message) -> None:
+        self.received_count += 1
+        if self._handler is not None:
+            self._handler(message)
+        else:
+            self.inbox.append(message)
+
+    def close(self) -> None:
+        """Detach from the network."""
+        self.network.unregister(self.address)
+
+
+class ValueAddedNetwork:
+    """Store-and-forward VAN with per-subscriber mailboxes.
+
+    Unlike :class:`SimulatedNetwork` links, the VAN is lossless: a posted
+    interchange stays in the receiver's mailbox until picked up.  Batch
+    latency is modelled by the subscriber's polling cadence, not by the VAN.
+    """
+
+    def __init__(self):
+        self._mailboxes: dict[str, deque[Message]] = {}
+        self.posted_count = 0
+        self.picked_up_count = 0
+
+    def subscribe(self, address: str) -> None:
+        """Open a mailbox for ``address``."""
+        if address in self._mailboxes:
+            raise EndpointError(f"VAN mailbox for {address!r} already exists")
+        self._mailboxes[address] = deque()
+
+    def post(self, message: Message) -> None:
+        """Deposit ``message`` in the receiver's mailbox."""
+        try:
+            mailbox = self._mailboxes[message.receiver]
+        except KeyError:
+            raise EndpointError(
+                f"no VAN mailbox for receiver {message.receiver!r}"
+            ) from None
+        mailbox.append(message)
+        self.posted_count += 1
+
+    def pick_up(self, address: str, limit: int | None = None) -> list[Message]:
+        """Drain up to ``limit`` messages from ``address``'s mailbox."""
+        try:
+            mailbox = self._mailboxes[address]
+        except KeyError:
+            raise EndpointError(f"no VAN mailbox for {address!r}") from None
+        batch: list[Message] = []
+        while mailbox and (limit is None or len(batch) < limit):
+            batch.append(mailbox.popleft())
+        self.picked_up_count += len(batch)
+        return batch
+
+    def pending(self, address: str) -> int:
+        """Return the number of messages waiting for ``address``."""
+        try:
+            return len(self._mailboxes[address])
+        except KeyError:
+            raise EndpointError(f"no VAN mailbox for {address!r}") from None

@@ -1,0 +1,13 @@
+"""Trading partner management: profiles, agreements, directory.
+
+The paper's business rules and public processes are *trading partner
+specific* (Sections 4.1 and 4.3): which B2B protocol a partner speaks,
+which documents it exchanges, and which rule thresholds apply all hang off
+the partner.  This package is the registry those decisions consult.
+"""
+
+from repro.partners.profile import TradingPartner
+from repro.partners.agreement import TradingPartnerAgreement
+from repro.partners.directory import PartnerDirectory
+
+__all__ = ["TradingPartner", "TradingPartnerAgreement", "PartnerDirectory"]

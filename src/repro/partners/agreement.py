@@ -1,0 +1,82 @@
+"""Trading partner agreements.
+
+A :class:`TradingPartnerAgreement` is the operational contract between us
+and one partner: which B2B protocol governs the exchange, which document
+kinds flow, and which role each side plays (the paper's RosettaNet PIPs
+assign buyer/seller roles; ebXML calls the equivalent artifact a CPA —
+Collaboration Protocol Agreement).  The B2B engine refuses exchanges not
+covered by an active agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AgreementError
+
+__all__ = ["TradingPartnerAgreement", "ROLE_BUYER", "ROLE_SELLER"]
+
+ROLE_BUYER = "buyer"
+ROLE_SELLER = "seller"
+
+STATUS_ACTIVE = "active"
+STATUS_SUSPENDED = "suspended"
+
+
+@dataclass
+class TradingPartnerAgreement:
+    """The contract for one partner/protocol pair.
+
+    :param partner_id: the counterparty.
+    :param protocol: B2B protocol name (e.g. ``"rosettanet"``).
+    :param our_role: the role *we* play in exchanges under this agreement
+        (``buyer`` initiates purchase orders, ``seller`` answers them);
+        one agreement covers one direction of commerce, matching how PIP
+        3A4 assigns fixed roles.
+    :param doc_types: business document kinds allowed under the agreement.
+    :param status: only ``active`` agreements admit traffic.
+    """
+
+    partner_id: str
+    protocol: str
+    our_role: str
+    doc_types: tuple[str, ...] = ("purchase_order", "po_ack")
+    status: str = STATUS_ACTIVE
+    properties: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.partner_id:
+            raise AgreementError("agreement needs a partner_id")
+        if not self.protocol:
+            raise AgreementError("agreement needs a protocol")
+        if self.our_role not in (ROLE_BUYER, ROLE_SELLER):
+            raise AgreementError(
+                f"our_role must be buyer or seller, got {self.our_role!r}"
+            )
+        if not self.doc_types:
+            raise AgreementError("agreement must allow at least one doc type")
+
+    @property
+    def their_role(self) -> str:
+        """The counterparty's role."""
+        return ROLE_SELLER if self.our_role == ROLE_BUYER else ROLE_BUYER
+
+    def is_active(self) -> bool:
+        """True when the agreement admits traffic."""
+        return self.status == STATUS_ACTIVE
+
+    def allows(self, doc_type: str) -> bool:
+        """True when ``doc_type`` may flow under this agreement."""
+        return self.is_active() and doc_type in self.doc_types
+
+    def suspend(self) -> None:
+        """Stop admitting traffic (partner off-boarding, disputes)."""
+        self.status = STATUS_SUSPENDED
+
+    def reactivate(self) -> None:
+        """Resume admitting traffic."""
+        self.status = STATUS_ACTIVE
+
+    def key(self) -> tuple[str, str, str]:
+        """Uniqueness key within a directory."""
+        return (self.partner_id, self.protocol, self.our_role)

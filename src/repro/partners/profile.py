@@ -1,0 +1,55 @@
+"""Trading partner profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import PartnerError
+
+__all__ = ["TradingPartner"]
+
+
+@dataclass
+class TradingPartner:
+    """One external organization we exchange business documents with.
+
+    :param partner_id: stable id used in agreements, rules and envelopes
+        (the paper's ``TP1``/``TP2``/``TP3``).
+    :param name: display name.
+    :param address: network address of the partner's endpoint (defaults to
+        the partner id).
+    :param protocols: B2B protocol names the partner can speak.
+    :param properties: free-form attributes (DUNS number, region, tier ...)
+        that business rules may consult.
+    """
+
+    partner_id: str
+    name: str = ""
+    address: str = ""
+    protocols: tuple[str, ...] = ()
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.partner_id:
+            raise PartnerError("partner_id must be non-empty")
+        if not self.name:
+            self.name = self.partner_id
+        if not self.address:
+            self.address = self.partner_id
+
+    def speaks(self, protocol: str) -> bool:
+        """True when the partner supports ``protocol``."""
+        return protocol in self.protocols
+
+    def with_protocol(self, protocol: str) -> "TradingPartner":
+        """Return a copy that additionally speaks ``protocol``."""
+        if self.speaks(protocol):
+            return self
+        return TradingPartner(
+            self.partner_id,
+            self.name,
+            self.address,
+            (*self.protocols, protocol),
+            dict(self.properties),
+        )

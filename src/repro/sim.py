@@ -1,0 +1,163 @@
+"""Discrete-event simulation core shared by messaging and workflow timers.
+
+Every runtime component in repro (the simulated network, RNIF-style
+reliable-messaging timers, workflow deadlines) advances against a single
+logical :class:`Clock` driven by an :class:`EventScheduler`.  Nothing in the
+library reads wall-clock time: runs are fully deterministic given a seed,
+which is what makes the reliability experiments (message loss / duplication
+sweeps) reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Clock", "ScheduledEvent", "EventScheduler"]
+
+
+class Clock:
+    """A logical clock measured in abstract time units (call them seconds).
+
+    The clock only moves when the scheduler advances it; components read it
+    via :meth:`now`.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current logical time."""
+        return self._now
+
+    def _advance_to(self, when: float) -> None:
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {when} < {self._now}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(t={self._now:.6f})"
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event queued on the scheduler.
+
+    Ordered by ``(when, seq)`` so that events scheduled for the same instant
+    fire in FIFO order, keeping runs deterministic.
+    """
+
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A deterministic discrete-event loop around a :class:`Clock`.
+
+    Components schedule callbacks at absolute or relative times; ``run``
+    variants pop events in time order, advancing the clock to each event's
+    timestamp before firing it.
+    """
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = clock or Clock()
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.fired = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def at(self, when: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` at absolute time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule in the past: {when} < {self.clock.now()}"
+            )
+        event = ScheduledEvent(when, next(self._seq), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.at(self.clock.now() + delay, action, label)
+
+    def soon(self, action: Callable[[], None], label: str = "") -> ScheduledEvent:
+        """Schedule ``action`` at the current time (after queued peers)."""
+        return self.at(self.clock.now(), action, label)
+
+    # -- introspection ------------------------------------------------------
+
+    def pending(self) -> int:
+        """Return the number of live (non-cancelled) queued events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def next_event_time(self) -> float | None:
+        """Return the timestamp of the next live event, or ``None``."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.when
+        return None
+
+    # -- running ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns ``False`` if none was queued."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock._advance_to(event.when)
+            self.fired += 1
+            event.action()
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Fire events until the queue drains.  Returns the count fired.
+
+        ``max_events`` guards against non-terminating feedback loops (e.g. a
+        retry timer that re-arms forever); exceeding it raises RuntimeError
+        because that always indicates a bug in the simulated protocol.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"scheduler exceeded {max_events} events; "
+                    "probable non-terminating simulation"
+                )
+        return fired
+
+    def run_until(self, deadline: float, max_events: int = 1_000_000) -> int:
+        """Fire events with timestamps <= ``deadline``; then set the clock
+        to ``deadline`` if it has not reached it.  Returns the count fired.
+        """
+        fired = 0
+        while True:
+            upcoming = self.next_event_time()
+            if upcoming is None or upcoming > deadline:
+                break
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"scheduler exceeded {max_events} events before "
+                    f"deadline {deadline}"
+                )
+        if self.clock.now() < deadline:
+            self.clock._advance_to(deadline)
+        return fired

@@ -1,0 +1,30 @@
+"""Transformation substrate: declarative mappings between document layouts.
+
+Section 3.2 of the paper: "defining transformations pose[s] a significant
+manual task ... a domain expert familiar with the business data content"
+must define them.  This package is the machinery those experts would use —
+a declarative field-mapping language (:mod:`repro.transform.mapping`), a
+library of conversion functions (:mod:`repro.transform.functions`), a
+registry/router (:mod:`repro.transform.transformer`) and the concrete
+catalog of expert-written mappings between every wire/back-end layout and
+the normalized layout (:mod:`repro.transform.catalog`).
+
+In the paper's advanced architecture, transformations execute exclusively
+inside *bindings* (Section 4.2); in the naive baseline they are entangled
+with the workflow itself (Figures 9–10).  Both consume this same substrate,
+which is what makes the complexity comparison fair.
+"""
+
+from repro.transform.mapping import Compute, Const, Each, Field, Mapping
+from repro.transform.transformer import TransformationRegistry
+from repro.transform.catalog import build_standard_registry
+
+__all__ = [
+    "Field",
+    "Const",
+    "Compute",
+    "Each",
+    "Mapping",
+    "TransformationRegistry",
+    "build_standard_registry",
+]

@@ -1,0 +1,134 @@
+"""Conversion-function library for mapping rules.
+
+Small, composable value converters used by the mapping catalog.  Factories
+(`code_map`, `scaled`, ...) return converters; plain functions are
+converters themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import MappingError
+
+__all__ = [
+    "to_str",
+    "to_int",
+    "to_float",
+    "money",
+    "to_cents",
+    "from_cents",
+    "upper",
+    "lower",
+    "strip",
+    "code_map",
+    "scaled",
+    "truncated",
+    "chained",
+]
+
+
+def to_str(value: Any) -> str:
+    """Render any scalar as a string."""
+    return "" if value is None else str(value)
+
+
+def to_int(value: Any) -> int:
+    """Coerce a scalar to int (floats must be integral)."""
+    if isinstance(value, bool):
+        raise MappingError(f"cannot convert bool {value!r} to int")
+    if isinstance(value, int):
+        return value
+    as_float = float(value)
+    if as_float != int(as_float):
+        raise MappingError(f"non-integral value {value!r} where int required")
+    return int(as_float)
+
+
+def to_float(value: Any) -> float:
+    """Coerce a scalar to float."""
+    if isinstance(value, bool):
+        raise MappingError(f"cannot convert bool {value!r} to float")
+    return float(value)
+
+
+def money(value: Any) -> float:
+    """Coerce to float rounded to 2 decimals (currency amounts)."""
+    return round(to_float(value), 2)
+
+
+def to_cents(value: Any) -> int:
+    """Currency amount -> integer cents (X12 TDS segments carry cents)."""
+    return int(round(to_float(value) * 100))
+
+
+def from_cents(value: Any) -> float:
+    """Integer cents -> currency amount."""
+    return round(to_float(value) / 100, 2)
+
+
+def upper(value: Any) -> str:
+    """Uppercase string conversion."""
+    return to_str(value).upper()
+
+
+def lower(value: Any) -> str:
+    """Lowercase string conversion."""
+    return to_str(value).lower()
+
+
+def strip(value: Any) -> str:
+    """Whitespace-stripped string conversion."""
+    return to_str(value).strip()
+
+
+def code_map(table: Mapping[Any, Any], label: str = "code") -> Callable[[Any], Any]:
+    """Return a converter translating through a closed code table.
+
+    Unknown codes raise :class:`MappingError` — semantic mismatches between
+    formats must surface, not pass through silently.
+    """
+    frozen = dict(table)
+
+    def convert(value: Any) -> Any:
+        if value not in frozen:
+            raise MappingError(f"unknown {label} {value!r}; known: {sorted(map(str, frozen))}")
+        return frozen[value]
+
+    convert.__name__ = f"code_map_{label}"
+    return convert
+
+
+def scaled(factor: float) -> Callable[[Any], float]:
+    """Return a converter multiplying numeric values by ``factor``."""
+
+    def convert(value: Any) -> float:
+        return to_float(value) * factor
+
+    convert.__name__ = f"scaled_{factor}"
+    return convert
+
+
+def truncated(width: int) -> Callable[[Any], str]:
+    """Return a converter truncating strings to ``width`` characters
+    (fixed-width back-end fields)."""
+
+    def convert(value: Any) -> str:
+        return to_str(value)[:width]
+
+    convert.__name__ = f"truncated_{width}"
+    return convert
+
+
+def chained(*converters: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    """Return a converter applying ``converters`` left to right."""
+
+    def convert(value: Any) -> Any:
+        for converter in converters:
+            value = converter(value)
+        return value
+
+    convert.__name__ = "chained_" + "_".join(
+        getattr(converter, "__name__", "fn") for converter in converters
+    )
+    return convert

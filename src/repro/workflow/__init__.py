@@ -1,0 +1,50 @@
+"""Workflow management substrate (the paper's WFMS, Section 2.1).
+
+A complete, self-contained workflow system in the WfMC style the paper
+assumes: workflow **types** (steps, control flow with conditions and joins,
+data flow, subworkflows) interpreted by a workflow **engine** that loads
+and stores workflow **instances** in a workflow **database** on every state
+advance — exactly the engine/database architecture of Figure 4, including
+the subworkflow execution semantics ("subworkflows cannot return control
+without being finished", Section 3.1) that the paper's argument against
+naive message-exchange encodings hinges on.
+
+:mod:`repro.workflow.distributed` adds the Section 2 distribution
+mechanisms: instance migration, automatic type migration (Figure 6),
+master/slave subworkflow distribution and write-through replication.
+"""
+
+from repro.workflow.expressions import Expression
+from repro.workflow.definitions import (
+    ActivityStep,
+    LoopStep,
+    RemoteSubworkflowStep,
+    SubworkflowStep,
+    Transition,
+    WorkflowBuilder,
+    WorkflowType,
+)
+from repro.workflow.instance import WorkflowInstance
+from repro.workflow.database import WorkflowDatabase
+from repro.workflow.activities import ActivityContext, ActivityRegistry, Waiting
+from repro.workflow.worklist import Worklist, WorkItem
+from repro.workflow.engine import WorkflowEngine
+
+__all__ = [
+    "Expression",
+    "ActivityStep",
+    "SubworkflowStep",
+    "RemoteSubworkflowStep",
+    "LoopStep",
+    "Transition",
+    "WorkflowBuilder",
+    "WorkflowType",
+    "WorkflowInstance",
+    "WorkflowDatabase",
+    "ActivityRegistry",
+    "ActivityContext",
+    "Waiting",
+    "Worklist",
+    "WorkItem",
+    "WorkflowEngine",
+]

@@ -1,0 +1,180 @@
+"""Activity implementations: the code behind elementary workflow steps.
+
+An *activity* is a named Python callable the engine invokes when an
+:class:`~repro.workflow.definitions.ActivityStep` becomes ready.  It
+receives an :class:`ActivityContext` and either returns its outputs (a
+dict) or returns a :class:`Waiting` marker to park the step until an
+external event — an arriving message, a human approval — completes it via
+``engine.complete_waiting_step``.
+
+Activities reach infrastructure (bindings, back ends, work lists) through
+``context.services``, a dict the engine's host injects; workflow types
+themselves stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.errors import ActivityError
+
+__all__ = ["Waiting", "ActivityContext", "ActivityRegistry", "built_in_registry"]
+
+
+@dataclass(frozen=True)
+class Waiting:
+    """Returned by an activity to park its step on an external event.
+
+    :param wait_key: key the external completion must present (defaults to
+        ``"<instance_id>/<step_id>"`` when empty); lets message correlation
+        find the parked step.
+    """
+
+    wait_key: str = ""
+
+
+@dataclass
+class ActivityContext:
+    """Everything an activity implementation may see.
+
+    :param instance_id / step_id: where the invocation happens.
+    :param inputs: evaluated input expressions (read-only by convention).
+    :param params: the step's static configuration.
+    :param variables: snapshot of instance variables (mutations are
+        ignored — data flows back only through returned outputs).
+    :param services: host-injected infrastructure (messaging, worklist,
+        back ends, rule engine ...).
+    :param now: logical time of the invocation.
+    :param engine_name: the executing engine (distribution experiments).
+    """
+
+    instance_id: str
+    step_id: str
+    inputs: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+    variables: dict[str, Any] = field(default_factory=dict)
+    services: dict[str, Any] = field(default_factory=dict)
+    now: float = 0.0
+    engine_name: str = ""
+
+    def service(self, name: str) -> Any:
+        """Return the injected service ``name`` (raises when absent)."""
+        try:
+            return self.services[name]
+        except KeyError:
+            raise ActivityError(
+                f"activity at {self.instance_id}/{self.step_id} needs service "
+                f"{name!r}, which the engine host did not inject"
+            ) from None
+
+    def default_wait_key(self) -> str:
+        """The wait key used when an activity returns ``Waiting("")``."""
+        return f"{self.instance_id}/{self.step_id}"
+
+
+ActivityFn = Callable[[ActivityContext], "Mapping[str, Any] | Waiting | None"]
+
+
+class ActivityRegistry:
+    """Name -> implementation table, one per engine."""
+
+    def __init__(self):
+        self._activities: dict[str, ActivityFn] = {}
+
+    def register(self, name: str, fn: ActivityFn, replace: bool = False) -> None:
+        """Register ``fn`` under ``name``."""
+        if not name:
+            raise ActivityError("activity name must be non-empty")
+        if name in self._activities and not replace:
+            raise ActivityError(f"activity {name!r} already registered")
+        self._activities[name] = fn
+
+    def register_many(self, activities: Mapping[str, ActivityFn]) -> None:
+        """Register several activities at once."""
+        for name, fn in activities.items():
+            self.register(name, fn)
+
+    def get(self, name: str) -> ActivityFn:
+        """Return the implementation for ``name``."""
+        try:
+            return self._activities[name]
+        except KeyError:
+            raise ActivityError(f"no activity implementation named {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        """True when ``name`` is registered."""
+        return name in self._activities
+
+    def names(self) -> list[str]:
+        """All registered activity names."""
+        return sorted(self._activities)
+
+    def invoke(self, name: str, context: ActivityContext) -> Mapping[str, Any] | Waiting:
+        """Invoke the activity; normalizes ``None`` to ``{}``.
+
+        Exceptions from the implementation are wrapped in
+        :class:`ActivityError` with the invocation site attached.
+        """
+        fn = self.get(name)
+        try:
+            result = fn(context)
+        except ActivityError:
+            raise
+        except Exception as exc:
+            raise ActivityError(
+                f"activity {name!r} failed at "
+                f"{context.instance_id}/{context.step_id}: {exc!r}"
+            ) from exc
+        if result is None:
+            return {}
+        if isinstance(result, Waiting):
+            return result
+        if not isinstance(result, Mapping):
+            raise ActivityError(
+                f"activity {name!r} returned {type(result).__name__}; "
+                "expected a mapping, Waiting, or None"
+            )
+        return dict(result)
+
+
+# ---------------------------------------------------------------------------
+# Built-in activities
+# ---------------------------------------------------------------------------
+
+
+def _noop(context: ActivityContext) -> dict[str, Any]:
+    """Do nothing (placeholders, structural tests)."""
+    return {}
+
+
+def _set_variables(context: ActivityContext) -> dict[str, Any]:
+    """Return the evaluated inputs as outputs (pure data-flow step)."""
+    return dict(context.inputs)
+
+
+def _wait_for_event(context: ActivityContext) -> Waiting:
+    """Park the step until an external event completes it.
+
+    ``params["wait_key"]`` overrides the default wait key.
+    """
+    return Waiting(context.params.get("wait_key", ""))
+
+
+def _fail(context: ActivityContext) -> dict[str, Any]:
+    """Raise deliberately (failure-injection tests)."""
+    raise ActivityError(context.params.get("message", "injected failure"))
+
+
+def built_in_registry() -> ActivityRegistry:
+    """Return a registry preloaded with the generic activities."""
+    registry = ActivityRegistry()
+    registry.register_many(
+        {
+            "noop": _noop,
+            "set_variables": _set_variables,
+            "wait_for_event": _wait_for_event,
+            "fail": _fail,
+        }
+    )
+    return registry

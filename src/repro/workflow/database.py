@@ -1,0 +1,192 @@
+"""The workflow database of Figure 4: types and instances, persisted.
+
+Every state advance follows the paper's cycle — "the workflow engine
+retrieves the state of the workflow instance in question, advances the
+workflow instance and stores the advanced state ... back into the
+database".  To make that boundary real (and measurable, experiment F4),
+loads and stores pass through dict snapshots: an engine never holds live
+references into the database, and the ``loads``/``stores`` counters expose
+the persistence traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.errors import PersistenceError
+from repro.workflow.definitions import WorkflowType
+from repro.workflow.instance import WorkflowInstance
+
+__all__ = ["WorkflowDatabase", "ReplicatedDatabase"]
+
+
+class WorkflowDatabase:
+    """In-memory workflow database with snapshot persistence semantics."""
+
+    def __init__(self, name: str = "workflow-db"):
+        self.name = name
+        self._types: dict[tuple[str, str], dict[str, Any]] = {}
+        self._instances: dict[str, dict[str, Any]] = {}
+        self.type_stores = 0
+        self.type_loads = 0
+        self.instance_stores = 0
+        self.instance_loads = 0
+
+    # -- workflow types ----------------------------------------------------------
+
+    def store_type(self, workflow_type: WorkflowType) -> None:
+        """Persist (or overwrite) a workflow type definition."""
+        self._types[(workflow_type.name, workflow_type.version)] = workflow_type.to_dict()
+        self.type_stores += 1
+
+    def has_type(self, name: str, version: str = "") -> bool:
+        """True when the type (any version if ``version`` empty) is stored."""
+        if version:
+            return (name, version) in self._types
+        return any(stored_name == name for stored_name, _ in self._types)
+
+    def load_type(self, name: str, version: str = "") -> WorkflowType:
+        """Load a type; empty ``version`` resolves to the highest version."""
+        self.type_loads += 1
+        if version:
+            payload = self._types.get((name, version))
+            if payload is None:
+                raise PersistenceError(
+                    f"{self.name}: no workflow type {name!r} version {version!r}"
+                )
+            return WorkflowType.from_dict(payload)
+        candidates = [key for key in self._types if key[0] == name]
+        if not candidates:
+            raise PersistenceError(f"{self.name}: no workflow type {name!r}")
+        latest = max(candidates, key=lambda key: _version_sort_key(key[1]))
+        return WorkflowType.from_dict(self._types[latest])
+
+    def delete_type(self, name: str, version: str) -> None:
+        """Remove a stored type version."""
+        try:
+            del self._types[(name, version)]
+        except KeyError:
+            raise PersistenceError(
+                f"{self.name}: no workflow type {name!r} version {version!r}"
+            ) from None
+
+    def list_types(self) -> list[WorkflowType]:
+        """All stored type definitions (used by the exposure metric)."""
+        return [WorkflowType.from_dict(payload) for payload in self._types.values()]
+
+    def type_keys(self) -> list[tuple[str, str]]:
+        """All stored (name, version) pairs."""
+        return sorted(self._types)
+
+    # -- workflow instances ---------------------------------------------------------
+
+    def store_instance(self, instance: WorkflowInstance) -> None:
+        """Persist the instance snapshot."""
+        self._instances[instance.instance_id] = instance.to_dict()
+        self.instance_stores += 1
+
+    def has_instance(self, instance_id: str) -> bool:
+        """True when an instance with this id is stored."""
+        return instance_id in self._instances
+
+    def load_instance(self, instance_id: str) -> WorkflowInstance:
+        """Load an instance snapshot."""
+        self.instance_loads += 1
+        payload = self._instances.get(instance_id)
+        if payload is None:
+            raise PersistenceError(f"{self.name}: no workflow instance {instance_id!r}")
+        return WorkflowInstance.from_dict(payload)
+
+    def delete_instance(self, instance_id: str) -> None:
+        """Remove a stored instance."""
+        try:
+            del self._instances[instance_id]
+        except KeyError:
+            raise PersistenceError(
+                f"{self.name}: no workflow instance {instance_id!r}"
+            ) from None
+
+    def list_instances(self, status: str | None = None) -> list[WorkflowInstance]:
+        """All instances, optionally filtered by lifecycle status."""
+        instances = [
+            WorkflowInstance.from_dict(payload) for payload in self._instances.values()
+        ]
+        if status is not None:
+            instances = [instance for instance in instances if instance.status == status]
+        return instances
+
+    def instance_count(self) -> int:
+        """Number of stored instances."""
+        return len(self._instances)
+
+    # -- durability --------------------------------------------------------------------
+
+    def snapshot(self) -> str:
+        """Serialize the whole database to a JSON string."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "types": [
+                    {"name": name, "version": version, "definition": payload}
+                    for (name, version), payload in sorted(self._types.items())
+                ],
+                "instances": sorted(self._instances.values(), key=lambda p: p["instance_id"]),
+            }
+        )
+
+    @classmethod
+    def restore(cls, snapshot: str) -> "WorkflowDatabase":
+        """Rebuild a database from :meth:`snapshot` output."""
+        try:
+            payload = json.loads(snapshot)
+            database = cls(payload["name"])
+            for entry in payload["types"]:
+                database._types[(entry["name"], entry["version"])] = entry["definition"]
+            for entry in payload["instances"]:
+                database._instances[entry["instance_id"]] = entry
+        except (KeyError, TypeError, json.JSONDecodeError) as exc:
+            raise PersistenceError(f"corrupt database snapshot: {exc}") from exc
+        return database
+
+
+def _version_sort_key(version: str) -> tuple[int, Any]:
+    """Sort numeric versions numerically, others lexicographically."""
+    try:
+        return (1, int(version))
+    except ValueError:
+        return (0, version)
+
+
+class ReplicatedDatabase(WorkflowDatabase):
+    """Write-through replication across replica databases (Section 2.1's
+    *workflow instance replication*: "any change in one workflow engine is
+    automatically, consistently and immediately reflected in all the other
+    workflow engine databases").
+    """
+
+    def __init__(self, name: str, replicas: list[WorkflowDatabase]):
+        super().__init__(name)
+        self.replicas = list(replicas)
+
+    def store_type(self, workflow_type: WorkflowType) -> None:
+        super().store_type(workflow_type)
+        for replica in self.replicas:
+            replica.store_type(workflow_type)
+
+    def store_instance(self, instance: WorkflowInstance) -> None:
+        super().store_instance(instance)
+        for replica in self.replicas:
+            replica.store_instance(instance)
+
+    def delete_instance(self, instance_id: str) -> None:
+        super().delete_instance(instance_id)
+        for replica in self.replicas:
+            if replica.has_instance(instance_id):
+                replica.delete_instance(instance_id)
+
+
+def apply_to_all(databases: list[WorkflowDatabase], action: Callable[[WorkflowDatabase], None]) -> None:
+    """Apply ``action`` to every database (administration helper)."""
+    for database in databases:
+        action(database)

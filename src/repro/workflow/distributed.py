@@ -1,0 +1,182 @@
+"""Distributed workflow management (Section 2.1, Figures 5 and 6).
+
+Three mechanisms, exactly as the paper defines them:
+
+* **Workflow instance migration** (Figure 5(a)): an instance moves between
+  engines — "stored in two different workflow engine databases at two
+  different points in time".  :func:`migrate_instance` implements the
+  automatic **type migration** protocol of Figure 6 (check whether the
+  target has the type; send it if not; then migrate the instance) and
+  reports the exchanges, so the coupling cost is measurable.
+
+* **Workflow instance distribution** (Figure 5(b)): a subworkflow runs on a
+  different engine while its parent waits — implemented by
+  :class:`~repro.workflow.definitions.RemoteSubworkflowStep` plus the
+  :class:`EngineDirectory` here.  Only the child's *interface* crosses the
+  boundary; its definition lives solely on the remote engine.
+
+* **Workflow instance replication**:
+  :class:`~repro.workflow.database.ReplicatedDatabase` write-through (the
+  paper notes this variant and sets it aside; so do we).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MigrationError
+from repro.workflow.definitions import LoopStep, SubworkflowStep, WorkflowType
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.instance import (
+    INSTANCE_MIGRATED,
+    STEP_WAITING,
+    WorkflowInstance,
+)
+
+__all__ = ["EngineDirectory", "MigrationReport", "migrate_instance", "type_closure"]
+
+
+class EngineDirectory:
+    """Name -> engine lookup for cross-engine operations.
+
+    Inject it as the ``engine_directory`` service so
+    :class:`RemoteSubworkflowStep` steps can reach their remote engines.
+    """
+
+    def __init__(self):
+        self._engines: dict[str, WorkflowEngine] = {}
+
+    def register(self, engine: WorkflowEngine) -> WorkflowEngine:
+        """Add ``engine`` and wire the directory into its services."""
+        if engine.name in self._engines:
+            raise MigrationError(f"engine {engine.name!r} already registered")
+        self._engines[engine.name] = engine
+        engine.services.setdefault("engine_directory", self)
+        return engine
+
+    def get(self, name: str) -> WorkflowEngine:
+        """Return the engine named ``name``."""
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise MigrationError(f"no engine named {name!r} in directory") from None
+
+    def names(self) -> list[str]:
+        """All registered engine names."""
+        return sorted(self._engines)
+
+
+@dataclass
+class MigrationReport:
+    """What one migration cost — the coupling evidence for Section 2.3.
+
+    :param type_checks: "does the target have this type?" round trips
+        (step 1 in Figure 6).
+    :param types_sent: workflow type definitions copied to the target
+        (step 2) — each one is proprietary knowledge leaving its owner.
+    :param instances_sent: instance snapshots moved (step 3); children of
+        subworkflow steps migrate with their parents.
+    :param wait_keys_moved: parked external-event keys re-registered on
+        the target engine.
+    """
+
+    type_checks: int = 0
+    types_sent: int = 0
+    instances_sent: int = 0
+    wait_keys_moved: int = 0
+    migrated_types: list[str] = field(default_factory=list)
+
+    @property
+    def messages_exchanged(self) -> int:
+        """Total inter-engine exchanges for this migration."""
+        return self.type_checks + self.types_sent + self.instances_sent
+
+
+def type_closure(engine: WorkflowEngine, name: str, version: str = "") -> list[WorkflowType]:
+    """Return the type and every (sub)workflow type it references.
+
+    A migrating instance needs its whole definition closure on the target
+    (Section 2.1: the workflow type "must either be fully resolved ... or
+    the parts of the definition have to be available ... as consistent
+    copies").  Remote subworkflows are excluded — their definitions stay on
+    their own engines by design.
+    """
+    closure: list[WorkflowType] = []
+    seen: set[tuple[str, str]] = set()
+    frontier = [(name, version)]
+    while frontier:
+        type_name, type_version = frontier.pop()
+        workflow_type = engine.database.load_type(type_name, type_version)
+        key = (workflow_type.name, workflow_type.version)
+        if key in seen:
+            continue
+        seen.add(key)
+        closure.append(workflow_type)
+        for step in workflow_type.steps.values():
+            if isinstance(step, SubworkflowStep):
+                frontier.append((step.subworkflow, step.version))
+            elif isinstance(step, LoopStep):
+                frontier.append((step.body, ""))
+    return closure
+
+
+def migrate_instance(
+    source: WorkflowEngine,
+    target: WorkflowEngine,
+    instance_id: str,
+    report: MigrationReport | None = None,
+) -> MigrationReport:
+    """Move ``instance_id`` (and its running children) from ``source`` to
+    ``target``, migrating missing workflow types first (Figure 6).
+
+    The source keeps a tombstone snapshot in status ``migrated`` — the
+    instance existed there at an earlier point in time, which is precisely
+    the paper's definition of migration.
+    """
+    report = report or MigrationReport()
+    instance = source.database.load_instance(instance_id)
+    if instance.status == INSTANCE_MIGRATED:
+        raise MigrationError(f"instance {instance_id} was already migrated away")
+
+    # Step 1 + 2 of Figure 6: ensure the type closure exists on the target.
+    for workflow_type in type_closure(source, instance.type_name, instance.type_version):
+        report.type_checks += 1
+        if not target.database.has_type(workflow_type.name, workflow_type.version):
+            target.database.store_type(workflow_type)
+            report.types_sent += 1
+            report.migrated_types.append(
+                f"{workflow_type.name}@{workflow_type.version}"
+            )
+
+    # Step 3: move the instance state (children first, so the parent's
+    # child references resolve on the target).
+    for state in instance.steps.values():
+        if state.status == STEP_WAITING and state.child_instance_id:
+            if source.database.has_instance(state.child_instance_id):
+                migrate_instance(source, target, state.child_instance_id, report)
+
+    _transfer(source, target, instance, report)
+    return report
+
+
+def _transfer(
+    source: WorkflowEngine,
+    target: WorkflowEngine,
+    instance: WorkflowInstance,
+    report: MigrationReport,
+) -> None:
+    snapshot = instance.to_dict()
+    target.database.store_instance(WorkflowInstance.from_dict(snapshot))
+    report.instances_sent += 1
+
+    # Re-home parked external-event keys so completions reach the target.
+    for state in instance.steps.values():
+        if state.status == STEP_WAITING and state.wait_key:
+            source._wait_index.pop(state.wait_key, None)
+            target._wait_index[state.wait_key] = (instance.instance_id, state.step_id)
+            report.wait_keys_moved += 1
+
+    tombstone = WorkflowInstance.from_dict(snapshot)
+    tombstone.status = INSTANCE_MIGRATED
+    tombstone.record(source.clock.now(), "migrated", detail=f"to {target.name}")
+    source.database.store_instance(tombstone)

@@ -1,0 +1,264 @@
+"""Safe condition/data expression language for workflow types.
+
+Transition conditions like the paper's ``PO.amount > 10000`` (Figure 1) or
+``PO.amount >= 55000 and source == 'TP1'`` (Figure 9) are written in a
+restricted Python-expression subset, compiled once per workflow type and
+evaluated against the instance's variables.
+
+Supported grammar: literals, variable names, dotted attribute access into
+dicts and :class:`~repro.documents.model.Document` values, constant
+subscripts, arithmetic (``+ - * / % //``), comparisons (including chained),
+``and/or/not``, membership tests, and the ``len``/``min``/``max``/``abs``/
+``round`` builtins.  Everything else — calls, lambdas, comprehensions,
+attribute access on arbitrary objects — is rejected at **compile** time, so
+a workflow type containing a malicious or malformed condition fails at
+deployment, not mid-instance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Mapping
+
+from repro.documents.model import Document
+from repro.errors import ExpressionError
+
+__all__ = ["Expression"]
+
+_ALLOWED_FUNCTIONS: dict[str, Any] = {
+    "len": len,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "round": round,
+}
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.Mod: lambda a, b: a % b,
+    ast.FloorDiv: lambda a, b: a // b,
+}
+
+_COMPARE_OPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+    ast.Is: lambda a, b: a is b,
+    ast.IsNot: lambda a, b: a is not b,
+}
+
+
+class Expression:
+    """A compiled, reusable expression.
+
+    >>> Expression("PO.amount > 10000").evaluate({"PO": {"amount": 20000}})
+    True
+    """
+
+    __slots__ = ("text", "_tree")
+
+    def __init__(self, text: str):
+        if not isinstance(text, str) or not text.strip():
+            raise ExpressionError(f"empty expression: {text!r}")
+        self.text = text
+        try:
+            tree = ast.parse(text, mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"syntax error in {text!r}: {exc.msg}") from None
+        self._check(tree.body)
+        self._tree = tree.body
+
+    # -- compile-time whitelist ------------------------------------------------
+
+    def _check(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float, str, bool, type(None))):
+                raise ExpressionError(
+                    f"{self.text!r}: unsupported literal {node.value!r}"
+                )
+            return
+        if isinstance(node, ast.Name):
+            return
+        if isinstance(node, ast.Attribute):
+            self._check(node.value)
+            return
+        if isinstance(node, ast.Subscript):
+            self._check(node.value)
+            if not isinstance(node.slice, ast.Constant) or not isinstance(
+                node.slice.value, (int, str)
+            ):
+                raise ExpressionError(
+                    f"{self.text!r}: only constant int/str subscripts allowed"
+                )
+            return
+        if isinstance(node, ast.UnaryOp):
+            if not isinstance(node.op, (ast.Not, ast.USub, ast.UAdd)):
+                raise ExpressionError(f"{self.text!r}: unsupported unary operator")
+            self._check(node.operand)
+            return
+        if isinstance(node, ast.BinOp):
+            if type(node.op) not in _BIN_OPS:
+                raise ExpressionError(f"{self.text!r}: unsupported binary operator")
+            self._check(node.left)
+            self._check(node.right)
+            return
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._check(value)
+            return
+        if isinstance(node, ast.Compare):
+            self._check(node.left)
+            for op, comparator in zip(node.ops, node.comparators):
+                if type(op) not in _COMPARE_OPS:
+                    raise ExpressionError(f"{self.text!r}: unsupported comparison")
+                self._check(comparator)
+            return
+        if isinstance(node, ast.Call):
+            if (
+                not isinstance(node.func, ast.Name)
+                or node.func.id not in _ALLOWED_FUNCTIONS
+                or node.keywords
+            ):
+                raise ExpressionError(
+                    f"{self.text!r}: only {sorted(_ALLOWED_FUNCTIONS)} may be called"
+                )
+            for argument in node.args:
+                self._check(argument)
+            return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self._check(element)
+            return
+        raise ExpressionError(
+            f"{self.text!r}: construct {type(node).__name__} not allowed"
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(self, variables: Mapping[str, Any]) -> Any:
+        """Evaluate against ``variables``; raises :class:`ExpressionError`."""
+        try:
+            return self._eval(self._tree, variables)
+        except ExpressionError:
+            raise
+        except Exception as exc:
+            raise ExpressionError(f"evaluating {self.text!r}: {exc!r}") from exc
+
+    def evaluate_bool(self, variables: Mapping[str, Any]) -> bool:
+        """Evaluate as a condition (result coerced with ``bool``)."""
+        return bool(self.evaluate(variables))
+
+    def _eval(self, node: ast.AST, variables: Mapping[str, Any]) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id not in variables:
+                raise ExpressionError(
+                    f"{self.text!r}: unknown variable {node.id!r}"
+                )
+            return variables[node.id]
+        if isinstance(node, ast.Attribute):
+            value = self._eval(node.value, variables)
+            return self._access(value, node.attr)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value, variables)
+            key = node.slice.value  # type: ignore[attr-defined]
+            return self._access(value, key)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, variables)
+            if isinstance(node.op, ast.Not):
+                return not operand
+            if isinstance(node.op, ast.USub):
+                return -operand
+            return +operand
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, variables)
+            right = self._eval(node.right, variables)
+            return _BIN_OPS[type(node.op)](left, right)
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result: Any = True
+                for value in node.values:
+                    result = self._eval(value, variables)
+                    if not result:
+                        return result
+                return result
+            for value in node.values:
+                result = self._eval(value, variables)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, variables)
+            for op, comparator in zip(node.ops, node.comparators):
+                right = self._eval(comparator, variables)
+                if not _COMPARE_OPS[type(op)](left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.Call):
+            function = _ALLOWED_FUNCTIONS[node.func.id]  # type: ignore[attr-defined]
+            return function(*(self._eval(argument, variables) for argument in node.args))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            values = [self._eval(element, variables) for element in node.elts]
+            return tuple(values) if isinstance(node, ast.Tuple) else values
+        raise ExpressionError(
+            f"{self.text!r}: construct {type(node).__name__} not allowed"
+        )  # pragma: no cover - compile check prevents this
+
+    def _access(self, value: Any, key: Any) -> Any:
+        """Resolve attribute/subscript access into containers and documents.
+
+        The paper writes ``PO.amount``; when ``PO`` is a normalized
+        purchase-order document, ``amount`` resolves to the computed
+        ``summary.total_amount``.
+        """
+        if isinstance(value, Document):
+            if key == "amount":
+                for candidate in ("summary.total_amount", "summary.accepted_amount"):
+                    if value.has(candidate):
+                        return value.get(candidate)
+            if isinstance(key, str) and value.has(key):
+                return value.get(key)
+            if isinstance(key, str) and value.has(f"header.{key}"):
+                return value.get(f"header.{key}")
+            raise ExpressionError(
+                f"{self.text!r}: document has no field {key!r}"
+            )
+        if isinstance(value, Mapping):
+            if key in value:
+                return value[key]
+            raise ExpressionError(f"{self.text!r}: no key {key!r}")
+        if isinstance(value, (list, tuple)) and isinstance(key, int):
+            try:
+                return value[key]
+            except IndexError:
+                raise ExpressionError(f"{self.text!r}: index {key} out of range") from None
+        raise ExpressionError(
+            f"{self.text!r}: cannot access {key!r} on {type(value).__name__}"
+        )
+
+    def variables_used(self) -> set[str]:
+        """Return the top-level variable names this expression reads."""
+        return {
+            node.id
+            for node in ast.walk(self._tree)
+            if isinstance(node, ast.Name) and node.id not in _ALLOWED_FUNCTIONS
+        }
+
+    def __repr__(self) -> str:
+        return f"Expression({self.text!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expression) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)

@@ -1,0 +1,165 @@
+"""Work lists: human tasks (the paper's "Approve PO" steps), simulated.
+
+Figure 1's approval steps are human decisions behind business rules.  The
+reproduction keeps the workflow semantics — the step parks, a work item
+appears on a role's work list, a decision completes the step — but replaces
+the person with a scripted :func:`auto-approver <Worklist.set_auto_policy>`
+so runs stay deterministic (see the substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorklistError
+from repro.messaging.envelope import IdGenerator
+
+__all__ = ["WorkItem", "Worklist"]
+
+ITEM_OPEN = "open"
+ITEM_CLAIMED = "claimed"
+ITEM_COMPLETED = "completed"
+
+CompletionCallback = Callable[["WorkItem"], None]
+AutoPolicy = Callable[["WorkItem"], "dict[str, Any] | None"]
+
+
+@dataclass
+class WorkItem:
+    """One pending human decision.
+
+    :param payload: what the approver sees (e.g. the normalized PO data).
+    :param role: who may claim it (e.g. ``"purchasing-manager"``).
+    :param decision: outputs recorded on completion (e.g.
+        ``{"approved": True}``).
+    """
+
+    item_id: str
+    instance_id: str
+    step_id: str
+    subject: str
+    role: str = "approver"
+    payload: dict[str, Any] = field(default_factory=dict)
+    status: str = ITEM_OPEN
+    claimed_by: str = ""
+    decision: dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+    completed_at: float | None = None
+
+
+class Worklist:
+    """The work-item store of one enterprise's WFMS."""
+
+    def __init__(self, name: str = "worklist"):
+        self.name = name
+        self._items: dict[str, WorkItem] = {}
+        self._ids = IdGenerator(f"WI-{name}")
+        self._completion_callback: CompletionCallback | None = None
+        self._auto_policy: AutoPolicy | None = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def on_completion(self, callback: CompletionCallback | None) -> None:
+        """Register the engine callback fired when an item completes."""
+        self._completion_callback = callback
+
+    def set_auto_policy(self, policy: AutoPolicy | None) -> None:
+        """Install a scripted approver.
+
+        The policy sees each newly added item; returning a decision dict
+        completes the item immediately, returning ``None`` leaves it open
+        for a manual :meth:`complete` call.
+        """
+        self._auto_policy = policy
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def add(
+        self,
+        instance_id: str,
+        step_id: str,
+        subject: str,
+        payload: dict[str, Any] | None = None,
+        role: str = "approver",
+        now: float = 0.0,
+    ) -> WorkItem:
+        """Create a work item for a parked workflow step."""
+        item = WorkItem(
+            item_id=self._ids.next(),
+            instance_id=instance_id,
+            step_id=step_id,
+            subject=subject,
+            role=role,
+            payload=dict(payload or {}),
+            created_at=now,
+        )
+        self._items[item.item_id] = item
+        if self._auto_policy is not None:
+            decision = self._auto_policy(item)
+            if decision is not None:
+                self.complete(item.item_id, decision, completed_by="auto-policy", now=now)
+        return item
+
+    def claim(self, item_id: str, user: str) -> WorkItem:
+        """Claim an open item for ``user``."""
+        item = self._get(item_id)
+        if item.status != ITEM_OPEN:
+            raise WorklistError(f"work item {item_id} is {item.status}, not open")
+        item.status = ITEM_CLAIMED
+        item.claimed_by = user
+        return item
+
+    def complete(
+        self,
+        item_id: str,
+        decision: dict[str, Any],
+        completed_by: str = "",
+        now: float = 0.0,
+    ) -> WorkItem:
+        """Record the decision and notify the engine."""
+        item = self._get(item_id)
+        if item.status == ITEM_COMPLETED:
+            raise WorklistError(f"work item {item_id} is already completed")
+        if item.status == ITEM_CLAIMED and completed_by and item.claimed_by != completed_by:
+            raise WorklistError(
+                f"work item {item_id} is claimed by {item.claimed_by!r}, "
+                f"not {completed_by!r}"
+            )
+        item.status = ITEM_COMPLETED
+        item.decision = dict(decision)
+        item.completed_at = now
+        if completed_by:
+            item.claimed_by = completed_by
+        if self._completion_callback is not None:
+            self._completion_callback(item)
+        return item
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _get(self, item_id: str) -> WorkItem:
+        try:
+            return self._items[item_id]
+        except KeyError:
+            raise WorklistError(f"no work item {item_id!r}") from None
+
+    def get(self, item_id: str) -> WorkItem:
+        """Return the item with ``item_id``."""
+        return self._get(item_id)
+
+    def open_items(self, role: str | None = None) -> list[WorkItem]:
+        """Open items, optionally filtered by role."""
+        items = [item for item in self._items.values() if item.status == ITEM_OPEN]
+        if role is not None:
+            items = [item for item in items if item.role == role]
+        return items
+
+    def items_for_instance(self, instance_id: str) -> list[WorkItem]:
+        """All items raised by one workflow instance."""
+        return [
+            item for item in self._items.values() if item.instance_id == instance_id
+        ]
+
+    def completed_count(self) -> int:
+        """Number of completed items (experiment counters)."""
+        return sum(1 for item in self._items.values() if item.status == ITEM_COMPLETED)

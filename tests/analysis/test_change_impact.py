@@ -1,0 +1,94 @@
+"""Tests for the Section 4.5 change catalogue."""
+
+import pytest
+
+from repro.analysis.change_impact import CHANGE_SCENARIOS, change_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return {row["scenario"]: row for row in change_table()}
+
+
+class TestCatalogue:
+    def test_nine_scenarios(self):
+        assert len(CHANGE_SCENARIOS) == 9
+
+    def test_every_scenario_has_both_measurements(self, table):
+        for row in table.values():
+            assert row["advanced_impact"] >= 0
+            assert row["naive_impact"] >= 0
+
+
+class TestPaperLocalityClaims:
+    def test_advanced_locality_matches_paper(self, table):
+        for row in table.values():
+            assert row["advanced_locality"] == row["expected_advanced_locality"], (
+                row["scenario"]
+            )
+
+    def test_audit_step_is_local_both_sides(self, table):
+        row = table["add_audit_step"]
+        assert row["advanced_locality"] == "local"
+        assert row["advanced_impact"] == 1  # exactly the private process
+
+    def test_transport_acks_touch_only_public(self, table):
+        row = table["model_transport_acks"]
+        report = row["advanced_report"]
+        assert report.kinds_touched() == {"public"}
+
+    def test_document_field_is_nonlocal_everywhere(self, table):
+        row = table["add_document_field"]
+        assert row["advanced_locality"] == "non-local"
+        assert len(row["advanced_report"].kinds_touched()) >= 3
+
+
+class TestSection46Claims:
+    """'Adding a new trading partner only requires to add business rules.'"""
+
+    def test_partner_same_protocol_modifies_nothing_advanced(self, table):
+        row = table["add_partner_same_protocol"]
+        assert row["advanced_modified"] == 0
+        report = row["advanced_report"]
+        assert {key.split(":", 1)[0] for key in report.added} == {
+            "partner", "agreement", "rule",
+        }
+
+    def test_partner_same_protocol_modifies_naive_type(self, table):
+        row = table["add_partner_same_protocol"]
+        assert row["naive_modified"] > 0  # conditions + routing table change
+
+    def test_new_protocol_is_additive_advanced(self, table):
+        row = table["add_partner_new_protocol"]
+        assert row["advanced_modified"] == 0
+        kinds = {key.split(":", 1)[0] for key in row["advanced_report"].added}
+        assert "public" in kinds and "binding" in kinds
+
+    def test_new_protocol_rewrites_naive_graph(self, table):
+        row = table["add_partner_new_protocol"]
+        assert row["naive_impact"] > row["advanced_impact"]
+        assert row["naive_modified"] > 0
+
+    def test_backend_is_additive_advanced(self, table):
+        row = table["add_backend"]
+        assert row["advanced_modified"] == 0
+
+    def test_backend_explodes_naive(self, table):
+        row = table["add_backend"]
+        assert row["naive_impact"] > 3 * row["advanced_impact"]
+
+    def test_threshold_change_is_one_rule(self, table):
+        row = table["change_rule_threshold"]
+        assert row["advanced_impact"] == 1
+        assert row["advanced_report"].modified[0].startswith("rule:")
+
+    def test_partner_removal_is_subtractive_advanced(self, table):
+        row = table["remove_partner"]
+        report = row["advanced_report"]
+        assert report.modified == []
+        assert report.removed
+
+    def test_new_private_process_tiny_advanced_huge_naive(self, table):
+        row = table["add_private_process"]
+        assert row["advanced_impact"] == 1
+        assert row["naive_impact"] >= 40  # a whole second monolithic type

@@ -1,0 +1,96 @@
+"""Tests for the growth-curve experiments (F9/F10, Section 4.6)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    advanced_metrics,
+    figure9_to_figure10_change,
+    growth_rows,
+    naive_metrics,
+)
+
+
+class TestGrowthShapes:
+    """The paper's qualitative claims as monotone/shape assertions."""
+
+    def test_naive_grows_multiplicatively_in_backends(self):
+        totals = [naive_metrics(2, 2, b).total_elements for b in (1, 2, 4, 8)]
+        assert totals == sorted(totals)
+        # superlinear: doubling B more than doubles the increments
+        increments = [b - a for a, b in zip(totals, totals[1:])]
+        assert increments[-1] > increments[0]
+
+    def test_advanced_grows_additively_in_backends(self):
+        totals = [advanced_metrics(2, 2, b).total_elements for b in (1, 2, 4, 8)]
+        increments = [b - a for a, b in zip(totals, totals[1:])]
+        # per-step growth stays flat (one binding + rules per backend)
+        per_backend = [inc / step for inc, step in zip(increments, (1, 2, 4))]
+        assert max(per_backend) <= min(per_backend) * 1.5
+
+    def test_naive_exceeds_advanced_at_scale(self):
+        """The crossover claim: the advanced model costs more at toy scale
+        but wins as any dimension grows."""
+        assert naive_metrics(1, 1, 1).total_elements < advanced_metrics(1, 1, 1).total_elements
+        assert naive_metrics(4, 4, 4).total_elements > advanced_metrics(4, 4, 4).total_elements
+        assert naive_metrics(6, 6, 2).total_elements > advanced_metrics(6, 6, 2).total_elements
+
+    def test_advanced_private_process_is_constant(self):
+        """Section 4.6: the private process is untouched by growth."""
+        steps = [
+            advanced_metrics(p, t, b).workflow_steps
+            for p, t, b in [(1, 1, 1), (3, 5, 2), (4, 8, 4)]
+        ]
+        assert len(set(steps)) == 1
+
+    def test_naive_monotone_in_every_dimension(self):
+        base = naive_metrics(2, 2, 2).total_elements
+        assert naive_metrics(3, 2, 2).total_elements > base
+        assert naive_metrics(2, 3, 2).total_elements > base
+        assert naive_metrics(2, 2, 3).total_elements > base
+
+
+class TestGrowthRows:
+    def test_rows_have_both_series(self):
+        rows = growth_rows("partners", [2, 4])
+        assert len(rows) == 2
+        for row in rows:
+            assert row["naive_total"] > 0
+            assert row["advanced_total"] > 0
+            assert row["dimension"] == "partners"
+
+    def test_protocol_sweep_keeps_partners_coherent(self):
+        rows = growth_rows("protocols", [4])
+        assert rows[0]["topology"] == (4, 4, 2)
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            growth_rows("universes", [1])
+
+
+class TestFigure9To10:
+    @pytest.fixture(scope="class")
+    def change(self):
+        return figure9_to_figure10_change()
+
+    def test_naive_significant_change(self, change):
+        """'The workflow type has to be changed significantly' — new steps
+        appear AND existing elements are modified."""
+        assert change["naive_steps_after"] > change["naive_steps_before"]
+        assert change["naive_elements_modified"] > 0
+        assert change["naive_elements_touched"] > 15
+
+    def test_naive_figure_sizes(self, change):
+        # steps = 2 + 3P + 3B + 2PB
+        assert change["naive_steps_before"] == 22   # Figure 9: P=2, B=2
+        assert change["naive_steps_after"] == 29    # Figure 10: P=3, B=2
+
+    def test_advanced_grows_but_private_untouched(self, change):
+        assert change["advanced_total_after"] > change["advanced_total_before"]
+        assert (
+            change["advanced_private_steps_after"]
+            == change["advanced_private_steps_before"]
+        )
+
+    def test_naive_modifications_are_the_rules_and_routing(self, change):
+        modified = change["naive_report"].modified
+        assert any("determine_target" in key for key in modified)

@@ -1,0 +1,92 @@
+"""Tests for the canned scenario builders."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    advanced_synthetic_model,
+    build_fig15_community,
+    build_two_enterprise_pair,
+    synthetic_protocol,
+)
+from repro.core.enterprise import run_community
+
+LINES = [{"sku": "X", "quantity": 1, "unit_price": 500.0}]
+
+
+class TestTwoEnterprisePair:
+    @pytest.mark.parametrize("protocol", ["edi-van", "rosettanet", "oagis-http"])
+    def test_pair_runs_a_round_trip(self, protocol):
+        pair = build_two_enterprise_pair(protocol, seller_delay=0.0)
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-S1", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+        assert pair.seller.backends["Oracle"].has_order("PO-S1")
+
+    def test_custom_names_and_thresholds(self):
+        pair = build_two_enterprise_pair(
+            "rosettanet", buyer_name="NORTH", seller_name="SOUTH",
+            buyer_threshold=1, seller_delay=0.0, auto_approve=False,
+        )
+        pair.buyer.submit_order("SAP", "SOUTH", "PO-S2", LINES)
+        # threshold 1 forces a buyer-side approval work item
+        assert len(pair.buyer.worklist.open_items()) == 1
+
+
+class TestFig15Community:
+    @pytest.fixture(scope="class")
+    def community(self):
+        community = build_fig15_community(seller_delay=0.0)
+        for partner_id, buyer in community.buyers.items():
+            buyer.submit_order("SAP", "ACME", f"PO-{partner_id}", LINES)
+        run_community(community.enterprises())
+        return community
+
+    def test_three_partners_three_protocols(self, community):
+        protocols = {
+            agreement.protocol
+            for agreement in community.seller.model.partners.agreements()
+        }
+        assert protocols == {"edi-van", "rosettanet", "oagis-http"}
+
+    def test_all_orders_land_in_routed_backends(self, community):
+        seller = community.seller
+        assert seller.backends["SAP"].has_order("PO-TP1")
+        assert seller.backends["Oracle"].has_order("PO-TP2")
+        assert seller.backends["SAP"].has_order("PO-TP3")
+
+    def test_every_buyer_got_its_ack(self, community):
+        for partner_id, buyer in community.buyers.items():
+            assert f"PO-{partner_id}" in buyer.backends["SAP"].stored_acks
+
+    def test_single_private_process_served_all(self, community):
+        instances = community.seller.wfms.database.list_instances()
+        assert len(instances) == 3
+        assert {i.type_name for i in instances} == {"private-po-seller"}
+        assert all(i.status == "completed" for i in instances)
+
+
+class TestSyntheticModels:
+    def test_synthetic_protocol_is_structural_only(self):
+        protocol = synthetic_protocol("proto-9", "wire-9")
+        assert protocol.public_process("buyer").wire_format == "wire-9"
+        with pytest.raises(Exception):
+            protocol.codec.to_wire(None)
+
+    def test_real_protocols_used_first(self):
+        model = advanced_synthetic_model(3, 3, 2)
+        assert set(model.protocols) == {"edi-van", "rosettanet", "oagis-http"}
+        assert set(model.applications) == {"SAP", "Oracle"}
+
+    def test_synthetic_extension_beyond_reals(self):
+        model = advanced_synthetic_model(5, 4, 3)
+        assert "proto-4" in model.protocols
+        assert "app-3" in model.applications
+        # synthetic formats got mappings registered
+        assert model.transforms.find("wire-4", "normalized", "purchase_order")
+
+    def test_rules_scale_with_partners_and_backends(self):
+        model = advanced_synthetic_model(2, 3, 2)
+        approval = model.rules.get("check_need_for_approval")
+        assert len(approval.rules) == 3 * 2
+        routing = model.rules.get("select_target_application")
+        assert len(routing.rules) == 3

@@ -1,0 +1,100 @@
+"""Tests for the B2B protocol descriptors."""
+
+import pytest
+
+from repro.b2b.protocol import (
+    B2BProtocol,
+    TRANSPORT_PLAIN,
+    TRANSPORT_RELIABLE,
+    TRANSPORT_VAN,
+    WireCodec,
+    extended_protocols,
+    get_protocol,
+    standard_protocols,
+)
+from repro.errors import ProtocolError
+
+
+class TestStandardProtocols:
+    def test_three_standards(self):
+        protocols = standard_protocols()
+        assert set(protocols) == {"edi-van", "rosettanet", "oagis-http"}
+
+    def test_transports_match_the_paper(self):
+        protocols = standard_protocols()
+        assert protocols["edi-van"].transport == TRANSPORT_VAN
+        assert protocols["rosettanet"].transport == TRANSPORT_RELIABLE
+        assert protocols["oagis-http"].transport == TRANSPORT_PLAIN
+
+    def test_wire_formats(self):
+        protocols = standard_protocols()
+        assert protocols["edi-van"].wire_format == "edi-x12"
+        assert protocols["rosettanet"].wire_format == "rosettanet-xml"
+        assert protocols["oagis-http"].wire_format == "oagis-bod"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ProtocolError):
+            get_protocol("as2")
+
+    def test_extended_catalogue(self):
+        assert set(extended_protocols()) == {
+            "edi-van", "rosettanet", "oagis-http",
+            "rosettanet-ra", "edi-van-997",
+            "oagis-fulfillment", "edi-fulfillment",
+            "oagis-quotation",
+        }
+
+    def test_acknowledged_variants_carry_receipt_builders(self):
+        assert get_protocol("rosettanet-ra").receipt_builder is not None
+        assert get_protocol("edi-van-997").receipt_builder is not None
+        for name in standard_protocols():
+            assert get_protocol(name).receipt_builder is None
+
+    def test_fulfillment_protocols_are_seller_initiated(self):
+        for name in ("oagis-fulfillment", "edi-fulfillment"):
+            protocol = get_protocol(name)
+            assert protocol.public_process("seller").initiating()
+            assert not protocol.public_process("buyer").initiating()
+
+    def test_codecs_roundtrip(self, registry, sample_po):
+        for protocol in standard_protocols().values():
+            wire_doc = registry.transform(sample_po, protocol.wire_format)
+            text = protocol.codec.to_wire(wire_doc)
+            assert protocol.codec.from_wire(text) == wire_doc
+
+
+class TestPublicProcessFactories:
+    @pytest.mark.parametrize("name", ["edi-van", "rosettanet", "oagis-http"])
+    def test_both_roles_built(self, name):
+        protocol = get_protocol(name)
+        buyer = protocol.public_process("buyer")
+        seller = protocol.public_process("seller")
+        assert buyer.role == "buyer" and seller.role == "seller"
+        assert buyer.protocol == seller.protocol == name
+        assert buyer.wire_format == protocol.wire_format
+        # buyer initiates, seller reacts
+        assert buyer.initiating()
+        assert not seller.initiating()
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ProtocolError):
+            get_protocol("rosettanet").public_process("observer")
+
+    def test_factories_build_fresh_definitions(self):
+        protocol = get_protocol("rosettanet")
+        assert protocol.public_process("buyer") is not protocol.public_process("buyer")
+
+
+class TestDescriptorValidation:
+    def test_bad_transport_rejected(self):
+        codec = WireCodec("f", lambda d: "", lambda t: None)
+        with pytest.raises(ProtocolError):
+            B2BProtocol(
+                name="x", codec=codec, transport="carrier-pigeon",
+                buyer_process=lambda: None, seller_process=lambda: None,
+            )
+
+    def test_process_factories_required(self):
+        codec = WireCodec("f", lambda d: "", lambda t: None)
+        with pytest.raises(ProtocolError):
+            B2BProtocol(name="x", codec=codec, transport=TRANSPORT_PLAIN)

@@ -1,0 +1,117 @@
+"""Tests for the cooperative-workflow baseline (Section 3, Figure 8)."""
+
+import json
+
+import pytest
+
+from repro.backend import OracleSimulator, SapSimulator
+from repro.baselines.cooperative import (
+    CooperativeCommunity,
+    build_cooperative_buyer_type,
+    build_cooperative_seller_type,
+)
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+
+LINES = [{"sku": "DESK", "quantity": 5, "unit_price": 50.0}]
+BIG_LINES = [{"sku": "SRV", "quantity": 100, "unit_price": 9000.0}]
+
+
+@pytest.fixture
+def community(scheduler):
+    network = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=11)
+    return CooperativeCommunity(
+        network,
+        "TP1",
+        "ACME",
+        SapSimulator("SAP", scheduler=scheduler),
+        OracleSimulator("Oracle", scheduler=scheduler),
+        protocol_name="edi-van",
+        buyer_threshold=10000,
+        seller_thresholds={"TP1": 550000},
+    )
+
+
+class TestTypeStructure:
+    def test_buyer_type_embeds_everything(self):
+        workflow = build_cooperative_buyer_type("edi-van", "SAP", "sap-idoc", 10000)
+        text = json.dumps(workflow.to_dict())
+        # the Section 3 criticisms, verified structurally:
+        assert "edi-van" in text          # protocol baked in
+        assert "sap-idoc" in text         # back-end format baked in
+        assert "10000" in text            # threshold baked in
+        assert workflow.steps_tagged("transformation")
+
+    def test_seller_type_embeds_partner_rules(self):
+        workflow = build_cooperative_seller_type(
+            "edi-van", "Oracle", "oracle-oif", {"TP1": 550000}
+        )
+        conditions = [t.condition for t in workflow.transitions if t.condition]
+        assert any("TP1" in c and "550000" in c for c in conditions)
+
+    def test_split_adds_send_receive_ordering(self):
+        """The paper: after the split, 'send PO' and 'receive POA' must be
+        ordered by an explicit control-flow arc."""
+        workflow = build_cooperative_buyer_type("edi-van", "SAP", "sap-idoc", 10000)
+        arcs = {(t.source, t.target) for t in workflow.transitions}
+        assert ("send_po", "receive_poa") in arcs
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, community):
+        conversation_id = community.submit_order("PO-CO1", LINES)
+        community.run()
+        assert community.buyer_instance(conversation_id).status == "completed"
+        assert community.seller_instance(conversation_id).status == "completed"
+        assert community.seller.backend.has_order("PO-CO1")
+        assert "PO-CO1" in community.buyer.backend.stored_acks
+
+    def test_amount_below_thresholds_skips_approvals(self, community):
+        conversation_id = community.submit_order("PO-CO2", LINES)
+        community.run()
+        buyer_instance = community.buyer_instance(conversation_id)
+        seller_instance = community.seller_instance(conversation_id)
+        assert buyer_instance.step_state("approve_po").status == "skipped"
+        assert seller_instance.step_state("approve_po").status == "skipped"
+
+    def test_big_amount_triggers_both_approvals(self, community):
+        conversation_id = community.submit_order("PO-CO3", BIG_LINES)  # 900 000
+        community.run()
+        buyer_instance = community.buyer_instance(conversation_id)
+        seller_instance = community.seller_instance(conversation_id)
+        assert buyer_instance.step_state("approve_po").status == "completed"
+        assert seller_instance.step_state("approve_po").status == "completed"
+        assert buyer_instance.status == "completed"
+
+    def test_multiple_concurrent_conversations(self, community):
+        first = community.submit_order("PO-CO4", LINES)
+        second = community.submit_order("PO-CO5", LINES)
+        community.run()
+        assert community.buyer_instance(first).status == "completed"
+        assert community.buyer_instance(second).status == "completed"
+        assert community.seller.backend.order_count() == 2
+
+    def test_unknown_conversation_rejected(self, community):
+        from repro.errors import IntegrationError
+
+        with pytest.raises(IntegrationError):
+            community.buyer_instance("COOP-9999")
+
+
+class TestKnowledgeLocality:
+    def test_types_stay_local(self, community):
+        conversation_id = community.submit_order("PO-CO6", LINES)
+        community.run()
+        buyer_types = {t.name for t in community.buyer.engine.database.list_types()}
+        seller_types = {t.name for t in community.seller.engine.database.list_types()}
+        assert buyer_types == {"coop-buyer"}
+        assert seller_types == {"coop-seller"}
+
+    def test_no_reliability_machinery(self, community):
+        """Figure 8's weakness: a lost message stalls the collaboration
+        forever — there is no retry layer."""
+        community.network.conditions = NetworkConditions(loss_rate=1.0)
+        community.network._link_conditions.clear()
+        conversation_id = community.submit_order("PO-CO7", LINES)
+        community.run()
+        buyer_instance = community.buyer_instance(conversation_id)
+        assert buyer_instance.status == "waiting"  # stuck at receive_poa forever

@@ -1,0 +1,167 @@
+"""Tests for the distributed inter-organizational baseline (Section 2)."""
+
+import pytest
+
+from repro.backend import OracleSimulator, SapSimulator
+from repro.baselines.distributed_interorg import (
+    build_interorg_roundtrip_types,
+    foreign_rule_exposure,
+    make_participant_engine,
+    run_distributed_roundtrip,
+    run_migrating_roundtrip,
+)
+from repro.sim import Clock
+
+
+@pytest.fixture
+def setup():
+    clock = Clock()
+    left_erp = SapSimulator("SAP")
+    right_erp = OracleSimulator("Oracle")
+    left = make_participant_engine("left", left_erp, clock)
+    right = make_participant_engine("right", right_erp, clock)
+    left_erp.enter_order(
+        "PO-D1", "BuyerCo", "SellerCo",
+        [{"sku": "X", "quantity": 1, "unit_price": 20000.0}],
+    )
+    return left, right, left_erp, right_erp
+
+
+def _types(distributed=False, remote_engine=""):
+    return build_interorg_roundtrip_types(
+        "BuyerCo", "SellerCo",
+        "SAP", "sap-idoc", "Oracle", "oracle-oif",
+        left_threshold=10000,
+        right_thresholds={"BuyerCo": 550000},
+        distributed=distributed,
+        remote_engine=remote_engine,
+    )
+
+
+class TestTypeConstruction:
+    def test_ownership_split(self):
+        combined, left_prepare, right_process, left_finish = _types()
+        assert combined.owner == left_prepare.owner == left_finish.owner == "BuyerCo"
+        assert right_process.owner == "SellerCo"
+
+    def test_figure1_thresholds_embedded(self):
+        _, left_prepare, right_process, _ = _types()
+        left_conditions = [t.condition for t in left_prepare.transitions if t.condition]
+        right_conditions = [t.condition for t in right_process.transitions if t.condition]
+        assert any("10000" in c for c in left_conditions)
+        assert any("550000" in c for c in right_conditions)
+
+    def test_distributed_variant_uses_remote_step(self):
+        combined = _types(distributed=True, remote_engine="right-wfms")[0]
+        step = combined.step("right_process")
+        assert step.kind == "remote_subworkflow"
+        assert step.engine == "right-wfms"
+
+
+class TestMigrationVariant:
+    def test_round_trip_completes(self, setup):
+        left, right, left_erp, right_erp = setup
+        result = run_migrating_roundtrip(
+            left, right, _types(), "PO-D1", 20000.0, "BuyerCo"
+        )
+        assert result.instance.status == "completed"
+        assert right_erp.has_order("PO-D1")
+        assert "PO-D1" in left_erp.stored_acks
+
+    def test_buyer_approval_ran_on_left(self, setup):
+        left, right, *_ = setup
+        result = run_migrating_roundtrip(
+            left, right, _types(), "PO-D1", 20000.0, "BuyerCo"
+        )
+        # amount 20000 > 10000: the left approval fired before migration
+        children = [
+            i for i in left.database.list_instances()
+            if i.type_name == "interorg-left-prepare"
+        ]
+        assert children
+        assert children[0].step_state("approve_po").status == "completed"
+
+    def test_migration_cost_measured(self, setup):
+        left, right, *_ = setup
+        result = run_migrating_roundtrip(
+            left, right, _types(), "PO-D1", 20000.0, "BuyerCo"
+        )
+        assert len(result.migrations) == 2
+        # first migration moves the full type closure (4 types)
+        assert result.migrations[0].types_sent == 4
+        # second migration finds everything already present
+        assert result.migrations[1].types_sent == 0
+        assert result.total_migration_messages > 0
+
+    def test_mutual_rule_exposure(self, setup):
+        """Section 2.3: with migration, each enterprise can read the
+        other's business rules."""
+        left, right, *_ = setup
+        result = run_migrating_roundtrip(
+            left, right, _types(), "PO-D1", 20000.0, "BuyerCo"
+        )
+        assert result.exposure_left.get("SellerCo", 0) > 0
+        assert result.exposure_right.get("BuyerCo", 0) > 0
+
+
+class TestDistributionVariant:
+    def test_round_trip_completes(self, setup):
+        left, right, left_erp, right_erp = setup
+        result = run_distributed_roundtrip(
+            left, right, _types(distributed=True, remote_engine="right-wfms"),
+            "PO-D1", 20000.0, "BuyerCo",
+        )
+        assert result.instance.status == "completed"
+        assert right_erp.has_order("PO-D1")
+        assert "PO-D1" in left_erp.stored_acks
+
+    def test_zero_rule_exposure(self, setup):
+        """Figure 5(b): only the subworkflow interface crosses the
+        boundary — neither side can read the other's rules."""
+        left, right, *_ = setup
+        result = run_distributed_roundtrip(
+            left, right, _types(distributed=True, remote_engine="right-wfms"),
+            "PO-D1", 20000.0, "BuyerCo",
+        )
+        assert result.exposure_left == {}
+        assert result.exposure_right == {}
+
+    def test_right_definition_stays_on_right(self, setup):
+        left, right, *_ = setup
+        run_distributed_roundtrip(
+            left, right, _types(distributed=True, remote_engine="right-wfms"),
+            "PO-D1", 20000.0, "BuyerCo",
+        )
+        assert not left.database.has_type("interorg-right-process")
+        assert right.database.has_type("interorg-right-process")
+
+    def test_master_controls_slave_execution(self, setup):
+        """The tight coupling of Section 2.3: the child instance on the
+        slave engine is parented by the master's instance."""
+        left, right, *_ = setup
+        result = run_distributed_roundtrip(
+            left, right, _types(distributed=True, remote_engine="right-wfms"),
+            "PO-D1", 20000.0, "BuyerCo",
+        )
+        slave_children = [
+            i for i in right.database.list_instances()
+            if i.type_name == "interorg-right-process"
+        ]
+        assert len(slave_children) == 1
+        assert slave_children[0].status == "completed"
+
+
+class TestExposureMetric:
+    def test_counts_conditions_and_rule_steps(self, setup):
+        left, right, *_ = setup
+        types = _types()
+        right.deploy_all(types)  # simulate full sharing
+        exposure = foreign_rule_exposure(right, "SellerCo")
+        # left's types: approve step (1) + 'amount > 10000' (1 term) = 2
+        assert exposure["BuyerCo"] == 2
+
+    def test_own_types_not_counted(self, setup):
+        left, right, *_ = setup
+        types = _types()
+        right.deploy(types[2])  # its own right_process
+        assert foreign_rule_exposure(right, "SellerCo") == {}

@@ -1,0 +1,144 @@
+"""Tests for the naive monolithic generator (Figures 9/10) and its runtime."""
+
+import pytest
+
+from repro.backend import OracleSimulator, SapSimulator
+from repro.baselines.monolithic import (
+    NaiveClient,
+    NaiveSellerRuntime,
+    NaiveTopology,
+    build_naive_seller_type,
+    naive_element_index,
+    topology_is_runnable,
+)
+from repro.documents import edi, rosettanet
+from repro.documents.normalized import make_purchase_order
+from repro.errors import ConfigurationError
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.transform.catalog import build_standard_registry
+
+
+class TestTopology:
+    def test_figure9(self):
+        topology = NaiveTopology.figure9()
+        assert set(topology.protocols) == {"edi-van", "rosettanet"}
+        assert set(topology.backends) == {"SAP", "Oracle"}
+        assert topology.thresholds == {"TP1": 55000, "TP2": 40000}
+        assert topology_is_runnable(topology)
+
+    def test_figure10_extends_figure9(self):
+        topology = NaiveTopology.figure10()
+        assert "oagis-http" in topology.protocols
+        assert topology.thresholds["TP3"] == 10000
+        assert topology.routing["TP3"] == "SAP"
+
+    def test_synthetic_dimensions(self):
+        topology = NaiveTopology.synthetic(3, 5, 2)
+        assert len(topology.protocols) == 3
+        assert len(topology.partner_protocol) == 5
+        assert len(topology.backends) == 2
+        assert not topology_is_runnable(topology)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NaiveTopology(protocols={}, backends={"a": "f"}, partner_protocol={"t": "p"})
+        with pytest.raises(ConfigurationError):
+            NaiveTopology(
+                protocols={"p": "f"},
+                backends={"a": "f"},
+                partner_protocol={"t": "ghost-protocol"},
+            )
+
+
+class TestGeneratedStructure:
+    def test_step_count_formula(self):
+        """steps = 3 + 3P + 3B + 2PB (receive/target + decode/encode/send
+        per protocol + store/approve/extract per back end + transforms)."""
+        for protocols, partners, backends in [(1, 1, 1), (2, 2, 2), (3, 4, 2), (5, 5, 5)]:
+            topology = NaiveTopology.synthetic(protocols, partners, backends)
+            workflow = build_naive_seller_type(topology)
+            expected = 2 + 3 * protocols + 3 * backends + 2 * protocols * backends
+            assert workflow.step_count() == expected, (protocols, backends)
+
+    def test_transform_steps_are_p_times_b_both_ways(self):
+        workflow = build_naive_seller_type(NaiveTopology.synthetic(3, 2, 4))
+        assert len(workflow.steps_tagged("transformation")) == 2 * 3 * 4
+
+    def test_approval_condition_embeds_every_partner(self):
+        workflow = build_naive_seller_type(NaiveTopology.figure9())
+        conditions = [t.condition for t in workflow.transitions if t.condition]
+        approval = [c for c in conditions if "55000" in c]
+        assert approval
+        for condition in approval:
+            assert "TP1" in condition and "TP2" in condition
+
+    def test_routing_table_is_hardcoded(self):
+        workflow = build_naive_seller_type(NaiveTopology.figure9())
+        step = workflow.step("determine_target")
+        assert step.params["routing"] == {"TP1": "SAP", "TP2": "Oracle"}
+
+    def test_element_index_granularity(self):
+        workflow = build_naive_seller_type(NaiveTopology.figure9())
+        index = naive_element_index(workflow)
+        assert len(index) == workflow.step_count() + workflow.transition_count()
+        assert any(key.startswith("step:") for key in index)
+        assert any(key.startswith("transition:") for key in index)
+
+
+class TestNaiveRuntime:
+    """The Figure 9 type actually runs a PO round trip."""
+
+    def _runtime(self, scheduler):
+        network = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=3)
+        workflow = build_naive_seller_type(NaiveTopology.figure9())
+        runtime = NaiveSellerRuntime(
+            "ACME", network, workflow,
+            {"SAP": SapSimulator("SAP", scheduler=scheduler),
+             "Oracle": OracleSimulator("Oracle", scheduler=scheduler)},
+        )
+        return network, runtime
+
+    def _po_wire(self, partner, fmt_module, format_name):
+        registry = build_standard_registry()
+        po = make_purchase_order(
+            "PO-N1", partner, "ACME",
+            [{"sku": "X", "quantity": 2, "unit_price": 100.0}],
+        )
+        return fmt_module.to_wire(registry.transform(po, format_name))
+
+    def test_edi_partner_routed_to_sap(self, scheduler):
+        network, runtime = self._runtime(scheduler)
+        client = NaiveClient("TP1", network)
+        client.send_po("ACME", "edi-van", self._po_wire("TP1", edi, edi.EDI_X12), "C1")
+        scheduler.run_until_idle()
+        assert runtime.backends["SAP"].has_order("PO-N1")
+        assert not runtime.backends["Oracle"].has_order("PO-N1")
+        assert len(client.replies) == 1
+        # the reply is an 855 in the partner's own protocol
+        parsed = edi.from_wire(client.replies[0].body)
+        assert parsed.doc_type == "po_ack"
+
+    def test_rosettanet_partner_routed_to_oracle(self, scheduler):
+        network, runtime = self._runtime(scheduler)
+        client = NaiveClient("TP2", network)
+        client.send_po(
+            "ACME", "rosettanet",
+            self._po_wire("TP2", rosettanet, rosettanet.ROSETTANET), "C2",
+        )
+        scheduler.run_until_idle()
+        assert runtime.backends["Oracle"].has_order("PO-N1")
+        instance = runtime.engine.get_instance(runtime.instances[0])
+        assert instance.status == "completed"
+        # only the matching protocol branch ran
+        assert instance.step_state("decode_rosettanet").status == "completed"
+        assert instance.step_state("decode_edi-van").status == "skipped"
+
+    def test_unknown_partner_fails_the_instance(self, scheduler):
+        network, runtime = self._runtime(scheduler)
+        runtime.engine.raise_on_failure = False
+        client = NaiveClient("TP9", network)
+        client.send_po("ACME", "edi-van", self._po_wire("TP9", edi, edi.EDI_X12), "C3")
+        scheduler.run_until_idle()
+        instance = runtime.engine.get_instance(runtime.instances[0])
+        assert instance.status == "failed"
+        assert "routing table" in instance.error

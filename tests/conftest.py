@@ -1,0 +1,53 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documents.normalized import make_po_ack, make_purchase_order
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.sim import EventScheduler
+from repro.transform.catalog import build_standard_registry
+
+
+@pytest.fixture
+def scheduler() -> EventScheduler:
+    """A fresh discrete-event scheduler."""
+    return EventScheduler()
+
+
+@pytest.fixture
+def network(scheduler: EventScheduler) -> SimulatedNetwork:
+    """A loss-free network on the shared scheduler."""
+    return SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The standard mapping catalog (session-scoped: it is immutable in tests
+    that use this fixture)."""
+    return build_standard_registry()
+
+
+@pytest.fixture
+def sample_po():
+    """A two-line normalized purchase order (total 12 750.00)."""
+    return make_purchase_order(
+        "PO-1001",
+        "TP1",
+        "ACME",
+        [
+            {"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0,
+             "description": "15 inch laptop"},
+            {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+        ],
+        issued_at=5.0,
+    )
+
+
+@pytest.fixture
+def sample_poa(sample_po):
+    """A partial acknowledgment of :func:`sample_po` (line 2 backordered)."""
+    return make_po_ack(
+        sample_po, status="partial", line_statuses={2: "backordered"}, issued_at=9.0
+    )

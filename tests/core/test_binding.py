@@ -1,0 +1,134 @@
+"""Tests for bindings: transformation chains, consume/produce (Section 4.2)."""
+
+import pytest
+
+from repro.core.binding import (
+    Binding,
+    BindingStep,
+    make_application_binding,
+    make_protocol_binding,
+)
+from repro.documents.model import Document
+from repro.documents.normalized import make_purchase_order
+from repro.errors import BindingError
+
+
+class TestBindingStep:
+    def test_transform_needs_target(self):
+        with pytest.raises(BindingError):
+            BindingStep("s", "transform")
+
+    def test_produce_needs_producer(self):
+        with pytest.raises(BindingError):
+            BindingStep("s", "produce")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BindingError):
+            BindingStep("s", "teleport")
+
+    def test_fingerprint_reflects_configuration(self):
+        first = BindingStep("s", "transform", target_format="a")
+        second = BindingStep("s", "transform", target_format="b")
+        assert first.fingerprint() != second.fingerprint()
+
+
+class TestBindingWiring:
+    def test_exactly_one_counterpart(self):
+        with pytest.raises(BindingError):
+            Binding("b", "private", public_process="p", application="a")
+        with pytest.raises(BindingError):
+            Binding("b", "private")
+
+    def test_requires_name(self):
+        with pytest.raises(BindingError):
+            Binding("", "private", public_process="p")
+
+
+class TestProtocolBinding:
+    def test_figure12_shape(self, registry, sample_po):
+        binding = make_protocol_binding(
+            "rn-binding", "rn/seller", "private", "rosettanet-xml"
+        )
+        assert binding.transformation_step_count() == 2
+        # inbound: wire layout -> normalized
+        wire_doc = registry.transform(sample_po, "rosettanet-xml")
+        normalized = binding.apply_inbound(wire_doc, registry)
+        assert normalized.format_name == "normalized"
+        assert normalized == sample_po
+        # outbound: normalized -> wire layout
+        back = binding.apply_outbound(sample_po, registry)
+        assert back.format_name == "rosettanet-xml"
+        assert binding.inbound_runs == 1 and binding.outbound_runs == 1
+
+    def test_context_reaches_mappings(self, registry, sample_po):
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        wire_doc = binding.apply_outbound(
+            sample_po, registry, {"sender_id": "HUB", "receiver_id": "THEM"}
+        )
+        assert wire_doc.get("isa.sender_id") == "HUB"
+
+
+class TestApplicationBinding:
+    def test_inbound_means_toward_private(self, registry, sample_po):
+        binding = make_application_binding("sap-b", "SAP", "private", "sap-idoc")
+        native = registry.transform(sample_po, "sap-idoc")
+        # extraction path: native -> normalized
+        assert binding.apply_inbound(native, registry).format_name == "normalized"
+        # storing path: normalized -> native
+        assert binding.apply_outbound(sample_po, registry).format_name == "sap-idoc"
+
+
+class TestConsumeAndProduce:
+    def test_consume_swallows_document(self, registry, sample_po):
+        binding = Binding(
+            "b", "private", public_process="p",
+            inbound=[BindingStep("drop", "consume")],
+        )
+        assert binding.apply_inbound(sample_po, registry) is None
+
+    def test_produce_creates_document(self, registry):
+        def receipt(context):
+            return make_purchase_order(
+                "GEN-1", "US", "THEM",
+                [{"sku": "RCPT", "quantity": 1, "unit_price": 0.0}],
+                issued_at=context.get("now", 0.0),
+            )
+
+        binding = Binding(
+            "b", "private", public_process="p",
+            outbound=[
+                BindingStep("make", "produce", producer=receipt),
+                BindingStep("to_wire", "transform", target_format="edi-x12"),
+            ],
+        )
+        document = binding.apply_outbound(
+            Document("normalized", "purchase_order", {"ignored": True}),
+            registry,
+            {"now": 4.0},
+        )
+        assert document.format_name == "edi-x12"
+        assert document.get("beg.po_number") == "GEN-1"
+
+    def test_transform_after_consume_is_an_error(self, registry, sample_po):
+        binding = Binding(
+            "b", "private", public_process="p",
+            inbound=[
+                BindingStep("drop", "consume"),
+                BindingStep("then", "transform", target_format="edi-x12"),
+            ],
+        )
+        # consume short-circuits the chain; the dangling transform is never
+        # reached, and the document is swallowed
+        assert binding.apply_inbound(sample_po, registry) is None
+
+
+class TestChangeDetection:
+    def test_to_dict_captures_chains(self):
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        payload = binding.to_dict()
+        assert payload["public_process"] == "p"
+        assert payload["inbound"] and payload["outbound"]
+
+    def test_step_count(self):
+        binding = make_application_binding("b", "SAP", "private", "sap-idoc")
+        assert binding.step_count() == 2

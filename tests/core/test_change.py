@@ -1,0 +1,75 @@
+"""Tests for change-impact analysis (Section 4.5)."""
+
+from repro.analysis.change_impact import build_fig14_model
+from repro.core.change import ChangeReport, diff_indexes, diff_models
+
+
+class TestDiffIndexes:
+    def test_added_removed_modified(self):
+        before = {"a": "1", "b": "2", "c": "3"}
+        after = {"b": "2", "c": "changed", "d": "4"}
+        report = diff_indexes(before, after, label="test")
+        assert report.added == ["d"]
+        assert report.removed == ["a"]
+        assert report.modified == ["c"]
+        assert report.impact_count == 3
+        assert report.label == "test"
+
+    def test_identical_indexes_have_no_impact(self):
+        index = {"a": "1"}
+        report = diff_indexes(index, dict(index))
+        assert report.impact_count == 0
+        assert report.is_local()
+
+
+class TestLocality:
+    def test_purely_additive_is_local(self):
+        report = ChangeReport(added=["rule:f:new", "partner:TP4"])
+        assert report.is_local()
+        assert report.locality() == "local"
+
+    def test_single_kind_modification_is_local(self):
+        report = ChangeReport(modified=["private:p1", "private:p2"])
+        assert report.is_local()
+
+    def test_cross_kind_modification_is_non_local(self):
+        report = ChangeReport(modified=["private:p1", "mapping:m1"])
+        assert not report.is_local()
+        assert report.locality() == "non-local"
+
+    def test_registry_kinds_do_not_affect_locality(self):
+        report = ChangeReport(modified=["partner:TP1", "agreement:TP1:x:seller",
+                                        "rule:f:r1"])
+        assert report.is_local()
+
+    def test_kinds_touched(self):
+        report = ChangeReport(added=["rule:f:a"], modified=["private:p"])
+        assert report.kinds_touched() == {"rule", "private"}
+
+    def test_summary_row(self):
+        report = ChangeReport(label="x", added=["a:1"], modified=["b:2"])
+        row = report.summary()
+        assert row["label"] == "x"
+        assert row["added"] == 1 and row["modified"] == 1
+        assert row["impact"] == 2
+
+
+class TestDiffModels:
+    def test_untouched_model_diffs_empty(self):
+        model = build_fig14_model()
+        # comparing the model against a freshly built twin: identical
+        report = diff_models(model, build_fig14_model())
+        assert report.impact_count == 0
+
+    def test_element_index_covers_all_kinds(self):
+        index = build_fig14_model().element_index()
+        kinds = {key.split(":", 1)[0] for key in index}
+        assert kinds == {
+            "mapping", "public", "binding", "private",
+            "rule", "partner", "agreement", "application",
+        }
+
+    def test_index_keys_are_unique_fingerprints(self):
+        index = build_fig14_model().element_index()
+        assert len(index) == len(set(index))
+        assert all(isinstance(value, str) and value for value in index.values())

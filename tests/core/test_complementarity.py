@@ -1,0 +1,144 @@
+"""Tests for the static public-process complementarity check (Section 3's
+sequencing requirement, enforced at deployment)."""
+
+import pytest
+
+from repro.b2b.protocol import extended_protocols
+from repro.core.integration import IntegrationModel
+from repro.core.private_process import seller_po_process
+from repro.core.public_process import (
+    PublicProcessDefinition,
+    PublicStep,
+    buyer_request_reply,
+    check_complementary,
+    seller_request_reply,
+)
+from repro.errors import ProtocolError
+
+
+def _pair():
+    return (
+        buyer_request_reply("p/buyer", "proto", "fmt"),
+        seller_request_reply("p/seller", "proto", "fmt"),
+    )
+
+
+class TestComplementaryPairs:
+    def test_request_reply_templates_are_complementary(self):
+        buyer, seller = _pair()
+        assert check_complementary(buyer, seller) == []
+        assert check_complementary(seller, buyer) == []  # symmetric
+
+    @pytest.mark.parametrize("name", sorted(extended_protocols()))
+    def test_every_shipped_protocol_is_complementary(self, name):
+        protocol = extended_protocols()[name]
+        assert check_complementary(
+            protocol.public_process("buyer"), protocol.public_process("seller")
+        ) == []
+
+
+class TestMismatches:
+    def test_protocol_mismatch(self):
+        buyer = buyer_request_reply("a", "proto-1", "fmt")
+        seller = seller_request_reply("b", "proto-2", "fmt")
+        assert any("protocol mismatch" in p for p in check_complementary(buyer, seller))
+
+    def test_wire_format_mismatch(self):
+        buyer = buyer_request_reply("a", "proto", "fmt-1")
+        seller = seller_request_reply("b", "proto", "fmt-2")
+        assert any("wire format" in p for p in check_complementary(buyer, seller))
+
+    def test_same_role(self):
+        first = buyer_request_reply("a", "proto", "fmt")
+        second = buyer_request_reply("b", "proto", "fmt")
+        problems = check_complementary(first, second)
+        assert any("both sides" in p for p in problems)
+
+    def test_missing_receiver_detected(self):
+        """'a message is sent but there is no corresponding receiving step'"""
+        buyer, _ = _pair()
+        seller = PublicProcessDefinition(
+            "p/seller", "proto", "seller", "fmt",
+            [
+                PublicStep("receive_request", "receive", "purchase_order"),
+                PublicStep("to_binding_request", "to_binding", "purchase_order"),
+                # forgot to send the reply
+            ],
+        )
+        problems = check_complementary(buyer, seller)
+        assert any("wire step counts differ" in p for p in problems)
+
+    def test_send_send_collision_detected(self):
+        buyer, _ = _pair()
+        seller = PublicProcessDefinition(
+            "p/seller", "proto", "seller", "fmt",
+            [
+                PublicStep("send_1", "send", "purchase_order"),
+                PublicStep("send_2", "send", "po_ack"),
+            ],
+        )
+        problems = check_complementary(buyer, seller)
+        assert any("does not" in p for p in problems)
+
+    def test_document_kind_mismatch_detected(self):
+        buyer, _ = _pair()
+        seller = seller_request_reply("p/seller", "proto", "fmt",
+                                      reply_doc="invoice")
+        problems = check_complementary(buyer, seller)
+        assert any("document kinds differ" in p for p in problems)
+
+    def test_mutual_receive_deadlock_detected(self):
+        first = PublicProcessDefinition(
+            "a", "proto", "buyer", "fmt",
+            [PublicStep("r", "receive", "purchase_order"),
+             PublicStep("s", "send", "purchase_order")],
+        )
+        second = PublicProcessDefinition(
+            "b", "proto", "seller", "fmt",
+            [PublicStep("r", "receive", "purchase_order"),
+             PublicStep("s", "send", "purchase_order")],
+        )
+        # kinds mirror position-by-position fails first; build a true
+        # both-start-receiving shape:
+        problems = check_complementary(first, second)
+        assert problems  # receive/receive at position 0 is flagged
+
+    def test_connection_steps_ignored(self):
+        """Only the wire projection matters — internal connection steps may
+        differ freely (that's the whole abstraction)."""
+        buyer, seller = _pair()
+        enriched = PublicProcessDefinition(
+            seller.name, seller.protocol, seller.role, seller.wire_format,
+            [
+                PublicStep("receive_request", "receive", "purchase_order"),
+                PublicStep("extra_1", "to_binding", "purchase_order"),
+                PublicStep("extra_2", "from_binding", "po_ack"),
+                PublicStep("extra_3", "to_binding"),
+                PublicStep("extra_4", "from_binding"),
+                PublicStep("send_reply", "send", "po_ack"),
+            ],
+        )
+        assert check_complementary(buyer, enriched) == []
+
+
+class TestDeploymentGate:
+    def test_broken_protocol_refused_at_deployment(self):
+        from repro.b2b.protocol import B2BProtocol, TRANSPORT_PLAIN, WireCodec
+
+        broken = B2BProtocol(
+            name="broken",
+            codec=WireCodec("fmt", lambda d: "", lambda t: None),
+            transport=TRANSPORT_PLAIN,
+            buyer_process=lambda: buyer_request_reply("broken/buyer", "broken", "fmt"),
+            seller_process=lambda: seller_request_reply(
+                "broken/seller", "broken", "fmt", reply_doc="invoice"
+            ),
+        )
+        model = IntegrationModel("test")
+        model.add_private_process(seller_po_process())
+        with pytest.raises(ProtocolError) as excinfo:
+            model.add_protocol(broken, "private-po-seller")
+        assert "not complementary" in str(excinfo.value)
+        # nothing was half-deployed
+        assert model.protocols == {}
+        assert model.public_processes == {}

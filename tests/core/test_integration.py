@@ -1,0 +1,179 @@
+"""Tests for the integration model and B2B engine wiring."""
+
+import pytest
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.b2b.protocol import get_protocol
+from repro.core.enterprise import run_community
+from repro.core.integration import IntegrationModel
+from repro.core.private_process import seller_po_process
+from repro.errors import IntegrationError
+from repro.messaging.envelope import Message
+
+LINES = [{"sku": "LAPTOP", "quantity": 2, "unit_price": 1000.0}]
+
+
+class TestIntegrationModel:
+    @pytest.fixture
+    def model(self):
+        model = IntegrationModel("ACME")
+        model.add_private_process(seller_po_process())
+        return model
+
+    def test_requires_name(self):
+        with pytest.raises(IntegrationError):
+            IntegrationModel("")
+
+    def test_add_protocol_creates_routes_and_bindings(self, model):
+        model.add_protocol(get_protocol("rosettanet"), "private-po-seller")
+        route = model.route("rosettanet", "seller")
+        assert route.public_process == "rosettanet/3a4/seller"
+        assert route.binding == "rosettanet/seller-binding"
+        assert route.private_process == "private-po-seller"
+        assert len(model.public_processes) == 2
+        assert len(model.bindings) == 2
+
+    def test_protocol_needs_registered_private_process(self, model):
+        with pytest.raises(IntegrationError):
+            model.add_protocol(get_protocol("rosettanet"), "ghost-process")
+
+    def test_duplicate_protocol_rejected(self, model):
+        model.add_protocol(get_protocol("rosettanet"), "private-po-seller")
+        with pytest.raises(IntegrationError):
+            model.add_protocol(get_protocol("rosettanet"), "private-po-seller")
+
+    def test_remove_protocol_cleans_up(self, model):
+        model.add_protocol(get_protocol("rosettanet"), "private-po-seller")
+        model.remove_protocol("rosettanet")
+        assert model.public_processes == {}
+        assert model.bindings == {}
+        with pytest.raises(IntegrationError):
+            model.route("rosettanet", "seller")
+
+    def test_add_application_creates_binding(self, model):
+        model.add_application("SAP", "sap-idoc", "private-po-seller")
+        binding = model.app_binding("SAP")
+        assert binding.application == "SAP"
+        assert model.applications == {"SAP": "sap-idoc"}
+
+    def test_duplicate_application_rejected(self, model):
+        model.add_application("SAP", "sap-idoc", "private-po-seller")
+        with pytest.raises(IntegrationError):
+            model.add_application("SAP", "sap-idoc", "private-po-seller")
+
+    def test_missing_route_raises(self, model):
+        with pytest.raises(IntegrationError):
+            model.route("rosettanet", "buyer")
+
+    def test_duplicate_private_process_rejected(self, model):
+        with pytest.raises(IntegrationError):
+            model.add_private_process(seller_po_process())
+
+
+class TestB2BEngineGuards:
+    """Fault handling: malformed, unauthorized and unknown traffic."""
+
+    @pytest.fixture
+    def pair(self):
+        return build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+
+    def _wire_po(self, pair):
+        from repro.documents.normalized import make_purchase_order
+        from repro.documents import rosettanet
+
+        po = make_purchase_order("PO-X", "TP1", "ACME", LINES)
+        return rosettanet.to_wire(pair.buyer.model.transforms.transform(po, "rosettanet-xml"))
+
+    def test_garbage_body_recorded_as_fault(self, pair):
+        message = Message(
+            message_id="M-bad", sender="TP1", receiver="ACME",
+            protocol="rosettanet", doc_type="purchase_order",
+            body="<notxml", conversation_id="C-bad",
+        )
+        pair.seller.b2b.handle_message(message)
+        assert len(pair.seller.b2b.faults) == 1
+        assert pair.seller.b2b.conversations == {}
+
+    def test_unknown_sender_recorded_as_fault(self, pair):
+        message = Message(
+            message_id="M-stranger", sender="MALLORY", receiver="ACME",
+            protocol="rosettanet", doc_type="purchase_order",
+            body=self._wire_po(pair), conversation_id="C-s",
+        )
+        pair.seller.b2b.handle_message(message)
+        assert len(pair.seller.b2b.faults) == 1
+
+    def test_undeployed_protocol_recorded_as_fault(self, pair):
+        message = Message(
+            message_id="M-proto", sender="TP1", receiver="ACME",
+            protocol="oagis-http", doc_type="purchase_order",
+            body="<ProcessPurchaseOrder/>", conversation_id="C-p",
+        )
+        pair.seller.b2b.handle_message(message)
+        assert len(pair.seller.b2b.faults) == 1
+
+    def test_no_agreement_recorded_as_fault(self, pair):
+        # TP1 is known to the seller only as a *seller-side* counterparty;
+        # suspend the agreement and the PO must be refused.
+        pair.seller.model.partners.find_agreement("TP1").suspend()
+        message = Message(
+            message_id="M-agr", sender="TP1", receiver="ACME",
+            protocol="rosettanet", doc_type="purchase_order",
+            body=self._wire_po(pair), conversation_id="C-a",
+        )
+        pair.seller.b2b.handle_message(message)
+        assert len(pair.seller.b2b.faults) == 1
+
+    def test_acks_ignored_by_engine(self, pair):
+        ack = Message(
+            message_id="A1", sender="TP1", receiver="ACME",
+            kind="ack", correlation_id="M1",
+        )
+        pair.seller.b2b.handle_message(ack)
+        assert pair.seller.b2b.messages_received == 0
+
+    def test_unknown_conversation_dispatch_rejected(self, pair):
+        from repro.documents.normalized import make_purchase_order
+
+        po = make_purchase_order("PO-X", "TP1", "ACME", LINES)
+        with pytest.raises(IntegrationError):
+            pair.buyer.b2b.dispatch_outbound("CONV-ghost", po)
+
+    def test_start_conversation_requires_agreement(self, pair):
+        from repro.documents.normalized import make_purchase_order
+        from repro.errors import AgreementError
+
+        po = make_purchase_order("PO-X", "ACME", "TP1", LINES)
+        with pytest.raises(AgreementError):
+            pair.seller.b2b.start_conversation("TP1", po)  # seller has no buyer role
+
+
+class TestConversationLifecycle:
+    def test_conversation_ids_flow_end_to_end(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        pair.buyer.submit_order("SAP", "ACME", "PO-C1", LINES)
+        run_community(pair.enterprises())
+        buyer_convs = list(pair.buyer.b2b.conversations.values())
+        seller_convs = list(pair.seller.b2b.conversations.values())
+        assert len(buyer_convs) == len(seller_convs) == 1
+        assert buyer_convs[0].conversation_id == seller_convs[0].conversation_id
+        assert buyer_convs[0].role == "buyer"
+        assert seller_convs[0].role == "seller"
+        assert buyer_convs[0].status == seller_convs[0].status == "completed"
+
+    def test_conversation_document_trace(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        pair.buyer.submit_order("SAP", "ACME", "PO-C2", LINES)
+        run_community(pair.enterprises())
+        buyer_conv = next(iter(pair.buyer.b2b.conversations.values()))
+        assert buyer_conv.documents == ["sent:purchase_order", "received:po_ack"]
+        seller_conv = next(iter(pair.seller.b2b.conversations.values()))
+        assert seller_conv.documents == ["received:purchase_order", "sent:po_ack"]
+
+    def test_open_conversations_query(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=5.0)
+        pair.buyer.submit_order("SAP", "ACME", "PO-C3", LINES)
+        # before the community runs, the buyer conversation is open
+        assert len(pair.buyer.b2b.open_conversations()) == 1
+        run_community(pair.enterprises())
+        assert pair.buyer.b2b.open_conversations() == []

@@ -1,0 +1,78 @@
+"""Tests for the B2B audit journal and agreement suspension end to end."""
+
+import pytest
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.core.enterprise import run_community
+
+LINES = [{"sku": "X", "quantity": 2, "unit_price": 100.0}]
+
+
+class TestAuditJournal:
+    @pytest.fixture
+    def pair(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.5)
+        pair.buyer.submit_order("SAP", "ACME", "PO-J1", LINES)
+        run_community(pair.enterprises())
+        return pair
+
+    def test_every_boundary_crossing_recorded(self, pair):
+        buyer_journal = pair.buyer.b2b.journal
+        assert [(e["direction"], e["doc_type"]) for e in buyer_journal] == [
+            ("out", "purchase_order"),
+            ("in", "po_ack"),
+        ]
+        seller_journal = pair.seller.b2b.journal
+        assert [(e["direction"], e["doc_type"]) for e in seller_journal] == [
+            ("in", "purchase_order"),
+            ("out", "po_ack"),
+        ]
+
+    def test_entries_carry_context(self, pair):
+        entry = pair.buyer.b2b.journal[0]
+        assert entry["partner"] == "ACME"
+        assert entry["protocol"] == "rosettanet"
+        assert entry["conversation"].startswith("CONV-TP1")
+        assert entry["bytes"] > 100  # outbound entries record wire size
+
+    def test_timestamps_monotone(self, pair):
+        times = [entry["at"] for entry in pair.seller.b2b.journal]
+        assert times == sorted(times)
+        # the acknowledgment left after the ERP's 0.5 processing delay
+        assert times[-1] >= times[0] + 0.5
+
+    def test_journal_query(self, pair):
+        assert len(pair.buyer.b2b.journal_for(partner_id="ACME")) == 2
+        assert len(pair.buyer.b2b.journal_for(doc_type="po_ack")) == 1
+        assert pair.buyer.b2b.journal_for(partner_id="GHOST") == []
+
+    def test_receipt_acks_are_journaled_too(self):
+        pair = build_two_enterprise_pair("rosettanet-ra", seller_delay=0.0)
+        pair.buyer.submit_order("SAP", "ACME", "PO-J2", LINES)
+        run_community(pair.enterprises())
+        kinds = [e["doc_type"] for e in pair.buyer.b2b.journal]
+        assert kinds.count("receipt_ack") == 2  # one in, one out
+
+
+class TestAgreementSuspension:
+    def test_suspended_partner_cannot_order(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        pair.seller.model.partners.find_agreement("TP1").suspend()
+        pair.buyer.wfms.raise_on_failure = False
+        pair.buyer.submit_order("SAP", "ACME", "PO-S1", LINES)
+        run_community(pair.enterprises())
+        # the seller refused the exchange...
+        assert len(pair.seller.b2b.faults) == 1
+        assert not pair.seller.backends["Oracle"].has_order("PO-S1")
+        # ...and booked nothing into a private process
+        assert pair.seller.wfms.database.list_instances() == []
+
+    def test_reactivated_agreement_admits_traffic_again(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        agreement = pair.seller.model.partners.find_agreement("TP1")
+        agreement.suspend()
+        agreement.reactivate()
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-S2", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+        assert pair.seller.backends["Oracle"].has_order("PO-S2")

@@ -1,0 +1,114 @@
+"""Tests for the model-complexity metrics."""
+
+import pytest
+
+from repro.analysis.change_impact import build_fig14_model
+from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
+from repro.core.metrics import (
+    ModelMetrics,
+    comparison_terms,
+    measure_model,
+    measure_workflow_type,
+)
+from repro.workflow.definitions import WorkflowBuilder
+
+
+class TestComparisonTerms:
+    def test_single_comparison(self):
+        assert comparison_terms("amount > 10") == 1
+
+    def test_figure9_condition_has_four_terms(self):
+        condition = (
+            "amount >= 55000 and source == 'TP1' "
+            "or amount >= 40000 and source == 'TP2'"
+        )
+        assert comparison_terms(condition) == 4
+
+    def test_chained_comparison_counts_each_op(self):
+        assert comparison_terms("1 < x < 10") == 2
+
+    def test_no_comparison(self):
+        assert comparison_terms("a and b") == 0
+
+
+class TestWorkflowTypeMetrics:
+    def test_counts_steps_and_conditions(self):
+        builder = WorkflowBuilder("wf")
+        builder.variable("amount", 0).variable("source", "")
+        builder.activity("a", "noop")
+        builder.activity("t", "noop", tags=("transformation",))
+        builder.activity("b", "noop")
+        builder.link("a", "t", condition="amount > 5 and source == 'TP1'")
+        builder.link("a", "b", otherwise=True)
+        builder.link("t", "b")
+        metrics = measure_workflow_type(builder.build())
+        assert metrics.workflow_steps == 3
+        assert metrics.transitions == 3
+        assert metrics.conditions == 1
+        assert metrics.condition_terms == 2
+        assert metrics.inline_transform_steps == 1
+        assert metrics.inline_rule_terms == 2  # mentions `source`
+
+    def test_addition(self):
+        first = ModelMetrics(workflow_steps=2, mappings=1)
+        second = ModelMetrics(workflow_steps=3, business_rules=4)
+        combined = first + second
+        assert combined.workflow_steps == 5
+        assert combined.mappings == 1
+        assert combined.business_rules == 4
+
+    def test_as_dict_contains_derived_series(self):
+        row = ModelMetrics(workflow_steps=1, transitions=1).as_dict()
+        assert row["total_elements"] == 2
+        assert "decision_surface" in row
+
+
+class TestNaiveGrowth:
+    def test_figure9_topology_size(self):
+        metrics = measure_workflow_type(build_naive_seller_type(NaiveTopology.figure9()))
+        # 2 protocols, 2 partners, 2 back ends:
+        # receive + 2 decode + target + 4 transforms + 2 store + 2 approve
+        # + 2 extract + 4 poa transforms + 2 encode + 2 send = 22 steps
+        assert metrics.workflow_steps == 22
+        assert metrics.inline_transform_steps == 8
+        # the approval condition (4 terms) duplicated on both back-end paths
+        assert metrics.inline_rule_terms == 8
+
+    def test_transform_steps_grow_multiplicatively(self):
+        small = measure_workflow_type(
+            build_naive_seller_type(NaiveTopology.synthetic(2, 2, 2))
+        )
+        bigger = measure_workflow_type(
+            build_naive_seller_type(NaiveTopology.synthetic(4, 2, 4))
+        )
+        assert small.inline_transform_steps == 2 * 2 * 2
+        assert bigger.inline_transform_steps == 2 * 4 * 4
+
+    def test_partner_growth_raises_decision_surface_only(self):
+        base = measure_workflow_type(
+            build_naive_seller_type(NaiveTopology.synthetic(2, 2, 2))
+        )
+        more = measure_workflow_type(
+            build_naive_seller_type(NaiveTopology.synthetic(2, 6, 2))
+        )
+        assert more.workflow_steps == base.workflow_steps
+        assert more.decision_surface > base.decision_surface
+
+
+class TestAdvancedModelMetrics:
+    def test_figure14_model_counts(self):
+        metrics = measure_model(build_fig14_model())
+        assert metrics.workflow_types == 1          # one private process
+        assert metrics.public_processes == 4        # 2 protocols x 2 roles
+        assert metrics.bindings == 6                # 4 protocol + 2 application
+        assert metrics.business_rules == 6          # 4 approval + 2 routing
+        assert metrics.mappings == 32               # full catalog incl. fulfillment + quotation
+        assert metrics.partners == 2
+        assert metrics.applications == 2
+        # the private process itself contains no transformations or
+        # partner-specific terms
+        assert metrics.inline_transform_steps == 0
+        assert metrics.inline_rule_terms == 0
+
+    def test_total_elements_positive(self):
+        assert measure_model(build_fig14_model()).total_elements > 0

@@ -1,0 +1,106 @@
+"""Tests for the private-process builders (Section 4.4).
+
+The headline assertions verify what the paper says must be true of a
+private process: it is *trading partner independent* — no partner ids, no
+protocol names, no wire formats, no thresholds anywhere in the definition.
+"""
+
+import json
+
+import pytest
+
+from repro.core.private_process import buyer_po_process, seller_po_process
+from repro.workflow.definitions import WorkflowType
+
+
+@pytest.fixture(params=["seller", "buyer"])
+def process(request) -> WorkflowType:
+    if request.param == "seller":
+        return seller_po_process(owner="ACME")
+    return buyer_po_process(owner="TP1")
+
+
+class TestPartnerIndependence:
+    def test_no_partner_names_in_definition(self, process):
+        text = json.dumps(process.to_dict())
+        for forbidden in ("TP1", "TP2", "TP3"):
+            if process.owner != forbidden:
+                assert forbidden not in text
+
+    def test_no_wire_formats_or_protocols(self, process):
+        text = json.dumps(process.to_dict())
+        for forbidden in ("edi", "rosettanet", "oagis", "x12", "idoc", "oif",
+                          "EDI", "RosettaNet", "OAGIS"):
+            assert forbidden not in text
+
+    def test_no_amount_thresholds(self, process):
+        text = json.dumps(process.to_dict())
+        for forbidden in ("55000", "40000", "10000", "550000"):
+            assert forbidden not in text
+
+    def test_rule_decisions_are_externalized(self, process):
+        rule_steps = process.steps_tagged("business-rule")
+        assert rule_steps, "private process must call external rules"
+        for step in rule_steps:
+            assert step.activity == "evaluate_business_rule"
+            assert "function" in step.params
+
+    def test_no_inline_transformations(self, process):
+        assert process.steps_tagged("transformation") == []
+
+
+class TestSellerStructure:
+    @pytest.fixture
+    def seller(self):
+        return seller_po_process()
+
+    def test_figure13_steps_present(self, seller):
+        ids = set(seller.steps)
+        assert {"check_need_for_approval", "approve_po", "store_po",
+                "extract_poa", "return_poa"} <= ids
+
+    def test_routing_is_a_rule_too(self, seller):
+        step = seller.step("select_target")
+        assert step.params["function"] == "select_target_application"
+
+    def test_approval_branches(self, seller):
+        conditions = {
+            (t.source, t.target): t.condition for t in seller.transitions
+        }
+        assert conditions[("check_need_for_approval", "approve_po")] == (
+            "approval_required == True"
+        )
+        # declined approvals take the rejection path
+        assert ("approve_po", "build_rejection") in conditions
+
+    def test_connection_steps_tagged(self, seller):
+        connection = {s.step_id for s in seller.steps_tagged("connection")}
+        assert connection == {"return_poa", "return_rejection"}
+
+    def test_validates_as_workflow_type(self, seller):
+        # round-trips through the definition serializer
+        assert WorkflowType.from_dict(seller.to_dict()).step_count() == seller.step_count()
+
+
+class TestBuyerStructure:
+    @pytest.fixture
+    def buyer(self):
+        return buyer_po_process()
+
+    def test_figure1_left_steps_present(self, buyer):
+        ids = set(buyer.steps)
+        assert {"extract_po", "check_need_for_approval", "approve_po",
+                "send_po", "await_poa", "store_poa"} <= ids
+
+    def test_unapproved_orders_cancelled(self, buyer):
+        targets = {
+            (t.source, t.target): t for t in buyer.transitions
+        }
+        assert ("approve_po", "cancel_order") in targets
+        assert targets[("approve_po", "cancel_order")].otherwise
+
+    def test_conversation_flows_through_variables(self, buyer):
+        send = buyer.step("send_po")
+        assert send.outputs == {"conversation_id": "conversation_id"}
+        await_step = buyer.step("await_poa")
+        assert await_step.inputs == {"conversation_id": "conversation_id"}

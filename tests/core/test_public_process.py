@@ -1,0 +1,106 @@
+"""Tests for public processes and their sequencing guard (Section 4.1)."""
+
+import pytest
+
+from repro.core.public_process import (
+    PublicProcessDefinition,
+    PublicProcessInstance,
+    PublicStep,
+    buyer_request_reply,
+    seller_request_reply,
+)
+from repro.errors import ProtocolError
+
+
+class TestPublicStep:
+    def test_requires_id_and_known_kind(self):
+        with pytest.raises(ProtocolError):
+            PublicStep("", "receive", "purchase_order")
+        with pytest.raises(ProtocolError):
+            PublicStep("s", "teleport")
+
+    def test_wire_steps_need_doc_type(self):
+        with pytest.raises(ProtocolError):
+            PublicStep("s", "receive")
+        with pytest.raises(ProtocolError):
+            PublicStep("s", "send")
+        PublicStep("s", "to_binding")  # control steps don't
+
+
+class TestDefinition:
+    def test_seller_template_shape(self):
+        definition = seller_request_reply("p/seller", "proto", "fmt")
+        kinds = [step.kind for step in definition.steps]
+        assert kinds == ["receive", "to_binding", "from_binding", "send"]
+        assert definition.step_count() == 4
+        assert definition.connection_step_count() == 2
+        assert not definition.initiating()
+
+    def test_buyer_template_shape(self):
+        definition = buyer_request_reply("p/buyer", "proto", "fmt")
+        kinds = [step.kind for step in definition.steps]
+        assert kinds == ["from_binding", "send", "receive", "to_binding"]
+        assert definition.initiating()
+
+    def test_empty_definition_rejected(self):
+        with pytest.raises(ProtocolError):
+            PublicProcessDefinition("x", "p", "buyer", "fmt", [])
+
+    def test_bad_role_rejected(self):
+        with pytest.raises(ProtocolError):
+            PublicProcessDefinition("x", "p", "middleman", "fmt",
+                                    [PublicStep("s", "to_binding")])
+
+    def test_duplicate_step_ids_rejected(self):
+        steps = [PublicStep("s", "to_binding"), PublicStep("s", "from_binding")]
+        with pytest.raises(ProtocolError):
+            PublicProcessDefinition("x", "p", "buyer", "fmt", steps)
+
+    def test_to_dict_is_stable(self):
+        definition = seller_request_reply("p/seller", "proto", "fmt")
+        assert definition.to_dict() == definition.to_dict()
+        assert definition.to_dict()["steps"][0]["kind"] == "receive"
+
+
+class TestInstanceSequencing:
+    @pytest.fixture
+    def instance(self):
+        return PublicProcessInstance(
+            seller_request_reply("p/seller", "proto", "fmt"), "C1", "TP1"
+        )
+
+    def test_happy_path(self, instance):
+        instance.expect("receive", "purchase_order")
+        instance.complete_current()
+        instance.expect("to_binding")
+        instance.complete_current()
+        instance.expect("from_binding")
+        instance.complete_current()
+        instance.expect("send", "po_ack")
+        instance.complete_current()
+        assert instance.completed
+        assert len(instance.trace) == 4
+
+    def test_out_of_order_message_rejected(self, instance):
+        """The Section 3 sequencing hazard made loud: a send arriving
+        where a receive is expected is a protocol violation."""
+        with pytest.raises(ProtocolError) as excinfo:
+            instance.expect("send", "po_ack")
+        assert "expected receive" in str(excinfo.value)
+
+    def test_wrong_doc_type_rejected(self, instance):
+        with pytest.raises(ProtocolError):
+            instance.expect("receive", "invoice")
+
+    def test_step_after_completion_rejected(self, instance):
+        for _ in range(4):
+            instance.complete_current()
+        assert instance.completed
+        with pytest.raises(ProtocolError):
+            instance.current_step()
+        with pytest.raises(ProtocolError):
+            instance.expect("receive", "purchase_order")
+
+    def test_trace_records_progress(self, instance):
+        instance.complete_current("got PO")
+        assert instance.trace == ["receive_request:receive got PO"]

@@ -1,0 +1,77 @@
+"""Tests for the operational reporting module."""
+
+import pytest
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.core.enterprise import run_community
+from repro.core.reporting import model_inventory, render_report, runtime_statistics
+
+LINES = [{"sku": "X", "quantity": 2, "unit_price": 100.0}]
+
+
+@pytest.fixture
+def ran_pair():
+    pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+    pair.buyer.submit_order("SAP", "ACME", "PO-REP", LINES)
+    run_community(pair.enterprises())
+    return pair
+
+
+class TestModelInventory:
+    def test_covers_every_kind(self, ran_pair):
+        inventory = model_inventory(ran_pair.seller.model)
+        assert inventory["enterprise"] == "ACME"
+        assert inventory["protocols"] == ["rosettanet"]
+        assert len(inventory["public_processes"]) == 2
+        assert len(inventory["bindings"]) == 3  # 2 protocol + 1 application
+        assert [w["name"] for w in inventory["private_processes"]] == [
+            "private-po-seller"
+        ]
+        assert {r["function"] for r in inventory["rule_sets"]} == {
+            "check_need_for_approval", "select_target_application",
+        }
+        assert inventory["applications"] == {"Oracle": "oracle-oif"}
+
+    def test_metrics_embedded(self, ran_pair):
+        inventory = model_inventory(ran_pair.seller.model)
+        assert inventory["metrics"]["total_elements"] > 0
+        assert inventory["metrics"]["business_rules"] == 2
+
+    def test_initiating_flags(self, ran_pair):
+        inventory = model_inventory(ran_pair.buyer.model)
+        flags = {d["name"]: d["initiating"] for d in inventory["public_processes"]}
+        assert flags["rosettanet/3a4/buyer"] is True
+        assert flags["rosettanet/3a4/seller"] is False
+
+
+class TestRuntimeStatistics:
+    def test_counts_after_a_round_trip(self, ran_pair):
+        statistics = runtime_statistics(ran_pair.seller)
+        assert statistics["conversations"] == {"total": 1, "completed": 1}
+        assert statistics["messages"]["business_received"] == 1
+        assert statistics["messages"]["business_sent"] == 1
+        assert statistics["workflow_instances"]["completed"] == 1
+        assert statistics["rule_evaluations"]["check_need_for_approval"] == 1
+        assert statistics["rule_evaluations"]["select_target_application"] == 1
+        assert statistics["backends"]["Oracle"]["orders"] == 1
+        assert statistics["faults"] == 0
+        assert statistics["transformations"] >= 4
+
+    def test_fresh_enterprise_all_zero(self):
+        pair = build_two_enterprise_pair("rosettanet")
+        statistics = runtime_statistics(pair.buyer)
+        assert statistics["conversations"] == {"total": 0}
+        assert statistics["steps_executed"] == 0
+
+
+class TestRenderedReport:
+    def test_report_is_readable_text(self, ran_pair):
+        text = render_report(ran_pair.seller)
+        assert "ACME: integration report" in text
+        assert "private-po-seller" in text
+        assert "check_need_for_approval" in text
+        assert "conversations : {'total': 1, 'completed': 1}" in text
+
+    def test_report_renders_for_every_scenario_enterprise(self, ran_pair):
+        for enterprise in ran_pair.enterprises():
+            assert render_report(enterprise)

@@ -1,0 +1,186 @@
+"""Tests for the external business-rule engine (Section 4.3)."""
+
+import pytest
+
+from repro.core.rules import (
+    BusinessRule,
+    RuleEngine,
+    RuleSet,
+    approval_rule_set,
+    routing_rule_set,
+)
+from repro.documents.normalized import make_purchase_order
+from repro.errors import NoApplicableRuleError, RuleError
+
+
+def _po(amount_per_unit, quantity=1):
+    return make_purchase_order(
+        "P1", "TP1", "ACME",
+        [{"sku": "X", "quantity": quantity, "unit_price": amount_per_unit}],
+    )
+
+
+class TestBusinessRule:
+    def test_expression_rule(self):
+        rule = BusinessRule("r", source="TP1", target="SAP",
+                            expression="document.amount >= 55000")
+        assert rule.applies("TP1", "SAP")
+        assert not rule.applies("TP2", "SAP")
+        assert rule.evaluate("TP1", "SAP", _po(60000)) is True
+        assert rule.evaluate("TP1", "SAP", _po(100)) is False
+
+    def test_wildcard_source_and_target(self):
+        rule = BusinessRule("r", expression="True")
+        assert rule.applies("anyone", "anything")
+
+    def test_body_rule(self):
+        rule = BusinessRule("r", body=lambda s, t, d: f"{s}->{t}")
+        assert rule.evaluate("a", "b", _po(1)) == "a->b"
+
+    def test_exactly_one_of_expression_or_body(self):
+        with pytest.raises(RuleError):
+            BusinessRule("r")
+        with pytest.raises(RuleError):
+            BusinessRule("r", expression="True", body=lambda s, t, d: 1)
+
+    def test_body_error_wrapped(self):
+        rule = BusinessRule("r", body=lambda s, t, d: 1 / 0)
+        with pytest.raises(RuleError):
+            rule.evaluate("a", "b", _po(1))
+
+    def test_requires_name(self):
+        with pytest.raises(RuleError):
+            BusinessRule("", expression="True")
+
+    def test_fingerprint_changes_with_expression(self):
+        first = BusinessRule("r", expression="document.amount >= 1")
+        second = BusinessRule("r", expression="document.amount >= 2")
+        assert first.fingerprint() != second.fingerprint()
+
+
+class TestRuleSet:
+    def test_first_match_wins(self):
+        rule_set = RuleSet("f", [
+            BusinessRule("specific", source="TP1", expression="'first'"),
+            BusinessRule("generic", expression="'second'"),
+        ])
+        assert rule_set.evaluate("TP1", "SAP", _po(1)) == "first"
+        assert rule_set.evaluate("TP9", "SAP", _po(1)) == "second"
+
+    def test_error_case_when_nothing_applies(self):
+        """The paper's explicit 'result := error' branch."""
+        rule_set = RuleSet("f", [BusinessRule("only", source="TP1", expression="True")])
+        with pytest.raises(NoApplicableRuleError) as excinfo:
+            rule_set.evaluate("TP9", "SAP", _po(1))
+        assert excinfo.value.source == "TP9"
+        assert excinfo.value.function == "f"
+        assert rule_set.errors == 1
+
+    def test_duplicate_rule_name_rejected(self):
+        rule_set = RuleSet("f", [BusinessRule("a", expression="True")])
+        with pytest.raises(RuleError):
+            rule_set.add(BusinessRule("a", expression="False"))
+
+    def test_remove(self):
+        rule_set = RuleSet("f", [BusinessRule("a", expression="True")])
+        rule_set.remove("a")
+        assert rule_set.rules == []
+        with pytest.raises(RuleError):
+            rule_set.remove("a")
+
+    def test_rules_for_query(self):
+        rule_set = RuleSet("f", [
+            BusinessRule("a", source="TP1", target="SAP", expression="True"),
+            BusinessRule("b", source="TP1", target="Oracle", expression="True"),
+        ])
+        assert len(rule_set.rules_for(source="TP1")) == 2
+        assert len(rule_set.rules_for(target="SAP")) == 1
+
+    def test_evaluation_counter(self):
+        rule_set = RuleSet("f", [BusinessRule("a", expression="True")])
+        rule_set.evaluate("s", "t", _po(1))
+        rule_set.evaluate("s", "t", _po(1))
+        assert rule_set.evaluations == 2
+
+
+class TestRuleEngine:
+    def test_register_and_evaluate(self):
+        engine = RuleEngine()
+        engine.register(RuleSet("f", [BusinessRule("a", expression="42")]))
+        assert engine.evaluate("f", "s", "t", _po(1)) == 42
+
+    def test_duplicate_function_rejected(self):
+        engine = RuleEngine()
+        engine.register(RuleSet("f"))
+        with pytest.raises(RuleError):
+            engine.register(RuleSet("f"))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(RuleError):
+            RuleEngine().evaluate("ghost", "s", "t", _po(1))
+
+    def test_rule_count(self):
+        engine = RuleEngine()
+        engine.register(RuleSet("f", [BusinessRule("a", expression="1")]))
+        engine.register(RuleSet("g", [BusinessRule("b", expression="1"),
+                                      BusinessRule("c", expression="1")]))
+        assert engine.rule_count() == 3
+
+
+class TestPaperRuleListing:
+    """Section 4.3's check_need_for_approval, verbatim."""
+
+    @pytest.fixture
+    def rules(self):
+        engine = RuleEngine()
+        engine.register(
+            approval_rule_set(
+                {
+                    ("SAP", "TP1"): 55000,
+                    ("SAP", "TP2"): 40000,
+                    ("Oracle", "TP1"): 55000,
+                    ("Oracle", "TP2"): 40000,
+                }
+            )
+        )
+        return engine
+
+    @pytest.mark.parametrize(
+        ("source", "target", "amount", "expected"),
+        [
+            ("TP1", "SAP", 60000, True),      # business rule 1
+            ("TP1", "SAP", 54999, False),
+            ("TP2", "SAP", 45000, True),      # business rule 2
+            ("TP2", "SAP", 39999, False),
+            ("TP1", "Oracle", 55000, True),   # business rule 3 (boundary)
+            ("TP2", "Oracle", 40000, True),   # business rule 4 (boundary)
+            ("TP2", "Oracle", 100, False),
+        ],
+    )
+    def test_four_rules(self, rules, source, target, amount, expected):
+        result = rules.evaluate("check_need_for_approval", source, target, _po(amount))
+        assert result is expected
+
+    def test_unknown_pair_is_the_error_case(self, rules):
+        with pytest.raises(NoApplicableRuleError):
+            rules.evaluate("check_need_for_approval", "TP3", "SAP", _po(1))
+
+    def test_result_is_boolean(self, rules):
+        result = rules.evaluate("check_need_for_approval", "TP1", "SAP", _po(60000))
+        assert isinstance(result, bool)
+
+
+class TestRoutingRules:
+    def test_routing_by_partner(self):
+        rule_set = routing_rule_set({"TP1": "SAP", "TP2": "Oracle"})
+        assert rule_set.evaluate("TP1", "", _po(1)) == "SAP"
+        assert rule_set.evaluate("TP2", "", _po(1)) == "Oracle"
+
+    def test_default_route(self):
+        rule_set = routing_rule_set({"TP1": "SAP"}, default="Oracle")
+        assert rule_set.evaluate("TP9", "", _po(1)) == "Oracle"
+
+    def test_no_default_means_error_case(self):
+        rule_set = routing_rule_set({"TP1": "SAP"})
+        with pytest.raises(NoApplicableRuleError):
+            rule_set.evaluate("TP9", "", _po(1))

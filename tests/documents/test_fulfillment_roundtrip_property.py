@@ -1,0 +1,131 @@
+"""Property-based round trips for the fulfillment/quotation documents.
+
+Same statement as ``test_roundtrip_property``, extended to the ship
+notice, invoice (EDI 856/810 and OAGIS) and RFQ/quote (OAGIS) layouts:
+the full wire path is lossless for random documents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.documents import edi, oagis
+from repro.documents.normalized import (
+    make_invoice,
+    make_purchase_order,
+    make_quote,
+    make_rfq,
+    make_ship_notice,
+)
+from repro.transform.catalog import build_standard_registry
+
+REGISTRY = build_standard_registry()
+
+MODULES = {edi.EDI_X12: edi, oagis.OAGIS: oagis}
+
+_skus = st.from_regex(r"[A-Z0-9][A-Z0-9\-]{0,8}", fullmatch=True)
+_quantities = st.integers(1, 9999).map(float)
+_prices = st.integers(0, 10_000_000).map(lambda cents: cents / 100)
+_po_numbers = st.from_regex(r"PO-[0-9]{1,6}", fullmatch=True)
+_partner_ids = st.from_regex(r"[A-Z]{2,8}", fullmatch=True)
+_times = st.integers(0, 10_000_000).map(lambda t: t / 10)
+
+_po_lines = st.lists(
+    st.fixed_dictionaries(
+        {"sku": _skus, "quantity": _quantities, "unit_price": _prices}
+    ),
+    min_size=1,
+    max_size=5,
+    unique_by=lambda line: line["sku"],
+)
+
+
+@st.composite
+def purchase_orders(draw):
+    return make_purchase_order(
+        draw(_po_numbers), draw(_partner_ids), draw(_partner_ids),
+        draw(_po_lines), issued_at=draw(_times),
+    )
+
+
+def _roundtrip(document, format_name):
+    module = MODULES[format_name]
+    wire_document = REGISTRY.transform(document, format_name)
+    parsed = module.from_wire(module.to_wire(wire_document))
+    assert parsed == wire_document, f"wire roundtrip broke for {format_name}"
+    back = REGISTRY.transform(parsed, "normalized")
+    assert back == document, f"semantic roundtrip broke for {format_name}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(purchase_orders(), st.sampled_from(sorted(MODULES)), _times)
+def test_ship_notice_lossless(po, format_name, issued_at):
+    asn = make_ship_notice(po, f"SHIP-{po.get('header.po_number')}",
+                           issued_at=issued_at)
+    _roundtrip(asn, format_name)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    purchase_orders(),
+    st.sampled_from(sorted(MODULES)),
+    st.integers(0, 25).map(lambda percent: percent / 100),
+    _times,
+)
+def test_invoice_lossless(po, format_name, tax_rate, issued_at):
+    invoice = make_invoice(po, f"INV-{po.get('header.po_number')}",
+                           tax_rate=tax_rate, issued_at=issued_at)
+    _roundtrip(invoice, format_name)
+
+
+@settings(max_examples=30, deadline=None)
+@given(purchase_orders(), _times)
+def test_invoice_total_cents_exact(po, issued_at):
+    """The X12 TDS cents encoding must not lose a cent."""
+    invoice = make_invoice(po, "INV-C", issued_at=issued_at)
+    wire_document = REGISTRY.transform(invoice, edi.EDI_X12)
+    expected_cents = int(round(invoice.get("summary.total_due") * 100))
+    assert wire_document.get("tds.total_cents") == expected_cents
+    back = REGISTRY.transform(wire_document, "normalized")
+    assert back.get("summary.total_due") == invoice.get("summary.total_due")
+
+
+_rfq_lines = st.lists(
+    st.fixed_dictionaries({"sku": _skus, "quantity": _quantities}),
+    min_size=1,
+    max_size=5,
+    unique_by=lambda line: line["sku"],
+)
+
+
+@st.composite
+def rfqs(draw):
+    return make_rfq(
+        f"RFQ-{draw(st.integers(1, 99999))}",
+        draw(_partner_ids), draw(_partner_ids),
+        draw(_rfq_lines),
+        respond_by=draw(_times),
+        issued_at=draw(_times),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(rfqs())
+def test_rfq_lossless_over_oagis(rfq):
+    wire_document = REGISTRY.transform(rfq, oagis.OAGIS)
+    parsed = oagis.from_wire(oagis.to_wire(wire_document))
+    assert parsed == wire_document
+    assert REGISTRY.transform(parsed, "normalized") == rfq
+
+
+@settings(max_examples=30, deadline=None)
+@given(rfqs(), st.data())
+def test_quote_lossless_over_oagis(rfq, data):
+    prices = {
+        line["sku"]: data.draw(_prices, label=f"price[{line['sku']}]")
+        for line in rfq.get("lines")
+    }
+    quote = make_quote(rfq, prices, f"Q-{rfq.get('header.rfq_number')}",
+                       valid_until=data.draw(_times, label="valid_until"))
+    wire_document = REGISTRY.transform(quote, oagis.OAGIS)
+    parsed = oagis.from_wire(oagis.to_wire(wire_document))
+    assert parsed == wire_document
+    assert REGISTRY.transform(parsed, "normalized") == quote

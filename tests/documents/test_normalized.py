@@ -1,0 +1,134 @@
+"""Tests for the normalized document builders and schemas."""
+
+import pytest
+
+from repro.documents import normalized
+from repro.documents.normalized import (
+    make_invoice,
+    make_po_ack,
+    make_purchase_order,
+    make_ship_notice,
+    po_total_amount,
+    schema_for,
+)
+from repro.errors import DocumentError
+
+
+class TestPurchaseOrder:
+    def test_totals_computed(self, sample_po):
+        assert sample_po.get("summary.total_amount") == pytest.approx(12750.0)
+        assert sample_po.get("summary.line_count") == 2
+
+    def test_line_numbers_default_sequentially(self, sample_po):
+        assert [line["line_no"] for line in sample_po.get("lines")] == [1, 2]
+
+    def test_explicit_line_numbers_kept(self):
+        po = make_purchase_order(
+            "P", "B", "S", [{"line_no": 7, "sku": "X", "quantity": 1, "unit_price": 2}]
+        )
+        assert po.get("lines[0].line_no") == 7
+
+    def test_po_amount_accessor(self, sample_po):
+        assert po_total_amount(sample_po) == pytest.approx(12750.0)
+
+    def test_requires_lines(self):
+        with pytest.raises(DocumentError):
+            make_purchase_order("P", "B", "S", [])
+
+    def test_line_missing_sku_rejected(self):
+        with pytest.raises(DocumentError):
+            make_purchase_order("P", "B", "S", [{"quantity": 1, "unit_price": 1}])
+
+    def test_money_rounded_to_cents(self):
+        po = make_purchase_order(
+            "P", "B", "S", [{"sku": "X", "quantity": 3, "unit_price": 0.1}]
+        )
+        assert po.get("summary.total_amount") == 0.3
+
+    def test_schema_accepts_builder_output(self, sample_po):
+        schema_for("purchase_order").validate(sample_po)
+
+    def test_default_document_id(self, sample_po):
+        assert sample_po.get("header.document_id") == "PO-DOC-PO-1001"
+
+
+class TestPoAck:
+    def test_accepted_ack_covers_all_lines(self, sample_po):
+        poa = make_po_ack(sample_po)
+        assert poa.get("header.status") == "accepted"
+        assert all(line["status"] == "accepted" for line in poa.get("lines"))
+        assert poa.get("summary.accepted_amount") == pytest.approx(12750.0)
+
+    def test_rejected_ack_zeroes_quantities(self, sample_po):
+        poa = make_po_ack(sample_po, status="rejected")
+        assert all(line["quantity"] == 0.0 for line in poa.get("lines"))
+        assert poa.get("summary.accepted_amount") == 0.0
+
+    def test_partial_ack_line_statuses(self, sample_poa):
+        statuses = {line["line_no"]: line["status"] for line in sample_poa.get("lines")}
+        assert statuses == {1: "accepted", 2: "backordered"}
+        # only line 1 counts toward the accepted amount
+        assert sample_poa.get("summary.accepted_amount") == pytest.approx(12000.0)
+
+    def test_invalid_status_rejected(self, sample_po):
+        with pytest.raises(DocumentError):
+            make_po_ack(sample_po, status="maybe")
+
+    def test_invalid_line_status_rejected(self, sample_po):
+        with pytest.raises(DocumentError):
+            make_po_ack(sample_po, line_statuses={1: "meh"})
+
+    def test_only_purchase_orders_acknowledged(self, sample_po):
+        poa = make_po_ack(sample_po)
+        with pytest.raises(DocumentError):
+            make_po_ack(poa)
+
+    def test_schema_accepts_builder_output(self, sample_poa):
+        schema_for("po_ack").validate(sample_poa)
+
+    def test_roles_preserved(self, sample_po, sample_poa):
+        assert sample_poa.get("header.buyer_id") == sample_po.get("header.buyer_id")
+        assert sample_poa.get("header.seller_id") == sample_po.get("header.seller_id")
+
+
+class TestInvoiceAndShipNotice:
+    def test_invoice_totals_with_tax(self, sample_po):
+        invoice = make_invoice(sample_po, "INV-9", tax_rate=0.1)
+        assert invoice.get("summary.subtotal") == pytest.approx(12750.0)
+        assert invoice.get("summary.tax") == pytest.approx(1275.0)
+        assert invoice.get("summary.total_due") == pytest.approx(14025.0)
+        schema_for("invoice").validate(invoice)
+
+    def test_invoice_line_amounts(self, sample_po):
+        invoice = make_invoice(sample_po, "INV-9")
+        assert invoice.get("lines[0].amount") == pytest.approx(12000.0)
+
+    def test_ship_notice(self, sample_po):
+        asn = make_ship_notice(sample_po, "SHIP-1", carrier="FASTFREIGHT")
+        assert asn.get("header.carrier") == "FASTFREIGHT"
+        assert asn.get("summary.package_count") == 2
+        assert asn.get("lines[0].quantity_shipped") == 10.0
+        schema_for("ship_notice").validate(asn)
+
+
+class TestSchemaRegistry:
+    @pytest.mark.parametrize(
+        "doc_type", ["purchase_order", "po_ack", "invoice", "ship_notice"]
+    )
+    def test_known_doc_types(self, doc_type):
+        assert schema_for(doc_type).doc_type == doc_type
+
+    def test_unknown_doc_type(self):
+        with pytest.raises(DocumentError):
+            schema_for("credit_note")
+
+    def test_schema_rejects_negative_quantity(self, sample_po):
+        sample_po.set("lines[0].quantity", -1.0)
+        schema = schema_for("purchase_order")
+        assert not schema.is_valid(sample_po)
+
+    def test_status_vocabulary_is_closed(self):
+        assert set(normalized.POA_STATUSES) == {"accepted", "rejected", "partial"}
+        assert set(normalized.LINE_ACK_STATUSES) == {
+            "accepted", "rejected", "backordered",
+        }

@@ -1,0 +1,98 @@
+"""Tests for the RFQ/quote normalized documents and their OAGIS BODs."""
+
+import pytest
+
+from repro.documents import oagis
+from repro.documents.normalized import make_quote, make_rfq, schema_for
+from repro.errors import DocumentError, WireFormatError
+
+RFQ_LINES = [
+    {"sku": "GPU", "quantity": 10, "description": "accelerator"},
+    {"sku": "PSU", "quantity": 5},
+]
+
+
+@pytest.fixture
+def rfq():
+    return make_rfq("RFQ-1", "TP1", "ACME", RFQ_LINES, respond_by=50.0, issued_at=1.0)
+
+
+@pytest.fixture
+def quote(rfq):
+    return make_quote(rfq, {"GPU": 1450.0, "PSU": 250.0}, "Q-RFQ-1",
+                      valid_until=200.0, issued_at=2.0)
+
+
+class TestRfqBuilder:
+    def test_structure(self, rfq):
+        assert rfq.doc_type == "request_for_quote"
+        assert rfq.get("header.respond_by") == 50.0
+        assert rfq.get("summary.line_count") == 2
+        assert rfq.get("lines[0].line_no") == 1
+        schema_for("request_for_quote").validate(rfq)
+
+    def test_no_prices_in_an_rfq(self, rfq):
+        for line in rfq.get("lines"):
+            assert "unit_price" not in line
+
+    def test_requires_lines(self):
+        with pytest.raises(DocumentError):
+            make_rfq("R", "B", "S", [])
+
+    def test_empty_seller_allowed_for_broadcast_base(self):
+        rfq = make_rfq("R", "B", "", RFQ_LINES)
+        assert rfq.get("header.seller_id") == ""
+        schema_for("request_for_quote").validate(rfq)
+
+
+class TestQuoteBuilder:
+    def test_totals(self, quote):
+        # 10*1450 + 5*250 = 15 750
+        assert quote.get("summary.total_amount") == pytest.approx(15750.0)
+        assert quote.get("header.rfq_number") == "RFQ-1"
+        schema_for("quote").validate(quote)
+
+    def test_roles_copied_from_rfq(self, rfq, quote):
+        assert quote.get("header.buyer_id") == rfq.get("header.buyer_id")
+        assert quote.get("header.seller_id") == rfq.get("header.seller_id")
+
+    def test_missing_price_rejected(self, rfq):
+        with pytest.raises(DocumentError) as excinfo:
+            make_quote(rfq, {"GPU": 1450.0}, "Q-1")  # PSU unpriced
+        assert "PSU" in str(excinfo.value)
+
+    def test_only_rfqs_quotable(self, quote):
+        with pytest.raises(DocumentError):
+            make_quote(quote, {}, "Q-2")
+
+
+class TestOagisQuotationWire:
+    def test_rfq_roundtrip(self, registry, rfq):
+        wire_doc = registry.transform(rfq, oagis.OAGIS)
+        text = oagis.to_wire(wire_doc)
+        assert "<GetQuote" in text and "<Get/>" in text
+        parsed = oagis.from_wire(text)
+        assert parsed == wire_doc
+        assert registry.transform(parsed, "normalized") == rfq
+
+    def test_quote_roundtrip(self, registry, quote):
+        wire_doc = registry.transform(quote, oagis.OAGIS)
+        text = oagis.to_wire(wire_doc)
+        assert "<ShowQuote" in text and "<Show/>" in text
+        parsed = oagis.from_wire(text)
+        assert parsed == wire_doc
+        assert registry.transform(parsed, "normalized") == quote
+
+    def test_rfq_without_verb_rejected(self, registry, rfq):
+        text = oagis.to_wire(registry.transform(rfq, oagis.OAGIS))
+        with pytest.raises(WireFormatError):
+            oagis.from_wire(text.replace("<Get/>", "<Fetch/>"))
+
+    def test_quote_envelope_roles(self, registry, rfq, quote):
+        rfq_wire = registry.transform(rfq, oagis.OAGIS)
+        quote_wire = registry.transform(quote, oagis.OAGIS)
+        # RFQ travels buyer -> seller, the quote back
+        assert rfq_wire.get("application_area.sender_id") == "TP1"
+        assert rfq_wire.get("application_area.receiver_id") == "ACME"
+        assert quote_wire.get("application_area.sender_id") == "ACME"
+        assert quote_wire.get("application_area.receiver_id") == "TP1"

@@ -1,0 +1,124 @@
+"""Property-based round trips: random POs/POAs through every format.
+
+For every format F and a random normalized document d (built with default
+document ids, which the mappings preserve):
+
+    normalize(parse(serialize(to_F(d)))) == d
+
+i.e. the full wire path — transform out, serialize, parse, transform back —
+is lossless.  This is the strongest statement the reproduction makes about
+its document substrate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.documents import edi, idoc, oagis, oracle_oif, rosettanet
+from repro.documents.normalized import make_po_ack, make_purchase_order
+from repro.transform.catalog import build_standard_registry
+
+REGISTRY = build_standard_registry()
+
+MODULES = {
+    edi.EDI_X12: edi,
+    rosettanet.ROSETTANET: rosettanet,
+    oagis.OAGIS: oagis,
+    idoc.SAP_IDOC: idoc,
+    oracle_oif.ORACLE_OIF: oracle_oif,
+}
+
+_skus = st.from_regex(r"[A-Z0-9][A-Z0-9\-]{0,8}", fullmatch=True)
+_descriptions = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz 0123456789", max_size=20
+).map(str.strip)
+_quantities = st.integers(1, 9999).map(float)
+_prices = st.integers(0, 10_000_000).map(lambda cents: cents / 100)
+
+_lines = st.lists(
+    st.fixed_dictionaries(
+        {
+            "sku": _skus,
+            "quantity": _quantities,
+            "unit_price": _prices,
+            "description": _descriptions,
+        }
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+# Short PO numbers keep the IDoc control field (16 chars) honest.
+_po_numbers = st.from_regex(r"PO-[0-9]{1,6}", fullmatch=True)
+_partner_ids = st.from_regex(r"[A-Z]{2,8}", fullmatch=True)
+_times = st.integers(0, 10_000_000).map(lambda t: t / 10)
+
+
+@st.composite
+def purchase_orders(draw):
+    return make_purchase_order(
+        draw(_po_numbers),
+        draw(_partner_ids),
+        draw(_partner_ids),
+        draw(_lines),
+        issued_at=draw(_times),
+    )
+
+
+@st.composite
+def po_acks(draw):
+    po = draw(purchase_orders())
+    line_numbers = [line["line_no"] for line in po.get("lines")]
+    status = draw(st.sampled_from(["accepted", "rejected", "partial"]))
+    line_statuses = {}
+    if status == "partial":
+        chosen = draw(
+            st.lists(st.sampled_from(line_numbers), unique=True, max_size=len(line_numbers))
+        )
+        for line_no in chosen:
+            line_statuses[line_no] = draw(
+                st.sampled_from(["accepted", "rejected", "backordered"])
+            )
+    return make_po_ack(po, status=status, line_statuses=line_statuses,
+                       issued_at=draw(_times))
+
+
+def _roundtrip(document, format_name):
+    module = MODULES[format_name]
+    wire_document = REGISTRY.transform(document, format_name)
+    parsed = module.from_wire(module.to_wire(wire_document))
+    assert parsed == wire_document, f"wire roundtrip broke for {format_name}"
+    back = REGISTRY.transform(parsed, "normalized")
+    assert back == document, f"semantic roundtrip broke for {format_name}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(purchase_orders(), st.sampled_from(sorted(MODULES)))
+def test_purchase_order_full_path_lossless(po, format_name):
+    _roundtrip(po, format_name)
+
+
+@settings(max_examples=40, deadline=None)
+@given(po_acks(), st.sampled_from(sorted(MODULES)))
+def test_po_ack_full_path_lossless(poa, format_name):
+    _roundtrip(poa, format_name)
+
+
+@settings(max_examples=25, deadline=None)
+@given(purchase_orders())
+def test_total_amount_preserved_across_all_formats(po):
+    expected = po.get("summary.total_amount")
+    for format_name in MODULES:
+        wire_document = REGISTRY.transform(po, format_name)
+        back = REGISTRY.transform(wire_document, "normalized")
+        assert back.get("summary.total_amount") == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(po_acks())
+def test_status_vocabulary_survives_every_code_table(poa):
+    expected = poa.get("header.status")
+    expected_lines = [line["status"] for line in poa.get("lines")]
+    for format_name in MODULES:
+        wire_document = REGISTRY.transform(poa, format_name)
+        back = REGISTRY.transform(wire_document, "normalized")
+        assert back.get("header.status") == expected
+        assert [line["status"] for line in back.get("lines")] == expected_lines

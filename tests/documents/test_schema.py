@@ -1,0 +1,137 @@
+"""Tests for document schemas and validation."""
+
+import pytest
+
+from repro.documents.model import Document
+from repro.documents.schema import DocumentSchema, FieldSpec
+from repro.errors import SchemaError, ValidationError
+
+
+@pytest.fixture
+def schema():
+    return DocumentSchema(
+        "test",
+        format_name="normalized",
+        doc_type="purchase_order",
+        fields=[
+            FieldSpec("header.po_number"),
+            FieldSpec("header.amount", "number", check=lambda v: v >= 0,
+                      check_label="amount >= 0"),
+            FieldSpec("header.notes", required=False),
+            FieldSpec("header.status", choices=("open", "closed")),
+            FieldSpec(
+                "lines",
+                "list",
+                min_items=1,
+                items=DocumentSchema("line", fields=[
+                    FieldSpec("sku"),
+                    FieldSpec("quantity", "int"),
+                ]),
+            ),
+        ],
+    )
+
+
+def _valid_doc():
+    return Document(
+        "normalized",
+        "purchase_order",
+        {
+            "header": {"po_number": "PO-1", "amount": 10.0, "status": "open"},
+            "lines": [{"sku": "A", "quantity": 1}],
+        },
+    )
+
+
+class TestFieldSpec:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("x", "decimal")
+
+    def test_items_requires_list_type(self):
+        with pytest.raises(SchemaError):
+            FieldSpec("x", "str", items=DocumentSchema("s"))
+
+    def test_bool_is_not_a_number(self):
+        spec = FieldSpec("x", "number")
+        doc = Document("f", "t", {"x": True})
+        assert spec.violations_for(doc)
+
+    def test_int_accepted_as_float(self):
+        spec = FieldSpec("x", "float")
+        doc = Document("f", "t", {"x": 3})
+        assert spec.violations_for(doc) == []
+
+    def test_crashing_check_reported_not_raised(self):
+        spec = FieldSpec("x", "str", check=lambda v: v.undefined,
+                         check_label="weird")
+        doc = Document("f", "t", {"x": "s"})
+        violations = spec.violations_for(doc)
+        assert len(violations) == 1 and "weird" in violations[0]
+
+
+class TestValidation:
+    def test_valid_document_passes(self, schema):
+        assert schema.is_valid(_valid_doc())
+        schema.validate(_valid_doc())  # should not raise
+
+    def test_missing_required_field(self, schema):
+        doc = _valid_doc()
+        doc.delete("header.po_number")
+        assert any("po_number" in v for v in schema.violations(doc))
+
+    def test_optional_field_may_be_absent(self, schema):
+        assert schema.is_valid(_valid_doc())
+
+    def test_wrong_type(self, schema):
+        doc = _valid_doc()
+        doc.set("header.amount", "ten")
+        assert any("expected number" in v for v in schema.violations(doc))
+
+    def test_choices_enforced(self, schema):
+        doc = _valid_doc()
+        doc.set("header.status", "pending")
+        assert any("choices" in v for v in schema.violations(doc))
+
+    def test_check_enforced(self, schema):
+        doc = _valid_doc()
+        doc.set("header.amount", -1)
+        assert any("amount >= 0" in v for v in schema.violations(doc))
+
+    def test_min_items(self, schema):
+        doc = _valid_doc()
+        doc.set("lines", [])
+        assert any("at least 1" in v for v in schema.violations(doc))
+
+    def test_item_schema_applied_per_element(self, schema):
+        doc = _valid_doc()
+        doc.set("lines[+]", {"sku": "B"})  # missing quantity
+        violations = schema.violations(doc)
+        assert any("lines[1].quantity" in v for v in violations)
+
+    def test_non_dict_list_item(self, schema):
+        doc = _valid_doc()
+        doc.set("lines[+]", "not-a-line")
+        assert any("expected dict item" in v for v in schema.violations(doc))
+
+    def test_format_mismatch(self, schema):
+        doc = _valid_doc()
+        doc.format_name = "edi-x12"
+        assert any("format mismatch" in v for v in schema.violations(doc))
+
+    def test_doc_type_mismatch(self, schema):
+        doc = _valid_doc()
+        doc.doc_type = "invoice"
+        assert any("doc_type mismatch" in v for v in schema.violations(doc))
+
+    def test_validate_raises_with_all_violations(self, schema):
+        doc = Document("normalized", "purchase_order", {"lines": []})
+        with pytest.raises(ValidationError) as excinfo:
+            schema.validate(doc)
+        assert len(excinfo.value.violations) >= 3
+
+    def test_violations_are_exhaustive_not_first_only(self, schema):
+        doc = _valid_doc()
+        doc.set("header.amount", -5)
+        doc.set("header.status", "bogus")
+        assert len(schema.violations(doc)) == 2

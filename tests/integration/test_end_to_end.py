@@ -1,0 +1,203 @@
+"""System tests: the full PO-POA round trip under every condition.
+
+These are the executable Figure 1 / Figure 14 / Figure 15 scenarios: two
+(or four) complete enterprises — private WFMS, rules, bindings, public
+processes, ERP simulators — exchanging business documents over the
+simulated network.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.backend.base import partial_backorder, reject_over
+from repro.core.enterprise import run_community
+from repro.messaging.network import NetworkConditions
+from repro.messaging.reliable import RetryPolicy
+
+LINES = [
+    {"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0},
+    {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+]  # total 12 750
+
+
+class TestHappyPathAllProtocols:
+    @pytest.mark.parametrize("protocol", ["edi-van", "rosettanet", "oagis-http"])
+    def test_round_trip(self, protocol):
+        pair = build_two_enterprise_pair(protocol)
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-1001", LINES)
+        run_community(pair.enterprises())
+
+        buyer_instance = pair.buyer.instance(instance_id)
+        assert buyer_instance.status == "completed"
+        # the seller booked the order at the right total
+        order = pair.seller.backends["Oracle"].order("PO-1001")
+        assert order.status == "accepted"
+        assert order.total_amount == pytest.approx(12750.0)
+        # the buyer stored the acknowledgment in its own ERP
+        ack = pair.buyer.backends["SAP"].stored_acks["PO-1001"]
+        assert ack.format_name == "sap-idoc"
+        # both conversations closed cleanly
+        assert not pair.buyer.b2b.open_conversations()
+        assert not pair.seller.b2b.open_conversations()
+        assert pair.buyer.b2b.faults == [] and pair.seller.b2b.faults == []
+
+    def test_seller_approval_fires_above_threshold(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_threshold=10000,
+                                         seller_delay=0.0)
+        pair.buyer.submit_order("SAP", "ACME", "PO-1002", LINES)  # 12 750 > 10 000
+        run_community(pair.enterprises())
+        assert pair.seller.worklist.completed_count() == 1
+
+    def test_seller_approval_skipped_below_threshold(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_threshold=50000,
+                                         seller_delay=0.0)
+        pair.buyer.submit_order("SAP", "ACME", "PO-1003", LINES)
+        run_community(pair.enterprises())
+        assert pair.seller.worklist.completed_count() == 0
+
+    def test_multiple_orders_interleave(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=1.0)
+        ids = [
+            pair.buyer.submit_order("SAP", "ACME", f"PO-20{i}", LINES)
+            for i in range(5)
+        ]
+        run_community(pair.enterprises())
+        for instance_id in ids:
+            assert pair.buyer.instance(instance_id).status == "completed"
+        assert pair.seller.backends["Oracle"].order_count() == 5
+
+
+class TestBusinessOutcomes:
+    def test_rejected_order(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        pair.seller.backends["Oracle"].acceptance_policy = reject_over(1000.0)
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-R1", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+        ack = pair.buyer.backends["SAP"].stored_acks["PO-R1"]
+        assert ack.get("header.action") == "REJ"  # ORDRSP rejection code
+
+    def test_partial_order(self):
+        pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        pair.seller.backends["Oracle"].acceptance_policy = partial_backorder({"DOCK-1"})
+        pair.buyer.submit_order("SAP", "ACME", "PO-P1", LINES)
+        run_community(pair.enterprises())
+        ack = pair.buyer.backends["SAP"].stored_acks["PO-P1"]
+        assert ack.get("header.action") == "PAR"
+        # the backordered line carries its own code
+        actions = {item["posex"]: item["action"] for item in ack.get("items")}
+        assert actions == {1: "ACC", 2: "BCK"}
+        assert ack.get("summary.summe") == pytest.approx(12000.0)
+
+    def test_seller_side_rejection_via_declined_approval(self):
+        pair = build_two_enterprise_pair(
+            "rosettanet", seller_threshold=1000, seller_delay=0.0, auto_approve=False
+        )
+        pair.buyer.worklist.set_auto_policy(lambda item: {"approved": True})
+        pair.seller.worklist.set_auto_policy(lambda item: {"approved": False})
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-D1", LINES)
+        run_community(pair.enterprises())
+        # the buyer still gets a (rejected) POA and completes
+        assert pair.buyer.instance(instance_id).status == "completed"
+        ack = pair.buyer.backends["SAP"].stored_acks["PO-D1"]
+        assert ack.get("header.action") == "REJ"
+        # and the order never reached the seller's ERP
+        assert not pair.seller.backends["Oracle"].has_order("PO-D1")
+
+
+class TestUnreliableNetwork:
+    def test_rosettanet_survives_loss_and_duplication(self):
+        conditions = NetworkConditions(
+            loss_rate=0.3, duplicate_rate=0.2, min_latency=0.01, max_latency=0.2
+        )
+        pair = build_two_enterprise_pair(
+            "rosettanet", conditions=conditions, seed=42,
+            retry_policy=RetryPolicy(ack_timeout=1.0, max_retries=10),
+        )
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-L1", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+        # exactly-once into the ERP despite retries/duplicates
+        assert pair.seller.backends["Oracle"].order_count() == 1
+        total_retries = pair.buyer.reliable.stats.retries + pair.seller.reliable.stats.retries
+        assert total_retries >= 1
+
+    def test_many_orders_under_loss(self):
+        conditions = NetworkConditions(
+            loss_rate=0.25, duplicate_rate=0.15, min_latency=0.01, max_latency=0.3
+        )
+        pair = build_two_enterprise_pair(
+            "rosettanet", conditions=conditions, seed=1234,
+            retry_policy=RetryPolicy(ack_timeout=1.0, max_retries=12),
+        )
+        ids = [
+            pair.buyer.submit_order("SAP", "ACME", f"PO-L2{i}", LINES)
+            for i in range(8)
+        ]
+        run_community(pair.enterprises(), max_rounds=500)
+        completed = sum(
+            1 for instance_id in ids
+            if pair.buyer.instance(instance_id).status == "completed"
+        )
+        assert completed == 8
+        assert pair.seller.backends["Oracle"].order_count() == 8
+
+    def test_partitioned_partner_fails_conversation(self):
+        pair = build_two_enterprise_pair(
+            "rosettanet",
+            retry_policy=RetryPolicy(ack_timeout=0.5, max_retries=2),
+        )
+        pair.network.partition("ACME")
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-F1", LINES)
+        run_community(pair.enterprises())
+        instance = pair.buyer.instance(instance_id)
+        assert instance.status == "failed"
+        assert "delivery failed" in instance.error
+        conversation = next(iter(pair.buyer.b2b.conversations.values()))
+        assert conversation.status == "failed"
+        assert pair.buyer.b2b.faults
+
+    def test_van_transport_tolerates_internet_loss(self):
+        """EDI over the VAN is unaffected by Internet-link loss — the VAN
+        is a separate, lossless transport."""
+        conditions = NetworkConditions(loss_rate=0.9)
+        pair = build_two_enterprise_pair("edi-van", conditions=conditions, seed=5)
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-V1", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+
+    def test_corrupted_message_recorded_and_ignored(self):
+        # corrupt every message on the buyer->seller link
+        pair = build_two_enterprise_pair("oagis-http", seller_delay=0.0)
+        pair.network.set_link_conditions(
+            "TP1", "ACME", NetworkConditions(corrupt_rate=1.0)
+        )
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-X1", LINES)
+        run_community(pair.enterprises())
+        assert pair.seller.b2b.faults  # parse failure recorded
+        assert not pair.seller.backends["Oracle"].has_order("PO-X1")
+        # plain transport has no retry: the buyer stays waiting
+        assert pair.buyer.instance(instance_id).status == "waiting"
+
+
+class TestCrossProtocolIsolation:
+    def test_same_private_process_serves_both_protocols(self):
+        """Deploy EDI *and* RosettaNet on the same seller; both route into
+        the identical private process definition (Figure 14)."""
+        from repro.analysis.scenarios import build_fig15_community
+
+        community = build_fig15_community(
+            seller_delay=0.0,
+            partners={
+                "TP1": ("edi-van", 55000, "SAP"),
+                "TP2": ("rosettanet", 40000, "Oracle"),
+            },
+        )
+        community.buyers["TP1"].submit_order("SAP", "ACME", "PO-E1", LINES)
+        community.buyers["TP2"].submit_order("SAP", "ACME", "PO-E2", LINES)
+        run_community(community.enterprises())
+        seller = community.seller
+        assert seller.backends["SAP"].has_order("PO-E1")
+        assert seller.backends["Oracle"].has_order("PO-E2")
+        instances = seller.wfms.database.list_instances()
+        assert {i.type_name for i in instances} == {"private-po-seller"}

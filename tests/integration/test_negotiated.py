@@ -1,0 +1,227 @@
+"""System tests for ebXML-style negotiated collaborations (Section 5.1).
+
+Two enterprises negotiate a *custom* three-document collaboration —
+PO -> POA -> invoice in one conversation — something no pre-defined PIP
+offers.  The paper: with ebXML "the enterprises can model specific
+requirements into their public processes that would not be possible in
+case of RosettaNet".
+"""
+
+import pytest
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.b2b.custom import negotiated_protocol
+from repro.b2b.protocol import WireCodec
+from repro.core.enterprise import run_community
+from repro.core.public_process import PublicStep
+from repro.documents import oagis
+from repro.errors import ProtocolError
+from repro.partners.agreement import TradingPartnerAgreement
+from repro.workflow.definitions import WorkflowBuilder
+
+LINES = [{"sku": "GPU", "quantity": 4, "unit_price": 1500.0}]
+
+OAGIS_CODEC = WireCodec(oagis.OAGIS, oagis.to_wire, oagis.from_wire)
+
+BUYER_STEPS = [
+    PublicStep("from_binding_po", "from_binding", "purchase_order"),
+    PublicStep("send_po", "send", "purchase_order"),
+    PublicStep("receive_poa", "receive", "po_ack"),
+    PublicStep("to_binding_poa", "to_binding", "po_ack"),
+    PublicStep("receive_invoice", "receive", "invoice"),
+    PublicStep("to_binding_invoice", "to_binding", "invoice"),
+]
+SELLER_STEPS = [
+    PublicStep("receive_po", "receive", "purchase_order"),
+    PublicStep("to_binding_po", "to_binding", "purchase_order"),
+    PublicStep("from_binding_poa", "from_binding", "po_ack"),
+    PublicStep("send_poa", "send", "po_ack"),
+    PublicStep("from_binding_invoice", "from_binding", "invoice"),
+    PublicStep("send_invoice", "send", "invoice"),
+]
+
+
+def _seller_process():
+    """Custom seller private process: book, acknowledge, invoice — all in
+    one conversation."""
+    builder = WorkflowBuilder("private-po-invoice-seller", owner="ACME")
+    builder.variable("document").variable("source", "")
+    builder.variable("conversation_id", "")
+    builder.variable("po_number", "").variable("ack").variable("invoice")
+    builder.activity(
+        "store_po", "store_to_application",
+        inputs={"document": "document", "application": "'Oracle'"},
+        outputs={"po_number": "po_number"},
+    )
+    builder.activity(
+        "extract_poa", "extract_from_application",
+        inputs={"application": "'Oracle'", "po_number": "po_number"},
+        params={"doc_type": "po_ack"},
+        outputs={"ack": "document"},
+        after="store_po",
+    )
+    builder.activity(
+        "send_poa", "send_to_binding",
+        inputs={"document": "ack", "conversation_id": "conversation_id"},
+        after="extract_poa",
+    )
+    builder.activity(
+        "build_invoice", "build_invoice",
+        inputs={"application": "'Oracle'", "po_number": "po_number"},
+        outputs={"invoice": "document"},
+        after="send_poa",
+    )
+    builder.activity(
+        "send_invoice", "send_to_binding",
+        inputs={"document": "invoice", "conversation_id": "conversation_id"},
+        after="build_invoice",
+    )
+    return builder.build()
+
+
+def _buyer_process():
+    """Custom buyer private process: send PO, await POA, await invoice."""
+    builder = WorkflowBuilder("private-po-invoice-buyer", owner="TP1")
+    builder.variable("application", "").variable("po_number", "")
+    builder.variable("partner_id", "")
+    builder.variable("document").variable("ack").variable("invoice")
+    builder.variable("conversation_id", "")
+    builder.activity(
+        "extract_po", "extract_from_application",
+        inputs={"application": "application", "po_number": "po_number"},
+        params={"doc_type": "purchase_order"},
+        outputs={"document": "document"},
+    )
+    builder.activity(
+        "send_po", "start_conversation",
+        params={"protocol": "cpa-po-invoice"},
+        inputs={"document": "document", "partner_id": "partner_id"},
+        outputs={"conversation_id": "conversation_id"},
+        after="extract_po",
+    )
+    builder.activity(
+        "await_poa", "await_reply",
+        inputs={"conversation_id": "conversation_id"},
+        outputs={"ack": "document"},
+        after="send_po",
+    )
+    builder.activity(
+        "store_poa", "store_to_application",
+        inputs={"document": "ack", "application": "application"},
+        after="await_poa",
+    )
+    builder.activity(
+        "await_invoice", "await_reply",
+        inputs={"conversation_id": "conversation_id"},
+        outputs={"invoice": "document"},
+        after="store_poa",
+    )
+    builder.activity(
+        "file_invoice", "archive_document",
+        inputs={"document": "invoice"},
+        after="await_invoice",
+    )
+    return builder.build()
+
+
+def _pair_with_collaboration():
+    pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+    collaboration = negotiated_protocol(
+        "cpa-po-invoice", OAGIS_CODEC, BUYER_STEPS, SELLER_STEPS
+    )
+    pair.buyer.deploy_private_process(_buyer_process())
+    pair.buyer.deploy_protocol(collaboration, "private-po-invoice-buyer")
+    pair.buyer.model.partners.update_partner(
+        pair.buyer.model.partners.get_partner("ACME").with_protocol("cpa-po-invoice")
+    )
+    pair.buyer.model.partners.add_agreement(
+        TradingPartnerAgreement(
+            "ACME", "cpa-po-invoice", "buyer",
+            doc_types=("purchase_order", "po_ack", "invoice"),
+        )
+    )
+    pair.seller.deploy_private_process(_seller_process())
+    pair.seller.deploy_protocol(collaboration, "private-po-invoice-seller")
+    pair.seller.model.partners.update_partner(
+        pair.seller.model.partners.get_partner("TP1").with_protocol("cpa-po-invoice")
+    )
+    pair.seller.model.partners.add_agreement(
+        TradingPartnerAgreement(
+            "TP1", "cpa-po-invoice", "seller",
+            doc_types=("purchase_order", "po_ack", "invoice"),
+        )
+    )
+    return pair
+
+
+class TestNegotiation:
+    def test_complementary_collaboration_activates(self):
+        protocol = negotiated_protocol(
+            "cpa-po-invoice", OAGIS_CODEC, BUYER_STEPS, SELLER_STEPS
+        )
+        assert protocol.name == "cpa-po-invoice"
+        assert protocol.public_process("buyer").step_count() == 6
+
+    def test_mis_negotiated_collaboration_refused(self):
+        # the seller forgot the invoice leg
+        with pytest.raises(ProtocolError) as excinfo:
+            negotiated_protocol(
+                "cpa-broken", OAGIS_CODEC, BUYER_STEPS, SELLER_STEPS[:4]
+            )
+        assert "cannot be activated" in str(excinfo.value)
+
+    def test_document_kind_disagreement_refused(self):
+        twisted = [*SELLER_STEPS[:5],
+                   PublicStep("send_asn", "send", "ship_notice")]
+        with pytest.raises(ProtocolError):
+            negotiated_protocol("cpa-twisted", OAGIS_CODEC, BUYER_STEPS, twisted)
+
+
+class TestThreeDocumentCollaboration:
+    def test_po_poa_invoice_in_one_conversation(self):
+        pair = _pair_with_collaboration()
+        pair.buyer.backends["SAP"].enter_order("PO-CPA", "TP1", "ACME", LINES)
+        instance_id = pair.buyer.wfms.create_instance(
+            "private-po-invoice-buyer",
+            variables={"application": "SAP", "po_number": "PO-CPA",
+                       "partner_id": "ACME"},
+        )
+        pair.buyer.wfms.start(instance_id)
+        run_community(pair.enterprises())
+
+        buyer_instance = pair.buyer.instance(instance_id)
+        assert buyer_instance.status == "completed"
+        conversation = next(
+            c for c in pair.buyer.b2b.conversations.values()
+            if c.protocol == "cpa-po-invoice"
+        )
+        assert conversation.status == "completed"
+        assert conversation.documents == [
+            "sent:purchase_order",
+            "received:po_ack",
+            "received:invoice",
+        ]
+        assert pair.seller.backends["Oracle"].has_order("PO-CPA")
+        assert "PO-CPA" in pair.buyer.backends["SAP"].stored_acks
+        assert pair.buyer.archive.has("invoice", "PO-CPA")
+        invoice = pair.buyer.archive.get("invoice", "PO-CPA")
+        assert invoice.get("summary.total_due") == pytest.approx(6000.0)
+
+    def test_collaboration_coexists_with_standard_protocols(self):
+        """The negotiated CPA runs alongside plain RosettaNet traffic."""
+        pair = _pair_with_collaboration()
+        standard_id = pair.buyer.submit_order(
+            "SAP", "ACME", "PO-STD", LINES, protocol="rosettanet"
+        )
+        pair.buyer.backends["SAP"].enter_order("PO-CPA2", "TP1", "ACME", LINES)
+        custom_id = pair.buyer.wfms.create_instance(
+            "private-po-invoice-buyer",
+            variables={"application": "SAP", "po_number": "PO-CPA2",
+                       "partner_id": "ACME"},
+        )
+        pair.buyer.wfms.start(custom_id)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(standard_id).status == "completed"
+        assert pair.buyer.instance(custom_id).status == "completed"
+        protocols = {c.protocol for c in pair.buyer.b2b.conversations.values()}
+        assert protocols == {"rosettanet", "cpa-po-invoice"}

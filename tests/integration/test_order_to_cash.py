@@ -1,0 +1,208 @@
+"""System tests for the order-to-cash extension.
+
+The paper (Section 1) insists its concepts "support the general case of
+all possible patterns like one-way messages, broadcast messages or
+multi-step message exchanges".  ``oagis-fulfillment`` is a *seller-
+initiated, one-way, two-document* exchange running on the identical
+public/binding/private machinery: ship notice, then invoice, received by
+the buyer's goods-receipt process and two-way-matched against its stored
+acknowledgment.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import build_order_to_cash_pair
+from repro.core.enterprise import run_community
+from repro.errors import IntegrationError, ProtocolError
+
+LINES = [
+    {"sku": "GPU", "quantity": 4, "unit_price": 1500.0},
+    {"sku": "PSU", "quantity": 4, "unit_price": 250.0},
+]  # total 7 000
+
+
+@pytest.fixture
+def pair():
+    return build_order_to_cash_pair(seller_delay=0.5)
+
+
+def _run_po_phase(pair, po_number="PO-OTC"):
+    instance_id = pair.buyer.submit_order("SAP", "ACME", po_number, LINES)
+    run_community(pair.enterprises())
+    assert pair.buyer.instance(instance_id).status == "completed"
+    return instance_id
+
+
+class TestFulfillmentProtocolChoice:
+    """The same fulfillment private processes run over OAGIS BODs *or*
+    classic EDI 856/810 through the VAN — protocol choice is a deployment
+    detail, exactly the paper's point."""
+
+    @pytest.mark.parametrize(
+        ("po_protocol", "fulfillment_protocol"),
+        [
+            ("rosettanet", "oagis-fulfillment"),
+            ("edi-van", "edi-fulfillment"),
+            ("oagis-http", "edi-fulfillment"),
+        ],
+    )
+    def test_order_to_cash_over_each_stack(self, po_protocol, fulfillment_protocol):
+        pair = build_order_to_cash_pair(
+            po_protocol=po_protocol,
+            fulfillment_protocol=fulfillment_protocol,
+            seller_delay=0.5,
+        )
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-STACK", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+        pair.seller.submit_shipment("Oracle", "TP1", "PO-STACK")
+        run_community(pair.enterprises())
+        receipt = next(
+            i for i in pair.buyer.wfms.database.list_instances()
+            if i.type_name == "private-goods-receipt"
+        )
+        assert receipt.status == "completed"
+        assert receipt.variables["matched"] is True
+        assert pair.buyer.archive.has("invoice", "PO-STACK")
+
+    def test_edi_fulfillment_travels_by_van(self):
+        pair = build_order_to_cash_pair(
+            po_protocol="edi-van", fulfillment_protocol="edi-fulfillment",
+            seller_delay=0.0,
+        )
+        pair.buyer.submit_order("SAP", "ACME", "PO-VAN", LINES)
+        run_community(pair.enterprises())
+        posted_before = pair.van.posted_count
+        pair.seller.submit_shipment("Oracle", "TP1", "PO-VAN")
+        run_community(pair.enterprises())
+        # the ASN and the invoice both went through VAN mailboxes
+        assert pair.van.posted_count == posted_before + 2
+
+
+class TestHappyPath:
+    def test_full_order_to_cash(self, pair):
+        _run_po_phase(pair)
+        fulfillment_id = pair.seller.submit_shipment("Oracle", "TP1", "PO-OTC")
+        run_community(pair.enterprises())
+
+        assert pair.seller.instance(fulfillment_id).status == "completed"
+        receipts = [
+            i for i in pair.buyer.wfms.database.list_instances()
+            if i.type_name == "private-goods-receipt"
+        ]
+        assert len(receipts) == 1
+        assert receipts[0].status == "completed"
+        assert receipts[0].variables["matched"] is True
+        # no dispute was raised
+        assert receipts[0].step_state("resolve_dispute").status == "skipped"
+
+    def test_documents_archived(self, pair):
+        _run_po_phase(pair)
+        pair.seller.submit_shipment("Oracle", "TP1", "PO-OTC")
+        run_community(pair.enterprises())
+        assert pair.buyer.archive.has("ship_notice", "PO-OTC")
+        assert pair.buyer.archive.has("invoice", "PO-OTC")
+        invoice = pair.buyer.archive.get("invoice", "PO-OTC")
+        assert invoice.get("summary.total_due") == pytest.approx(7000.0)
+        asn = pair.buyer.archive.get("ship_notice", "PO-OTC")
+        assert asn.get("header.carrier") == "SIMFREIGHT"
+        assert asn.get("summary.package_count") == 2
+
+    def test_conversation_is_seller_initiated_one_way(self, pair):
+        _run_po_phase(pair)
+        pair.seller.submit_shipment("Oracle", "TP1", "PO-OTC")
+        run_community(pair.enterprises())
+        seller_conv = next(
+            c for c in pair.seller.b2b.conversations.values()
+            if c.protocol == "oagis-fulfillment"
+        )
+        buyer_conv = next(
+            c for c in pair.buyer.b2b.conversations.values()
+            if c.protocol == "oagis-fulfillment"
+        )
+        assert seller_conv.role == "seller" and seller_conv.status == "completed"
+        assert seller_conv.documents == ["sent:ship_notice", "sent:invoice"]
+        assert buyer_conv.role == "buyer"
+        assert buyer_conv.documents == ["received:ship_notice", "received:invoice"]
+
+    def test_multiple_shipments(self, pair):
+        for index in range(3):
+            _run_po_phase(pair, f"PO-M{index}")
+            pair.seller.submit_shipment("Oracle", "TP1", f"PO-M{index}")
+        run_community(pair.enterprises())
+        assert pair.buyer.archive.count("invoice") == 3
+        assert pair.buyer.archive.count("ship_notice") == 3
+
+
+class TestInvoiceMatching:
+    def test_mismatched_invoice_raises_dispute(self, pair):
+        """An invoice with unexpected tax fails the two-way match and goes
+        through the accounts-payable dispute work item."""
+        from repro.core.private_process import seller_fulfillment_process
+
+        # redeploy the seller's fulfillment with a surprise 10% tax
+        taxed = seller_fulfillment_process(owner="ACME", tax_rate=0.10)
+        pair.seller.wfms.deploy(taxed)  # same name, overwrites in the WFMS
+        pair.buyer.worklist.set_auto_policy(None)  # dispute needs a human
+
+        _run_po_phase(pair)
+        pair.seller.submit_shipment("Oracle", "TP1", "PO-OTC")
+        run_community(pair.enterprises())
+
+        receipt = next(
+            i for i in pair.buyer.wfms.database.list_instances()
+            if i.type_name == "private-goods-receipt"
+        )
+        assert receipt.variables["matched"] is False
+        assert receipt.status == "waiting"
+        disputes = pair.buyer.worklist.open_items("accounts-payable")
+        assert len(disputes) == 1
+        # accounts payable accepts the tax after review
+        pair.buyer.complete_work_item(disputes[0].item_id, approved=True)
+        receipt = pair.buyer.instance(receipt.instance_id)
+        assert receipt.status == "completed"
+        assert pair.buyer.archive.has("invoice", "PO-OTC")
+
+    def test_invoice_for_unknown_po_fails_match(self, pair):
+        """No stored acknowledgment -> the match rule returns False."""
+        result = pair.buyer.rules.evaluate(
+            "check_invoice_match", "ACME", "",
+            __import__("repro.documents.normalized", fromlist=["make_invoice"]).make_invoice(
+                __import__("repro.documents.normalized", fromlist=["make_purchase_order"]).make_purchase_order(
+                    "PO-GHOST", "TP1", "ACME",
+                    [{"sku": "X", "quantity": 1, "unit_price": 1.0}],
+                ),
+                "INV-GHOST",
+            ),
+        )
+        assert result is False
+
+
+class TestGuards:
+    def test_shipment_requires_booked_order(self, pair):
+        with pytest.raises(IntegrationError):
+            pair.seller.submit_shipment("Oracle", "TP1", "PO-NOT-BOOKED")
+
+    def test_buyer_cannot_initiate_dispatch(self, pair):
+        """The buyer's fulfillment public process only responds."""
+        from repro.documents.normalized import make_purchase_order, make_ship_notice
+
+        po = make_purchase_order(
+            "PO-X", "TP1", "ACME", [{"sku": "X", "quantity": 1, "unit_price": 1.0}]
+        )
+        asn = make_ship_notice(po, "SHIP-X")
+        with pytest.raises(ProtocolError):
+            pair.buyer.b2b.start_conversation("ACME", asn, our_role="buyer")
+
+    def test_wire_roundtrip_for_fulfillment_documents(self, pair, registry):
+        from repro.documents import oagis
+        from repro.documents.normalized import make_purchase_order, make_invoice, make_ship_notice
+
+        po = make_purchase_order(
+            "PO-W", "TP1", "ACME", [{"sku": "X", "quantity": 2, "unit_price": 3.5}]
+        )
+        for document in (make_ship_notice(po, "SHIP-W"), make_invoice(po, "INV-W", tax_rate=0.07)):
+            wire_doc = registry.transform(document, oagis.OAGIS)
+            parsed = oagis.from_wire(oagis.to_wire(wire_doc))
+            assert parsed == wire_doc
+            assert registry.transform(parsed, "normalized") == document

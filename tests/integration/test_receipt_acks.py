@@ -1,0 +1,145 @@
+"""System tests for the receipt-acknowledged RosettaNet variant.
+
+Section 4.5: "a public process has to explicitly model transport
+acknowledgments.  After receiving a message an acknowledgment is sent back
+to the sender ... this does not affect the binding because the
+acknowledgments are not passed on to the private process."  The
+``rosettanet-ra`` protocol is that modeling, executable.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.scenarios import build_two_enterprise_pair
+from repro.b2b.protocol import get_protocol, standard_protocols
+from repro.core.enterprise import run_community
+from repro.documents import rosettanet
+from repro.documents.normalized import make_purchase_order
+from repro.errors import WireFormatError
+
+LINES = [{"sku": "GPU", "quantity": 4, "unit_price": 1500.0}]
+
+
+@pytest.fixture
+def pair():
+    return build_two_enterprise_pair("rosettanet-ra", seller_delay=1.0)
+
+
+class TestReceiptDocument:
+    def test_wire_roundtrip(self, registry, sample_po):
+        wire_po = registry.transform(sample_po, rosettanet.ROSETTANET)
+        receipt = rosettanet.make_receipt_ack(wire_po, now=3.5)
+        parsed = rosettanet.from_wire(rosettanet.to_wire(receipt))
+        assert parsed == receipt
+        assert parsed.doc_type == "receipt_ack"
+
+    def test_receipt_reverses_roles(self, registry, sample_po):
+        wire_po = registry.transform(sample_po, rosettanet.ROSETTANET)
+        receipt = rosettanet.make_receipt_ack(wire_po, now=0.0)
+        assert receipt.get("service_header.from_role") == "Seller"
+        assert receipt.get("service_header.to_role") == "Buyer"
+        assert receipt.get("service_header.from_partner") == "ACME"
+        assert receipt.get("receipt.original_document_id") == "PO-DOC-PO-1001"
+        assert receipt.get("receipt.original_doc_type") == "purchase_order"
+
+    def test_receipt_for_poa(self, registry, sample_poa):
+        wire_poa = registry.transform(sample_poa, rosettanet.ROSETTANET)
+        receipt = rosettanet.make_receipt_ack(wire_poa, now=0.0)
+        assert receipt.get("receipt.original_doc_type") == "po_ack"
+        assert receipt.get("service_header.from_role") == "Buyer"
+
+    def test_receipt_for_receipt_rejected(self, registry, sample_po):
+        wire_po = registry.transform(sample_po, rosettanet.ROSETTANET)
+        receipt = rosettanet.make_receipt_ack(wire_po, now=0.0)
+        with pytest.raises(WireFormatError):
+            rosettanet.make_receipt_ack(receipt, now=1.0)
+
+
+class TestProtocolVariant:
+    def test_not_in_standard_three(self):
+        assert "rosettanet-ra" not in standard_protocols()
+        assert get_protocol("rosettanet-ra").name == "rosettanet-ra"
+
+    def test_public_processes_have_six_steps(self):
+        protocol = get_protocol("rosettanet-ra")
+        for role in ("buyer", "seller"):
+            definition = protocol.public_process(role)
+            assert definition.step_count() == 6
+            # still exactly two connection steps — the acknowledgment
+            # machinery stays on the wire side
+            assert definition.connection_step_count() == 2
+
+    def test_receipt_builder_attached(self):
+        assert get_protocol("rosettanet-ra").receipt_builder is not None
+        assert get_protocol("rosettanet").receipt_builder is None
+
+
+class TestAcknowledgedRoundTrip:
+    def test_full_round_trip(self, pair):
+        instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-RA1", LINES)
+        run_community(pair.enterprises())
+        assert pair.buyer.instance(instance_id).status == "completed"
+        assert pair.seller.backends["Oracle"].order("PO-RA1").status == "accepted"
+        assert not pair.buyer.b2b.open_conversations()
+        assert not pair.seller.b2b.open_conversations()
+
+    def test_four_business_messages_on_the_wire(self, pair):
+        pair.buyer.submit_order("SAP", "ACME", "PO-RA2", LINES)
+        run_community(pair.enterprises())
+        buyer_conv = next(iter(pair.buyer.b2b.conversations.values()))
+        seller_conv = next(iter(pair.seller.b2b.conversations.values()))
+        assert buyer_conv.documents == [
+            "sent:purchase_order",
+            "received:receipt_ack",
+            "received:po_ack",
+            "sent:receipt_ack",
+        ]
+        assert seller_conv.documents == [
+            "received:purchase_order",
+            "sent:receipt_ack",
+            "sent:po_ack",
+            "received:receipt_ack",
+        ]
+
+    def test_receipts_never_reach_the_private_process(self, pair):
+        """The §4.5 claim: acknowledgments stay in the public process."""
+        pair.buyer.submit_order("SAP", "ACME", "PO-RA3", LINES)
+        run_community(pair.enterprises())
+        for enterprise in pair.enterprises():
+            for instance in enterprise.wfms.database.list_instances():
+                payload = json.dumps(instance.to_dict())
+                assert "receipt_ack" not in payload
+
+    def test_bindings_untouched_by_receipts(self, pair):
+        pair.buyer.submit_order("SAP", "ACME", "PO-RA4", LINES)
+        run_community(pair.enterprises())
+        # protocol bindings ran exactly once per direction, as without acks
+        seller_binding = pair.seller.model.bindings["rosettanet-ra/seller-binding"]
+        assert seller_binding.inbound_runs == 1
+        assert seller_binding.outbound_runs == 1
+
+    def test_same_private_process_as_unacknowledged_variant(self):
+        """Switching rosettanet -> rosettanet-ra is a public-process-only
+        change; the private processes are identical definitions."""
+        plain = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+        acked = build_two_enterprise_pair("rosettanet-ra", seller_delay=0.0)
+        for name in ("private-po-buyer", "private-po-seller"):
+            enterprise_plain = plain.buyer if "buyer" in name else plain.seller
+            enterprise_acked = acked.buyer if "buyer" in name else acked.seller
+            assert (
+                enterprise_plain.model.private_processes[name].to_dict()
+                == enterprise_acked.model.private_processes[name].to_dict()
+            )
+
+    def test_multiple_acknowledged_orders(self, pair):
+        ids = [
+            pair.buyer.submit_order("SAP", "ACME", f"PO-RA5{i}", LINES)
+            for i in range(3)
+        ]
+        run_community(pair.enterprises())
+        assert all(
+            pair.buyer.instance(instance_id).status == "completed"
+            for instance_id in ids
+        )
+        assert pair.seller.backends["Oracle"].order_count() == 3

@@ -1,0 +1,156 @@
+"""System tests for the broadcast RFQ/quote exchange (Sections 1 and 2.3).
+
+The paper lists "broadcast messages" among the patterns the concepts must
+support, and uses the RFQ process as its confidentiality example: with
+distributed inter-organizational workflow, "the receiver of the request
+would be able to see how the quotes will be selected".  Here the buyer's
+scoring rule and each seller's price catalog are private body rules, and
+the broadcast fans out plain conversations.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.scenarios import build_sourcing_community
+from repro.core.enterprise import run_community
+from repro.errors import IntegrationError
+
+CATALOGS = {
+    "ACME": {"GPU": 1500.0, "PSU": 260.0},
+    "GLOBEX": {"GPU": 1450.0, "PSU": 280.0},
+    "INITECH": {"GPU": 1480.0, "PSU": 240.0},
+}
+RFQ_LINES = [{"sku": "GPU", "quantity": 10}, {"sku": "PSU", "quantity": 10}]
+
+
+@pytest.fixture
+def community():
+    return build_sourcing_community(CATALOGS)
+
+
+class TestBroadcastSourcing:
+    def test_all_quotes_collected_and_cheapest_wins(self, community):
+        instance_id = community.buyer.submit_rfq(
+            sorted(CATALOGS), "RFQ-1", RFQ_LINES
+        )
+        run_community(community.enterprises())
+        instance = community.buyer.instance(instance_id)
+        assert instance.status == "completed"
+        assert len(instance.variables["quotes"]) == 3
+        # INITECH: 10*1480 + 10*240 = 17 200 — the lowest total
+        assert instance.variables["chosen_partner"] == "INITECH"
+        assert instance.variables["chosen_quote"].get(
+            "summary.total_amount"
+        ) == pytest.approx(17200.0)
+
+    def test_one_conversation_per_seller(self, community):
+        community.buyer.submit_rfq(sorted(CATALOGS), "RFQ-2", RFQ_LINES)
+        run_community(community.enterprises())
+        conversations = list(community.buyer.b2b.conversations.values())
+        assert len(conversations) == 3
+        assert {c.partner_id for c in conversations} == set(CATALOGS)
+        assert all(c.status == "completed" for c in conversations)
+        # every copy was re-addressed to its seller
+        for conversation in conversations:
+            assert conversation.documents == [
+                "sent:request_for_quote", "received:quote",
+            ]
+
+    def test_each_seller_saw_only_its_own_rfq(self, community):
+        community.buyer.submit_rfq(sorted(CATALOGS), "RFQ-3", RFQ_LINES)
+        run_community(community.enterprises())
+        for seller_id, seller in community.sellers.items():
+            instances = seller.wfms.database.list_instances()
+            assert len(instances) == 1
+            rfq = instances[0].variables["document"]
+            assert rfq.get("header.seller_id") == seller_id
+
+    def test_winning_quote_archived(self, community):
+        community.buyer.submit_rfq(sorted(CATALOGS), "RFQ-4", RFQ_LINES)
+        run_community(community.enterprises())
+        assert community.buyer.archive.count("quote") == 1
+
+    def test_scoring_rule_stays_private(self, community):
+        """Section 2.3's confidentiality claim: nothing about the buyer's
+        selection logic appears in any seller's databases or messages."""
+        community.buyer.submit_rfq(sorted(CATALOGS), "RFQ-5", RFQ_LINES)
+        run_community(community.enterprises())
+        for seller in community.sellers.values():
+            for instance in seller.wfms.database.list_instances():
+                text = json.dumps(instance.to_dict())
+                assert "score" not in text
+                assert "lowest" not in text
+            assert not seller.model.rules.has("score_quote")
+
+    def test_pricing_rules_stay_private(self, community):
+        assert not community.buyer.model.rules.has("price_catalog")
+
+
+class TestDeadline:
+    def test_partial_quotes_at_deadline(self, community):
+        """A partitioned seller misses the deadline; the buyer selects
+        among the quotes that arrived."""
+        community.network.partition("GLOBEX")
+        instance_id = community.buyer.submit_rfq(
+            sorted(CATALOGS), "RFQ-6", RFQ_LINES, respond_by_delay=5.0
+        )
+        run_community(community.enterprises())
+        instance = community.buyer.instance(instance_id)
+        assert instance.status == "completed"
+        assert len(instance.variables["quotes"]) == 2
+        assert instance.variables["chosen_partner"] == "INITECH"
+        # the silent seller's conversation failed with a recorded reason
+        globex_conv = next(
+            c for c in community.buyer.b2b.conversations.values()
+            if c.partner_id == "GLOBEX"
+        )
+        assert globex_conv.status == "failed"
+        assert "deadline" in globex_conv.fault
+
+    def test_no_quotes_at_all_fails_selection(self, community):
+        community.network.partition("ACME")
+        community.network.partition("GLOBEX")
+        community.network.partition("INITECH")
+        community.buyer.wfms.raise_on_failure = False
+        instance_id = community.buyer.submit_rfq(
+            sorted(CATALOGS), "RFQ-7", RFQ_LINES, respond_by_delay=5.0
+        )
+        run_community(community.enterprises())
+        instance = community.buyer.instance(instance_id)
+        assert instance.status == "failed"
+        assert "no quotes" in instance.error
+
+    def test_deadline_after_completion_is_harmless(self, community):
+        instance_id = community.buyer.submit_rfq(
+            sorted(CATALOGS), "RFQ-8", RFQ_LINES, respond_by_delay=50.0
+        )
+        run_community(community.enterprises())
+        assert community.buyer.instance(instance_id).status == "completed"
+        # the deadline timer has fired (run_community drained the queue)
+        # without disturbing the finished batch
+        batch = next(iter(community.buyer.b2b.broadcasts.values()))
+        assert batch.closed
+        assert len(batch.collected) == 3
+
+
+class TestGuards:
+    def test_broadcast_needs_partners(self, community):
+        from repro.documents.normalized import make_rfq
+
+        rfq = make_rfq("RFQ-X", "TP1", "", [{"sku": "GPU", "quantity": 1}])
+        with pytest.raises(IntegrationError):
+            community.buyer.b2b.broadcast([], rfq)
+
+    def test_unpriceable_sku_fails_sellers_quote(self, community):
+        for seller in community.sellers.values():
+            seller.wfms.raise_on_failure = False
+        community.buyer.wfms.raise_on_failure = False
+        community.buyer.submit_rfq(
+            ["ACME"], "RFQ-9", [{"sku": "UNOBTAINIUM", "quantity": 1}],
+            respond_by_delay=5.0,
+        )
+        run_community(community.enterprises())
+        seller_instance = community.sellers["ACME"].wfms.database.list_instances()[0]
+        assert seller_instance.status == "failed"
+        assert "no offered price" in seller_instance.error

@@ -1,0 +1,140 @@
+"""Soak test: a business day of mixed traffic across every pattern.
+
+One seller community processes interleaved purchase orders (three
+protocols), fulfillment dispatches, and RFQ broadcasts — verifying that
+conversation correlation, batch collection, ERP state and archives stay
+consistent under sustained mixed load.
+"""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    build_fig15_community,
+    build_order_to_cash_pair,
+    build_sourcing_community,
+)
+from repro.core.enterprise import run_community
+
+LINES = [{"sku": "GPU", "quantity": 2, "unit_price": 900.0}]
+
+
+class TestMixedLoadCommunity:
+    def test_thirty_orders_across_three_protocols(self):
+        community = build_fig15_community(seller_delay=0.2)
+        expected = []
+        for wave in range(10):
+            for partner_id, buyer in community.buyers.items():
+                po_number = f"PO-{partner_id}-{wave}"
+                buyer.submit_order("SAP", "ACME", po_number, LINES)
+                expected.append((partner_id, po_number))
+        run_community(community.enterprises(), max_rounds=500)
+
+        seller = community.seller
+        instances = seller.wfms.database.list_instances()
+        assert len(instances) == 30
+        assert all(instance.status == "completed" for instance in instances)
+        booked = seller.backends["SAP"].order_count() + seller.backends["Oracle"].order_count()
+        assert booked == 30
+        for partner_id, po_number in expected:
+            assert po_number in community.buyers[partner_id].backends["SAP"].stored_acks
+        # every conversation on both sides closed
+        for enterprise in community.enterprises():
+            assert enterprise.b2b.open_conversations() == []
+            assert enterprise.b2b.faults == []
+
+    def test_interleaved_po_and_fulfillment_waves(self):
+        pair = build_order_to_cash_pair(seller_delay=0.3)
+        shipped = []
+        for wave in range(5):
+            po_number = f"PO-W{wave}"
+            pair.buyer.submit_order("SAP", "ACME", po_number, LINES)
+            run_community(pair.enterprises(), max_rounds=500)
+            # ship the previous wave while new orders keep flowing
+            pair.seller.submit_shipment("Oracle", "TP1", po_number)
+            shipped.append(po_number)
+        run_community(pair.enterprises(), max_rounds=500)
+        assert pair.buyer.archive.count("invoice") == 5
+        assert pair.buyer.archive.count("ship_notice") == 5
+        receipts = [
+            i for i in pair.buyer.wfms.database.list_instances()
+            if i.type_name == "private-goods-receipt"
+        ]
+        assert len(receipts) == 5
+        assert all(r.status == "completed" and r.variables["matched"] for r in receipts)
+
+    def test_repeated_rfq_rounds_with_changing_winners(self):
+        community = build_sourcing_community(
+            {
+                "ACME": {"GPU": 1500.0, "RAM": 80.0},
+                "GLOBEX": {"GPU": 1450.0, "RAM": 95.0},
+            }
+        )
+        winners = {}
+        for sku, quantity in (("GPU", 10), ("RAM", 100)):
+            instance_id = community.buyer.submit_rfq(
+                ["ACME", "GLOBEX"], f"RFQ-{sku}", [{"sku": sku, "quantity": quantity}]
+            )
+            run_community(community.enterprises(), max_rounds=500)
+            winners[sku] = community.buyer.instance(instance_id).variables[
+                "chosen_partner"
+            ]
+        # cheaper GPU at GLOBEX, cheaper RAM at ACME
+        assert winners == {"GPU": "GLOBEX", "RAM": "ACME"}
+        # four quote conversations total, all closed
+        assert len(community.buyer.b2b.conversations) == 4
+        assert community.buyer.b2b.open_conversations() == []
+
+
+class TestEngineEdgeSemantics:
+    def test_xor_join_with_two_true_arcs_fires_once(self):
+        from repro.workflow.definitions import WorkflowBuilder
+        from repro.workflow.engine import WorkflowEngine
+
+        engine = WorkflowEngine("edge")
+        executions = []
+        engine.activities.register(
+            "trace", lambda ctx: executions.append(ctx.step_id) or {}
+        )
+        builder = WorkflowBuilder("wf")
+        builder.activity("split", "trace")
+        builder.activity("a", "trace")
+        builder.activity("b", "trace")
+        builder.activity("join", "trace", join="XOR")
+        builder.link("split", "a")
+        builder.link("split", "b")
+        builder.link("a", "join")
+        builder.link("b", "join")
+        engine.deploy(builder.build())
+        instance = engine.run("wf")
+        assert instance.status == "completed"
+        assert executions.count("join") == 1
+
+    def test_three_step_binding_chain(self, registry, sample_po):
+        """Bindings are processes: multi-step chains compose transforms
+        with produce/consume (Section 4.2.1)."""
+        from repro.core.binding import Binding, BindingStep
+
+        binding = Binding(
+            "chain", "private", public_process="p",
+            inbound=[
+                # wire -> normalized -> back-end native -> normalized again:
+                # a (contrived) three-transform chain exercising ordering
+                BindingStep("one", "transform", target_format="normalized"),
+                BindingStep("two", "transform", target_format="sap-idoc"),
+                BindingStep("three", "transform", target_format="normalized"),
+            ],
+        )
+        wire_doc = registry.transform(sample_po, "edi-x12")
+        result = binding.apply_inbound(wire_doc, registry)
+        assert result == sample_po
+
+    def test_conversation_ids_unique_across_buyers(self):
+        community = build_fig15_community(seller_delay=0.0)
+        for partner_id, buyer in community.buyers.items():
+            buyer.submit_order("SAP", "ACME", f"PO-{partner_id}", LINES)
+        run_community(community.enterprises())
+        seller_ids = set(community.seller.b2b.conversations)
+        assert len(seller_ids) == 3  # no collisions across initiators
+        for partner_id, buyer in community.buyers.items():
+            for conversation_id in buyer.b2b.conversations:
+                assert partner_id in conversation_id  # namespaced by initiator

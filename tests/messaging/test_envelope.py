@@ -1,0 +1,87 @@
+"""Tests for message envelopes and id generation."""
+
+import pytest
+
+from repro.errors import MessagingError
+from repro.messaging.envelope import IdGenerator, KIND_ACK, Message
+
+
+class TestIdGenerator:
+    def test_sequential_and_prefixed(self):
+        ids = IdGenerator("MSG-A")
+        assert ids.next() == "MSG-A-000001"
+        assert ids.next() == "MSG-A-000002"
+
+    def test_independent_generators(self):
+        a, b = IdGenerator("A"), IdGenerator("B")
+        a.next()
+        assert b.next() == "B-000001"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(MessagingError):
+            IdGenerator("")
+
+
+def _message(**overrides):
+    defaults = dict(
+        message_id="M1",
+        sender="alpha",
+        receiver="beta",
+        protocol="rosettanet",
+        doc_type="purchase_order",
+        body="<xml/>",
+        conversation_id="C1",
+    )
+    defaults.update(overrides)
+    return Message(**defaults)
+
+
+class TestMessage:
+    def test_defaults(self):
+        message = _message()
+        assert message.kind == "business"
+        assert message.correlation_id == ""
+
+    def test_requires_id_and_parties(self):
+        with pytest.raises(MessagingError):
+            _message(message_id="")
+        with pytest.raises(MessagingError):
+            _message(sender="")
+        with pytest.raises(MessagingError):
+            _message(receiver="")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MessagingError):
+            _message(kind="telegram")
+
+    def test_ack_reverses_direction_and_correlates(self):
+        message = _message()
+        ack = message.ack("A1", sent_at=3.0)
+        assert ack.kind == KIND_ACK
+        assert ack.sender == "beta" and ack.receiver == "alpha"
+        assert ack.correlation_id == "M1"
+        assert ack.conversation_id == "C1"
+        assert ack.protocol == "rosettanet"
+        assert ack.body == ""
+
+    def test_with_body_copies(self):
+        message = _message()
+        damaged = message.with_body("garbage")
+        assert damaged.body == "garbage"
+        assert message.body == "<xml/>"
+
+    def test_stamped(self):
+        assert _message().stamped(9.0).sent_at == 9.0
+
+    def test_dict_roundtrip(self):
+        message = _message(headers={"attempt": 2})
+        assert Message.from_dict(message.to_dict()) == message
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(MessagingError):
+            Message.from_dict({"message_id": "M", "sender": "a", "receiver": "b",
+                               "bogus": 1})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _message().body = "new"  # type: ignore[misc]

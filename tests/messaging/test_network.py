@@ -1,0 +1,172 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.errors import EndpointError, MessagingError
+from repro.messaging.envelope import Message
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.sim import EventScheduler
+
+
+def _message(index=1, sender="a", receiver="b"):
+    return Message(
+        message_id=f"M{index}",
+        sender=sender,
+        receiver=receiver,
+        body=f"payload-{index}",
+    )
+
+
+@pytest.fixture
+def net(scheduler):
+    return SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=1)
+
+
+class TestConditions:
+    @pytest.mark.parametrize("field", ["loss_rate", "duplicate_rate", "corrupt_rate"])
+    def test_rates_bounded(self, field):
+        with pytest.raises(MessagingError):
+            NetworkConditions(**{field: 1.5})
+
+    def test_latency_window_checked(self):
+        with pytest.raises(MessagingError):
+            NetworkConditions(min_latency=0.5, max_latency=0.1)
+
+    def test_perfect_is_lossless(self):
+        conditions = NetworkConditions.perfect()
+        assert conditions.loss_rate == 0.0
+        assert conditions.duplicate_rate == 0.0
+
+
+class TestRegistration:
+    def test_duplicate_address_rejected(self, net):
+        net.register("a", lambda m: None)
+        with pytest.raises(EndpointError):
+            net.register("a", lambda m: None)
+
+    def test_empty_address_rejected(self, net):
+        with pytest.raises(EndpointError):
+            net.register("", lambda m: None)
+
+    def test_unregister(self, net):
+        net.register("a", lambda m: None)
+        net.unregister("a")
+        assert not net.is_registered("a")
+
+
+class TestDelivery:
+    def test_message_arrives(self, net, scheduler):
+        received = []
+        net.register("b", received.append)
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert [m.message_id for m in received] == ["M1"]
+        assert net.stats.delivered == 1
+
+    def test_delivery_takes_latency(self, net, scheduler):
+        times = []
+        net.register("b", lambda m: times.append(scheduler.clock.now()))
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert times == [0.01]
+
+    def test_send_to_unknown_address_drops(self, net, scheduler):
+        net.send(_message(receiver="ghost"))
+        scheduler.run_until_idle()
+        assert net.stats.dropped == 1
+
+    def test_loss(self, scheduler):
+        net = SimulatedNetwork(scheduler, NetworkConditions(loss_rate=1.0), seed=1)
+        net.register("b", lambda m: pytest.fail("should be lost"))
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert net.stats.dropped == 1
+        assert net.stats.delivered == 0
+
+    def test_duplication(self, scheduler):
+        net = SimulatedNetwork(scheduler, NetworkConditions(duplicate_rate=1.0), seed=1)
+        received = []
+        net.register("b", received.append)
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert len(received) == 2
+        assert net.stats.duplicated == 1
+
+    def test_corruption_damages_body(self, scheduler):
+        net = SimulatedNetwork(scheduler, NetworkConditions(corrupt_rate=1.0), seed=1)
+        received = []
+        net.register("b", received.append)
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert received[0].body != "payload-1"
+        assert "GARBLED" in received[0].body
+        assert net.stats.corrupted == 1
+
+    def test_variable_latency_reorders(self, scheduler):
+        net = SimulatedNetwork(
+            scheduler,
+            NetworkConditions(min_latency=0.01, max_latency=1.0),
+            seed=3,
+        )
+        received = []
+        net.register("b", lambda m: received.append(m.message_id))
+        for index in range(20):
+            net.send(_message(index))
+        scheduler.run_until_idle()
+        assert sorted(received) == sorted(f"M{i}" for i in range(20))
+        assert received != [f"M{i}" for i in range(20)]  # at least one inversion
+
+    def test_deterministic_given_seed(self):
+        def run():
+            scheduler = EventScheduler()
+            net = SimulatedNetwork(
+                scheduler, NetworkConditions(loss_rate=0.5), seed=99
+            )
+            received = []
+            net.register("b", lambda m: received.append(m.message_id))
+            for index in range(50):
+                net.send(_message(index))
+            scheduler.run_until_idle()
+            return received
+
+        assert run() == run()
+
+
+class TestTopologyControls:
+    def test_partition_blocks_traffic(self, net, scheduler):
+        received = []
+        net.register("b", received.append)
+        net.partition("b")
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert received == []
+
+    def test_heal_restores_traffic(self, net, scheduler):
+        received = []
+        net.register("b", received.append)
+        net.partition("b")
+        net.heal("b")
+        net.send(_message())
+        scheduler.run_until_idle()
+        assert len(received) == 1
+
+    def test_partition_during_flight_drops_at_delivery(self, net, scheduler):
+        received = []
+        net.register("b", received.append)
+        net.send(_message())
+        net.partition("b")
+        scheduler.run_until_idle()
+        assert received == []
+        assert net.stats.dropped == 1
+
+    def test_per_link_conditions(self, scheduler):
+        net = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=1)
+        net.set_link_conditions("a", "b", NetworkConditions(loss_rate=1.0))
+        received_b, received_c = [], []
+        net.register("b", received_b.append)
+        net.register("c", received_c.append)
+        net.send(_message(1, "a", "b"))
+        net.send(_message(2, "a", "c"))
+        scheduler.run_until_idle()
+        assert received_b == []
+        assert len(received_c) == 1

@@ -1,0 +1,184 @@
+"""Tests for RNIF-style reliable messaging: acks, retries, exactly-once."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MessagingError, RetryExhaustedError
+from repro.messaging.envelope import Message
+from repro.messaging.network import NetworkConditions, SimulatedNetwork
+from repro.messaging.reliable import ReliableEndpoint, RetryPolicy
+from repro.messaging.transport import Endpoint
+from repro.sim import EventScheduler
+
+
+def _pair(scheduler, conditions=None, seed=7, policy=None):
+    network = SimulatedNetwork(scheduler, conditions or NetworkConditions.perfect(), seed=seed)
+    alpha = ReliableEndpoint(Endpoint("alpha", network), policy)
+    beta = ReliableEndpoint(Endpoint("beta", network), policy)
+    return network, alpha, beta
+
+
+def _message(index=1):
+    return Message(
+        message_id=f"M{index}",
+        sender="alpha",
+        receiver="beta",
+        body=f"payload-{index}",
+        conversation_id="C1",
+    )
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(MessagingError):
+            RetryPolicy(ack_timeout=0)
+        with pytest.raises(MessagingError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(MessagingError):
+            RetryPolicy(backoff=0.5)
+
+    def test_backoff_progression(self):
+        policy = RetryPolicy(ack_timeout=1.0, backoff=2.0)
+        assert policy.timeout_for_attempt(1) == 1.0
+        assert policy.timeout_for_attempt(3) == 4.0
+
+
+class TestHappyPath:
+    def test_delivery_and_ack(self, scheduler):
+        _, alpha, beta = _pair(scheduler)
+        delivered, confirmed = [], []
+        beta.on_message(delivered.append)
+        alpha.send_reliable(_message(), on_delivered=confirmed.append)
+        scheduler.run_until_idle()
+        assert [m.message_id for m in delivered] == ["M1"]
+        assert [m.message_id for m in confirmed] == ["M1"]
+        assert alpha.in_flight() == 0
+        assert alpha.stats.retries == 0
+        assert beta.stats.acks_sent == 1
+
+    def test_acks_never_reach_application(self, scheduler):
+        _, alpha, beta = _pair(scheduler)
+        seen_by_alpha, seen_by_beta = [], []
+        alpha.on_message(seen_by_alpha.append)
+        beta.on_message(seen_by_beta.append)
+        alpha.send_reliable(_message())
+        scheduler.run_until_idle()
+        assert seen_by_alpha == []  # only the ack came back, and it was consumed
+        assert len(seen_by_beta) == 1
+
+    def test_only_business_messages_accepted(self, scheduler):
+        _, alpha, _ = _pair(scheduler)
+        ack = _message().ack("A1")
+        with pytest.raises(MessagingError):
+            alpha.send_reliable(ack)
+
+    def test_duplicate_in_flight_send_rejected(self, scheduler):
+        _, alpha, _ = _pair(scheduler)
+        alpha.send_reliable(_message())
+        with pytest.raises(MessagingError):
+            alpha.send_reliable(_message())
+
+
+class TestRetries:
+    def test_lost_message_retransmitted(self, scheduler):
+        # Deterministic loss: the receiver is partitioned for the first two
+        # transmissions (t=0 and t=0.5) and healed before the third.
+        network, alpha, beta = _pair(
+            scheduler, policy=RetryPolicy(ack_timeout=0.5, max_retries=12)
+        )
+        delivered = []
+        beta.on_message(delivered.append)
+        network.partition("beta")
+        scheduler.at(1.0, lambda: network.heal("beta"))
+        alpha.send_reliable(_message())
+        scheduler.run_until_idle()
+        assert len(delivered) == 1
+        assert alpha.stats.retries == 2
+
+    def test_retries_exhausted_reports_failure(self, scheduler):
+        conditions = NetworkConditions(loss_rate=1.0)
+        policy = RetryPolicy(ack_timeout=0.5, max_retries=2)
+        _, alpha, _ = _pair(scheduler, conditions, policy=policy)
+        failures = []
+        alpha.send_reliable(_message(), on_failed=lambda m, e: failures.append(e))
+        scheduler.run_until_idle()
+        assert len(failures) == 1
+        assert isinstance(failures[0], RetryExhaustedError)
+        assert failures[0].attempts == 3  # initial + 2 retries
+        assert alpha.stats.failed == 1
+        assert alpha.in_flight() == 0
+
+    def test_endpoint_level_failure_handler(self, scheduler):
+        conditions = NetworkConditions(loss_rate=1.0)
+        policy = RetryPolicy(ack_timeout=0.5, max_retries=0)
+        _, alpha, _ = _pair(scheduler, conditions, policy=policy)
+        failures = []
+        alpha.on_failure(lambda m, e: failures.append(m.message_id))
+        alpha.send_reliable(_message())
+        scheduler.run_until_idle()
+        assert failures == ["M1"]
+
+    def test_unhandled_failure_raises(self, scheduler):
+        conditions = NetworkConditions(loss_rate=1.0)
+        policy = RetryPolicy(ack_timeout=0.5, max_retries=0)
+        _, alpha, _ = _pair(scheduler, conditions, policy=policy)
+        alpha.send_reliable(_message())
+        with pytest.raises(RetryExhaustedError):
+            scheduler.run_until_idle()
+
+    def test_lost_ack_causes_retry_but_single_delivery(self, scheduler):
+        network, alpha, beta = _pair(
+            scheduler, seed=1, policy=RetryPolicy(ack_timeout=0.5, max_retries=12)
+        )
+        # Business messages get through; acks back to alpha are often lost.
+        network.set_link_conditions("beta", "alpha", NetworkConditions(loss_rate=0.7))
+        delivered = []
+        beta.on_message(delivered.append)
+        alpha.send_reliable(_message())
+        scheduler.run_until_idle()
+        assert len(delivered) == 1
+        assert beta.stats.duplicates_suppressed == alpha.stats.retries
+
+
+class TestExactlyOnce:
+    def test_network_duplicates_suppressed(self, scheduler):
+        conditions = NetworkConditions(duplicate_rate=1.0)
+        _, alpha, beta = _pair(scheduler, conditions)
+        delivered = []
+        beta.on_message(delivered.append)
+        alpha.send_reliable(_message())
+        scheduler.run_until_idle()
+        assert len(delivered) == 1
+        assert beta.stats.duplicates_suppressed >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        loss=st.floats(0.0, 0.7),
+        duplicates=st.floats(0.0, 0.5),
+        seed=st.integers(0, 10_000),
+        count=st.integers(1, 8),
+    )
+    def test_exactly_once_under_arbitrary_conditions(self, loss, duplicates, seed, count):
+        """The headline property: whenever delivery succeeds at all, the
+        application sees each message exactly once, in spite of loss,
+        duplication and reordering."""
+        scheduler = EventScheduler()
+        conditions = NetworkConditions(
+            loss_rate=loss, duplicate_rate=duplicates,
+            min_latency=0.01, max_latency=0.3,
+        )
+        _, alpha, beta = _pair(
+            scheduler, conditions, seed=seed,
+            policy=RetryPolicy(ack_timeout=1.0, max_retries=8),
+        )
+        delivered = []
+        failed = []
+        beta.on_message(lambda m: delivered.append(m.message_id))
+        alpha.on_failure(lambda m, e: failed.append(m.message_id))
+        for index in range(count):
+            alpha.send_reliable(_message(index))
+        scheduler.run_until_idle()
+        assert len(delivered) == len(set(delivered))  # never twice
+        # every message was either delivered or reported failed
+        assert set(delivered) | set(failed) == {f"M{i}" for i in range(count)}
+        assert alpha.in_flight() == 0

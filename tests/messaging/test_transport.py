@@ -1,0 +1,125 @@
+"""Tests for endpoints and the VAN mailbox service."""
+
+import pytest
+
+from repro.errors import EndpointError
+from repro.messaging.envelope import Message
+from repro.messaging.transport import Endpoint, ValueAddedNetwork
+
+
+def _message(sender, receiver, index=1):
+    return Message(
+        message_id=f"{sender}-{index}",
+        sender=sender,
+        receiver=receiver,
+        body="data",
+    )
+
+
+class TestEndpoint:
+    def test_send_stamps_time(self, network, scheduler):
+        alpha = Endpoint("alpha", network)
+        Endpoint("beta", network)
+        scheduler.after(2.0, lambda: None)
+        scheduler.run_until_idle()
+        sent = alpha.send(_message("alpha", "beta"))
+        assert sent.sent_at == 2.0
+
+    def test_cannot_forge_sender(self, network):
+        alpha = Endpoint("alpha", network)
+        with pytest.raises(EndpointError):
+            alpha.send(_message("mallory", "beta"))
+
+    def test_push_handler_receives(self, network, scheduler):
+        alpha = Endpoint("alpha", network)
+        beta = Endpoint("beta", network)
+        received = []
+        beta.on_message(received.append)
+        alpha.send(_message("alpha", "beta"))
+        scheduler.run_until_idle()
+        assert len(received) == 1
+        assert beta.received_count == 1
+
+    def test_poll_mode_queues(self, network, scheduler):
+        alpha = Endpoint("alpha", network)
+        beta = Endpoint("beta", network)
+        alpha.send(_message("alpha", "beta", 1))
+        alpha.send(_message("alpha", "beta", 2))
+        scheduler.run_until_idle()
+        assert beta.poll().message_id == "alpha-1"
+        assert beta.poll().message_id == "alpha-2"
+        assert beta.poll() is None
+
+    def test_setting_handler_flushes_queue(self, network, scheduler):
+        alpha = Endpoint("alpha", network)
+        beta = Endpoint("beta", network)
+        alpha.send(_message("alpha", "beta"))
+        scheduler.run_until_idle()
+        received = []
+        beta.on_message(received.append)
+        assert len(received) == 1
+
+    def test_message_id_generator(self, network):
+        alpha = Endpoint("alpha", network)
+        first = alpha.next_message_id()
+        second = alpha.next_message_id()
+        assert first != second and "alpha" in first
+
+    def test_close_detaches(self, network, scheduler):
+        alpha = Endpoint("alpha", network)
+        beta = Endpoint("beta", network)
+        beta.close()
+        alpha.send(_message("alpha", "beta"))
+        scheduler.run_until_idle()
+        assert network.stats.dropped == 1
+
+
+class TestVan:
+    def test_post_and_pick_up(self):
+        van = ValueAddedNetwork()
+        van.subscribe("beta")
+        van.post(_message("alpha", "beta"))
+        assert van.pending("beta") == 1
+        batch = van.pick_up("beta")
+        assert len(batch) == 1
+        assert van.pending("beta") == 0
+
+    def test_store_and_forward_is_lossless_fifo(self):
+        van = ValueAddedNetwork()
+        van.subscribe("beta")
+        for index in range(5):
+            van.post(_message("alpha", "beta", index))
+        ids = [m.message_id for m in van.pick_up("beta")]
+        assert ids == [f"alpha-{i}" for i in range(5)]
+
+    def test_pick_up_limit(self):
+        van = ValueAddedNetwork()
+        van.subscribe("beta")
+        for index in range(5):
+            van.post(_message("alpha", "beta", index))
+        assert len(van.pick_up("beta", limit=2)) == 2
+        assert van.pending("beta") == 3
+
+    def test_post_to_unknown_mailbox_rejected(self):
+        van = ValueAddedNetwork()
+        with pytest.raises(EndpointError):
+            van.post(_message("alpha", "ghost"))
+
+    def test_duplicate_subscription_rejected(self):
+        van = ValueAddedNetwork()
+        van.subscribe("beta")
+        with pytest.raises(EndpointError):
+            van.subscribe("beta")
+
+    def test_pick_up_unknown_mailbox_rejected(self):
+        van = ValueAddedNetwork()
+        with pytest.raises(EndpointError):
+            van.pick_up("ghost")
+
+    def test_counters(self):
+        van = ValueAddedNetwork()
+        van.subscribe("beta")
+        van.post(_message("alpha", "beta"))
+        van.pick_up("beta")
+        assert van.posted_count == 1
+        assert van.picked_up_count == 1

@@ -1,0 +1,130 @@
+"""Tests for trading partner profiles, agreements and the directory."""
+
+import pytest
+
+from repro.errors import AgreementError, PartnerError
+from repro.partners.agreement import TradingPartnerAgreement
+from repro.partners.directory import PartnerDirectory
+from repro.partners.profile import TradingPartner
+
+
+class TestProfile:
+    def test_defaults(self):
+        partner = TradingPartner("TP1")
+        assert partner.name == "TP1"
+        assert partner.address == "TP1"
+
+    def test_requires_id(self):
+        with pytest.raises(PartnerError):
+            TradingPartner("")
+
+    def test_speaks(self):
+        partner = TradingPartner("TP1", protocols=("edi-van",))
+        assert partner.speaks("edi-van")
+        assert not partner.speaks("rosettanet")
+
+    def test_with_protocol_returns_extended_copy(self):
+        partner = TradingPartner("TP1", protocols=("edi-van",))
+        extended = partner.with_protocol("rosettanet")
+        assert extended.speaks("rosettanet")
+        assert not partner.speaks("rosettanet")
+
+    def test_with_protocol_idempotent(self):
+        partner = TradingPartner("TP1", protocols=("edi-van",))
+        assert partner.with_protocol("edi-van") is partner
+
+
+class TestAgreement:
+    def test_roles(self):
+        agreement = TradingPartnerAgreement("TP1", "edi-van", "buyer")
+        assert agreement.their_role == "seller"
+        assert TradingPartnerAgreement("TP1", "edi-van", "seller").their_role == "buyer"
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(AgreementError):
+            TradingPartnerAgreement("TP1", "edi-van", "broker")
+
+    def test_requires_doc_types(self):
+        with pytest.raises(AgreementError):
+            TradingPartnerAgreement("TP1", "edi-van", "buyer", doc_types=())
+
+    def test_allows_respects_status(self):
+        agreement = TradingPartnerAgreement("TP1", "edi-van", "buyer")
+        assert agreement.allows("purchase_order")
+        assert not agreement.allows("invoice")
+        agreement.suspend()
+        assert not agreement.allows("purchase_order")
+        agreement.reactivate()
+        assert agreement.allows("purchase_order")
+
+
+class TestDirectory:
+    @pytest.fixture
+    def directory(self):
+        directory = PartnerDirectory()
+        directory.add_partner(TradingPartner("TP1", protocols=("edi-van", "rosettanet")))
+        directory.add_agreement(TradingPartnerAgreement("TP1", "edi-van", "seller"))
+        return directory
+
+    def test_duplicate_partner_rejected(self, directory):
+        with pytest.raises(PartnerError):
+            directory.add_partner(TradingPartner("TP1"))
+
+    def test_get_unknown_partner(self, directory):
+        with pytest.raises(PartnerError):
+            directory.get_partner("ghost")
+
+    def test_partner_by_address(self, directory):
+        assert directory.partner_by_address("TP1").partner_id == "TP1"
+        with pytest.raises(PartnerError):
+            directory.partner_by_address("unknown-host")
+
+    def test_agreement_needs_known_partner(self, directory):
+        with pytest.raises(PartnerError):
+            directory.add_agreement(TradingPartnerAgreement("TP9", "edi-van", "seller"))
+
+    def test_agreement_needs_spoken_protocol(self, directory):
+        with pytest.raises(AgreementError):
+            directory.add_agreement(TradingPartnerAgreement("TP1", "oagis-http", "seller"))
+
+    def test_duplicate_agreement_rejected(self, directory):
+        with pytest.raises(AgreementError):
+            directory.add_agreement(TradingPartnerAgreement("TP1", "edi-van", "seller"))
+
+    def test_find_agreement_filters(self, directory):
+        directory.add_agreement(TradingPartnerAgreement("TP1", "rosettanet", "buyer"))
+        found = directory.find_agreement("TP1", our_role="buyer")
+        assert found.protocol == "rosettanet"
+        found = directory.find_agreement("TP1", protocol="edi-van")
+        assert found.our_role == "seller"
+
+    def test_find_agreement_no_match(self, directory):
+        with pytest.raises(AgreementError):
+            directory.find_agreement("TP1", our_role="buyer")
+
+    def test_find_agreement_ambiguous(self, directory):
+        directory.add_agreement(TradingPartnerAgreement("TP1", "rosettanet", "seller"))
+        with pytest.raises(AgreementError):
+            directory.find_agreement("TP1", our_role="seller")
+
+    def test_suspended_agreement_excluded(self, directory):
+        directory.find_agreement("TP1").suspend()
+        with pytest.raises(AgreementError):
+            directory.find_agreement("TP1")
+
+    def test_find_agreement_by_doc_type(self, directory):
+        found = directory.find_agreement("TP1", doc_type="purchase_order")
+        assert found.partner_id == "TP1"
+        with pytest.raises(AgreementError):
+            directory.find_agreement("TP1", doc_type="invoice")
+
+    def test_remove_partner_removes_agreements(self, directory):
+        directory.remove_partner("TP1")
+        assert not directory.has_partner("TP1")
+        assert directory.agreements() == []
+
+    def test_agreements_for_protocol(self, directory):
+        directory.add_partner(TradingPartner("TP2", protocols=("edi-van",)))
+        directory.add_agreement(TradingPartnerAgreement("TP2", "edi-van", "seller"))
+        assert len(directory.agreements_for_protocol("edi-van")) == 2
+        assert directory.agreements_for_protocol("oagis-http") == []

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_demo_protocol_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--protocol", "as2"])
+
+
+class TestCommands:
+    def test_demo_runs_round_trip(self, capsys):
+        assert main(["demo", "--protocol", "rosettanet"]) == 0
+        output = capsys.readouterr().out
+        assert "buyer instance  : completed" in output
+        assert "sent:purchase_order -> received:po_ack" in output
+
+    def test_demo_over_van(self, capsys):
+        assert main(["demo", "--protocol", "edi-van"]) == 0
+
+    def test_growth_single_dimension(self, capsys):
+        assert main(["growth", "--dimension", "backends", "--values", "1", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "backends" in output
+        assert "naive_total" in output
+        assert "protocols" not in output.split("\n", 3)[3]  # only one dimension
+
+    def test_changes_table(self, capsys):
+        assert main(["changes"]) == 0
+        output = capsys.readouterr().out
+        assert "add_partner_same_protocol" in output
+        assert "non-local" in output  # the document-field scenario
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        output = capsys.readouterr().out
+        assert "ACME: integration report" in output
+        assert "private-po-seller" in output
+
+    def test_patterns(self, capsys):
+        assert main(["patterns"]) == 0
+        output = capsys.readouterr().out
+        assert "broadcast RFQ" in output
+        assert "one-way multi-step" in output

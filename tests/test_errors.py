@@ -1,0 +1,103 @@
+"""Tests for the exception hierarchy: catch-granularity guarantees."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.DocumentPathError("x"),
+            errors.ValidationError("x"),
+            errors.WireFormatError("x"),
+            errors.XmlSyntaxError("x"),
+        ],
+    )
+    def test_document_family(self, exception):
+        assert isinstance(exception, errors.DocumentError)
+        assert isinstance(exception, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [errors.MappingError("x"), errors.NoRouteError("x")],
+    )
+    def test_transform_family(self, exception):
+        assert isinstance(exception, errors.TransformError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.EndpointError("x"),
+            errors.DeliveryError("x"),
+            errors.DuplicateMessageError("x"),
+            errors.CorrelationError("x"),
+            errors.RetryExhaustedError("x"),
+        ],
+    )
+    def test_messaging_family(self, exception):
+        assert isinstance(exception, errors.MessagingError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.DefinitionError("x"),
+            errors.ExpressionError("x"),
+            errors.InstanceError("x"),
+            errors.ActivityError("x"),
+            errors.PersistenceError("x"),
+            errors.MigrationError("x"),
+            errors.WorklistError("x"),
+        ],
+    )
+    def test_workflow_family(self, exception):
+        assert isinstance(exception, errors.WorkflowError)
+
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.BindingError("x"),
+            errors.RuleError("x"),
+            errors.NoApplicableRuleError("f", "s", "t"),
+            errors.PartnerError("x"),
+            errors.AgreementError("x"),
+            errors.BackendError("x"),
+            errors.ProtocolError("x"),
+            errors.ChangeError("x"),
+        ],
+    )
+    def test_integration_family(self, exception):
+        assert isinstance(exception, errors.IntegrationError)
+
+    def test_everything_is_a_repro_error(self):
+        for name in errors.__all__:
+            exception_class = getattr(errors, name)
+            assert issubclass(exception_class, errors.ReproError), name
+
+    def test_no_applicable_rule_is_a_rule_error(self):
+        exception = errors.NoApplicableRuleError("f", "TP9", "SAP")
+        assert isinstance(exception, errors.RuleError)
+        assert exception.function == "f"
+        assert exception.source == "TP9"
+        assert "TP9" in str(exception)
+
+
+class TestPayloads:
+    def test_validation_error_carries_violations(self):
+        exception = errors.ValidationError("bad", violations=["a", "b"])
+        assert exception.violations == ["a", "b"]
+
+    def test_validation_error_defaults_empty(self):
+        assert errors.ValidationError("bad").violations == []
+
+    def test_retry_exhausted_carries_attempts(self):
+        assert errors.RetryExhaustedError("gone", attempts=4).attempts == 4
+
+    def test_xml_error_embeds_position(self):
+        exception = errors.XmlSyntaxError("boom", position=17)
+        assert exception.position == 17
+        assert "offset 17" in str(exception)
+
+    def test_xml_error_without_position(self):
+        assert errors.XmlSyntaxError("boom").position == -1

@@ -1,0 +1,135 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim import Clock, EventScheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.5).now() == 5.5
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock._advance_to(9.0)
+
+
+class TestScheduling:
+    def test_after_fires_at_relative_time(self, scheduler):
+        fired = []
+        scheduler.after(2.0, lambda: fired.append(scheduler.clock.now()))
+        scheduler.run_until_idle()
+        assert fired == [2.0]
+
+    def test_at_fires_at_absolute_time(self, scheduler):
+        fired = []
+        scheduler.at(3.5, lambda: fired.append(scheduler.clock.now()))
+        scheduler.run_until_idle()
+        assert fired == [3.5]
+
+    def test_events_fire_in_time_order(self, scheduler):
+        order = []
+        scheduler.after(3.0, lambda: order.append("c"))
+        scheduler.after(1.0, lambda: order.append("a"))
+        scheduler.after(2.0, lambda: order.append("b"))
+        scheduler.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, scheduler):
+        order = []
+        for label in "abcd":
+            scheduler.after(1.0, lambda l=label: order.append(l))
+        scheduler.run_until_idle()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_soon_fires_at_current_time(self, scheduler):
+        fired = []
+        scheduler.soon(lambda: fired.append(scheduler.clock.now()))
+        scheduler.run_until_idle()
+        assert fired == [0.0]
+
+    def test_negative_delay_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.after(-0.1, lambda: None)
+
+    def test_scheduling_in_past_rejected(self, scheduler):
+        scheduler.after(5.0, lambda: None)
+        scheduler.run_until_idle()
+        with pytest.raises(ValueError):
+            scheduler.at(1.0, lambda: None)
+
+    def test_event_can_schedule_follow_up(self, scheduler):
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.after(1.0, lambda: fired.append("second"))
+
+        scheduler.after(1.0, first)
+        scheduler.run_until_idle()
+        assert fired == ["first", "second"]
+        assert scheduler.clock.now() == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, scheduler):
+        fired = []
+        event = scheduler.after(1.0, lambda: fired.append("x"))
+        event.cancel()
+        scheduler.run_until_idle()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self, scheduler):
+        keep = scheduler.after(1.0, lambda: None)
+        drop = scheduler.after(2.0, lambda: None)
+        drop.cancel()
+        assert scheduler.pending() == 1
+        assert keep.when == 1.0
+
+    def test_next_event_time_skips_cancelled(self, scheduler):
+        first = scheduler.after(1.0, lambda: None)
+        scheduler.after(2.0, lambda: None)
+        first.cancel()
+        assert scheduler.next_event_time() == 2.0
+
+
+class TestRunning:
+    def test_step_returns_false_when_empty(self, scheduler):
+        assert scheduler.step() is False
+
+    def test_run_until_idle_returns_count(self, scheduler):
+        for delay in (1.0, 2.0, 3.0):
+            scheduler.after(delay, lambda: None)
+        assert scheduler.run_until_idle() == 3
+
+    def test_run_until_deadline_stops(self, scheduler):
+        fired = []
+        scheduler.after(1.0, lambda: fired.append(1))
+        scheduler.after(5.0, lambda: fired.append(5))
+        count = scheduler.run_until(3.0)
+        assert count == 1
+        assert fired == [1]
+        assert scheduler.clock.now() == 3.0
+
+    def test_run_until_idle_guards_against_livelock(self, scheduler):
+        def rearm():
+            scheduler.after(0.1, rearm)
+
+        scheduler.after(0.1, rearm)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until_idle(max_events=100)
+
+    def test_deterministic_replay(self):
+        def run() -> list[float]:
+            scheduler = EventScheduler()
+            times = []
+            for delay in (0.5, 0.1, 0.3, 0.1):
+                scheduler.after(delay, lambda: times.append(scheduler.clock.now()))
+            scheduler.run_until_idle()
+            return times
+
+        assert run() == run()

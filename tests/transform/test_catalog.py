@@ -1,0 +1,104 @@
+"""Tests for the standard mapping catalog (the 20 expert mappings)."""
+
+import pytest
+
+from repro.documents.normalized import NORMALIZED
+from repro.transform.catalog import build_standard_registry, standard_mappings
+
+WIRE_FORMATS = ("edi-x12", "rosettanet-xml", "oagis-bod", "sap-idoc", "oracle-oif")
+
+
+class TestCatalogShape:
+    def test_catalog_size(self):
+        # 20 PO/POA mappings (5 formats x 2 kinds x 2 directions)
+        # + 8 fulfillment mappings (ship notice + invoice, OAGIS and EDI)
+        # + 4 OAGIS quotation mappings (RFQ, quote)
+        assert len(standard_mappings()) == 32
+
+    def test_every_format_maps_both_directions_both_doc_types(self):
+        registry = build_standard_registry()
+        for format_name in WIRE_FORMATS:
+            for doc_type in ("purchase_order", "po_ack"):
+                assert registry.find(format_name, NORMALIZED, doc_type) is not None
+                assert registry.find(NORMALIZED, format_name, doc_type) is not None
+
+    def test_all_mappings_have_schemas(self):
+        for mapping in standard_mappings():
+            assert mapping.source_schema is not None, mapping.name
+            assert mapping.target_schema is not None, mapping.name
+
+    def test_mapping_names_follow_convention(self):
+        for mapping in standard_mappings():
+            assert mapping.name == (
+                f"{mapping.source_format}__to__{mapping.target_format}/{mapping.doc_type}"
+            )
+
+    def test_mappings_are_substantial(self):
+        # expert mappings are not stubs
+        for mapping in standard_mappings():
+            assert mapping.rule_count() >= 8, mapping.name
+
+
+class TestContextOverrides:
+    def test_sender_receiver_overrides(self, registry, sample_po):
+        document = registry.transform(
+            sample_po, "edi-x12",
+            {"sender_id": "HUB-1", "receiver_id": "HUB-2"},
+        )
+        assert document.get("isa.sender_id") == "HUB-1"
+        assert document.get("isa.receiver_id") == "HUB-2"
+
+    def test_control_number_override(self, registry, sample_po):
+        document = registry.transform(sample_po, "edi-x12", {"control_number": "C0042"})
+        assert document.get("isa.control_number") == "C0042"
+
+    def test_pip_instance_override(self, registry, sample_po):
+        document = registry.transform(
+            sample_po, "rosettanet-xml", {"pip_instance_id": "PIP-XYZ"}
+        )
+        assert document.get("service_header.pip_instance_id") == "PIP-XYZ"
+
+    def test_defaults_derive_from_document(self, registry, sample_po):
+        document = registry.transform(sample_po, "edi-x12")
+        assert document.get("isa.sender_id") == "TP1"
+        assert document.get("isa.receiver_id") == "ACME"
+        assert document.get("isa.control_number") == "CNPO-1001"
+
+    def test_poa_envelope_roles_flip(self, registry, sample_poa):
+        # the acknowledgment travels seller -> buyer
+        document = registry.transform(sample_poa, "edi-x12")
+        assert document.get("isa.sender_id") == "ACME"
+        assert document.get("isa.receiver_id") == "TP1"
+
+
+class TestSemanticFidelity:
+    @pytest.mark.parametrize("format_name", WIRE_FORMATS)
+    def test_line_order_preserved(self, registry, sample_po, format_name):
+        back = registry.transform(
+            registry.transform(sample_po, format_name), NORMALIZED
+        )
+        assert [line["sku"] for line in back.get("lines")] == ["LAPTOP-15", "DOCK-1"]
+
+    @pytest.mark.parametrize("format_name", WIRE_FORMATS)
+    def test_payment_terms_carried(self, registry, sample_po, format_name):
+        back = registry.transform(
+            registry.transform(sample_po, format_name), NORMALIZED
+        )
+        assert back.get("header.payment_terms") == "NET30"
+
+    @pytest.mark.parametrize("format_name", WIRE_FORMATS)
+    def test_accepted_amount_carried(self, registry, sample_poa, format_name):
+        back = registry.transform(
+            registry.transform(sample_poa, format_name), NORMALIZED
+        )
+        assert back.get("summary.accepted_amount") == pytest.approx(12000.0)
+
+    def test_sap_partner_roles(self, registry, sample_po):
+        document = registry.transform(sample_po, "sap-idoc")
+        roles = {p["parvw"]: p["partn"] for p in document.get("partners")}
+        assert roles == {"AG": "TP1", "LF": "ACME"}
+
+    def test_idoc_description_truncated_to_field_width(self, registry, sample_po):
+        sample_po.set("lines[0].description", "x" * 60)
+        document = registry.transform(sample_po, "sap-idoc")
+        assert len(document.get("items[0].arktx")) == 40

@@ -1,0 +1,71 @@
+"""Tests for the conversion-function library."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.transform import functions
+
+
+class TestScalars:
+    def test_to_str(self):
+        assert functions.to_str(5) == "5"
+        assert functions.to_str(None) == ""
+
+    def test_to_int(self):
+        assert functions.to_int("42") == 42
+        assert functions.to_int(7.0) == 7
+
+    def test_to_int_rejects_fraction(self):
+        with pytest.raises(MappingError):
+            functions.to_int(7.5)
+
+    def test_to_int_rejects_bool(self):
+        with pytest.raises(MappingError):
+            functions.to_int(True)
+
+    def test_to_float(self):
+        assert functions.to_float("2.5") == 2.5
+
+    def test_to_float_rejects_bool(self):
+        with pytest.raises(MappingError):
+            functions.to_float(False)
+
+    def test_money_rounds(self):
+        assert functions.money(1.239) == 1.24
+        assert functions.money(1.2) == 1.2
+        assert functions.money("10") == 10.0
+
+    def test_case_and_strip(self):
+        assert functions.upper("abc") == "ABC"
+        assert functions.lower("ABC") == "abc"
+        assert functions.strip("  x ") == "x"
+
+
+class TestFactories:
+    def test_code_map_translates(self):
+        convert = functions.code_map({"A": 1, "B": 2}, "grade")
+        assert convert("A") == 1
+
+    def test_code_map_rejects_unknown(self):
+        convert = functions.code_map({"A": 1}, "grade")
+        with pytest.raises(MappingError) as excinfo:
+            convert("Z")
+        assert "grade" in str(excinfo.value)
+
+    def test_code_map_is_frozen(self):
+        table = {"A": 1}
+        convert = functions.code_map(table)
+        table["B"] = 2
+        with pytest.raises(MappingError):
+            convert("B")
+
+    def test_scaled(self):
+        assert functions.scaled(100)(1.5) == 150.0
+
+    def test_truncated(self):
+        assert functions.truncated(3)("abcdef") == "abc"
+        assert functions.truncated(3)(12) == "12"
+
+    def test_chained(self):
+        convert = functions.chained(functions.to_str, functions.upper, functions.truncated(2))
+        assert convert("hello") == "HE"

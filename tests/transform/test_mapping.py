@@ -1,0 +1,163 @@
+"""Tests for the declarative mapping language."""
+
+import pytest
+
+from repro.documents.model import Document
+from repro.documents.schema import DocumentSchema, FieldSpec
+from repro.errors import MappingError, TransformError, ValidationError
+from repro.transform.mapping import Compute, Const, Each, Field, Mapping
+
+
+@pytest.fixture
+def source():
+    return Document(
+        "a",
+        "order",
+        {
+            "head": {"number": "N1", "total": 5.0},
+            "items": [{"id": "X", "qty": 1}, {"id": "Y", "qty": 2}],
+        },
+    )
+
+
+def _mapping(*rules, **overrides):
+    defaults = dict(
+        name="a__to__b/order",
+        source_format="a",
+        target_format="b",
+        doc_type="order",
+        rules=list(rules),
+    )
+    defaults.update(overrides)
+    return Mapping(**defaults)
+
+
+class TestField:
+    def test_copies_value(self, source):
+        target = _mapping(Field("head.number", "header.num")).apply(source)
+        assert target.get("header.num") == "N1"
+        assert target.format_name == "b"
+
+    def test_convert_applied(self, source):
+        target = _mapping(Field("head.total", "t", convert=lambda v: v * 2)).apply(source)
+        assert target.get("t") == 10.0
+
+    def test_missing_required_raises(self, source):
+        with pytest.raises(MappingError):
+            _mapping(Field("head.missing", "x")).apply(source)
+
+    def test_missing_with_default(self, source):
+        target = _mapping(Field("head.missing", "x", default="D")).apply(source)
+        assert target.get("x") == "D"
+
+    def test_missing_optional_skipped(self, source):
+        target = _mapping(Field("head.missing", "x", required=False)).apply(source)
+        assert not target.has("x")
+
+    def test_converter_error_wrapped(self, source):
+        def boom(value):
+            raise ValueError("nope")
+
+        with pytest.raises(MappingError) as excinfo:
+            _mapping(Field("head.number", "x", convert=boom)).apply(source)
+        assert "head.number" in str(excinfo.value)
+
+    def test_source_not_mutated(self, source):
+        before = source.to_dict()
+        _mapping(Field("head.number", "n")).apply(source)
+        assert source.to_dict() == before
+
+
+class TestConstAndCompute:
+    def test_const(self, source):
+        target = _mapping(Const("kind", "purchase")).apply(source)
+        assert target.get("kind") == "purchase"
+
+    def test_compute_sees_source_and_context(self, source):
+        rule = Compute("stamp", lambda doc, ctx: f"{doc.get('head.number')}@{ctx['now']}")
+        target = _mapping(rule).apply(source, {"now": 7})
+        assert target.get("stamp") == "N1@7"
+
+    def test_compute_error_carries_label(self, source):
+        rule = Compute("x", lambda doc, ctx: 1 / 0, label="divider")
+        with pytest.raises(MappingError) as excinfo:
+            _mapping(rule).apply(source)
+        assert "divider" in str(excinfo.value)
+
+    def test_rules_apply_in_order(self, source):
+        target = _mapping(
+            Const("x", 1),
+            Compute("y", lambda doc, ctx: None),
+            Const("x", 2),
+        ).apply(source)
+        assert target.get("x") == 2
+
+
+class TestEach:
+    def test_maps_every_item(self, source):
+        target = _mapping(
+            Each("items", "lines", [Field("id", "sku"), Field("qty", "quantity")])
+        ).apply(source)
+        assert target.get("lines") == [
+            {"sku": "X", "quantity": 1},
+            {"sku": "Y", "quantity": 2},
+        ]
+
+    def test_item_context_carries_index(self, source):
+        rule = Each(
+            "items",
+            "lines",
+            [Compute("n", lambda doc, ctx: ctx["_ordinal"])],
+        )
+        target = _mapping(rule).apply(source)
+        assert [line["n"] for line in target.get("lines")] == [1, 2]
+
+    def test_non_list_source_raises(self, source):
+        with pytest.raises(MappingError):
+            _mapping(Each("head", "lines", [])).apply(source)
+
+    def test_min_items_enforced(self, source):
+        source.set("items", [])
+        with pytest.raises(MappingError):
+            _mapping(Each("items", "lines", [Field("id", "sku")])).apply(source)
+
+    def test_non_dict_item_raises(self, source):
+        source.set("items[+]", "scalar")
+        with pytest.raises(MappingError):
+            _mapping(Each("items", "lines", [Field("id", "sku")])).apply(source)
+
+
+class TestMappingContract:
+    def test_wrong_source_format_rejected(self, source):
+        source.format_name = "other"
+        with pytest.raises(TransformError):
+            _mapping(Const("x", 1)).apply(source)
+
+    def test_wrong_doc_type_rejected(self, source):
+        source.doc_type = "invoice"
+        with pytest.raises(TransformError):
+            _mapping(Const("x", 1)).apply(source)
+
+    def test_source_schema_validated(self, source):
+        schema = DocumentSchema("s", fields=[FieldSpec("head.absent")])
+        with pytest.raises(ValidationError):
+            _mapping(Const("x", 1), source_schema=schema).apply(source)
+
+    def test_target_schema_validated(self, source):
+        schema = DocumentSchema("t", fields=[FieldSpec("must_exist")])
+        with pytest.raises(ValidationError):
+            _mapping(Const("x", 1), target_schema=schema).apply(source)
+
+    def test_post_hook_runs_last(self, source):
+        def post(src, dst, ctx):
+            dst.set("fixed", dst.get("x") + 1)
+
+        target = _mapping(Const("x", 1), post=post).apply(source)
+        assert target.get("fixed") == 2
+
+    def test_rule_count_includes_nested(self, source):
+        mapping = _mapping(
+            Const("a", 1),
+            Each("items", "lines", [Field("id", "sku"), Field("qty", "q")]),
+        )
+        assert mapping.rule_count() == 4

@@ -1,0 +1,112 @@
+"""Tests for the activity registry and built-in activities."""
+
+import pytest
+
+from repro.errors import ActivityError
+from repro.workflow.activities import (
+    ActivityContext,
+    ActivityRegistry,
+    Waiting,
+    built_in_registry,
+)
+
+
+def _context(**overrides):
+    defaults = dict(instance_id="I1", step_id="s1")
+    defaults.update(overrides)
+    return ActivityContext(**defaults)
+
+
+class TestRegistry:
+    def test_register_and_invoke(self):
+        registry = ActivityRegistry()
+        registry.register("double", lambda ctx: {"y": ctx.inputs["x"] * 2})
+        result = registry.invoke("double", _context(inputs={"x": 4}))
+        assert result == {"y": 8}
+
+    def test_duplicate_name_rejected(self):
+        registry = ActivityRegistry()
+        registry.register("a", lambda ctx: {})
+        with pytest.raises(ActivityError):
+            registry.register("a", lambda ctx: {})
+
+    def test_replace_flag(self):
+        registry = ActivityRegistry()
+        registry.register("a", lambda ctx: {"v": 1})
+        registry.register("a", lambda ctx: {"v": 2}, replace=True)
+        assert registry.invoke("a", _context()) == {"v": 2}
+
+    def test_missing_activity_raises(self):
+        with pytest.raises(ActivityError):
+            ActivityRegistry().get("ghost")
+
+    def test_none_result_normalized(self):
+        registry = ActivityRegistry()
+        registry.register("nothing", lambda ctx: None)
+        assert registry.invoke("nothing", _context()) == {}
+
+    def test_waiting_passed_through(self):
+        registry = ActivityRegistry()
+        registry.register("park", lambda ctx: Waiting("KEY"))
+        result = registry.invoke("park", _context())
+        assert isinstance(result, Waiting) and result.wait_key == "KEY"
+
+    def test_bad_return_type_rejected(self):
+        registry = ActivityRegistry()
+        registry.register("bad", lambda ctx: 42)
+        with pytest.raises(ActivityError):
+            registry.invoke("bad", _context())
+
+    def test_implementation_error_wrapped_with_site(self):
+        registry = ActivityRegistry()
+
+        def boom(ctx):
+            raise ValueError("kaput")
+
+        registry.register("boom", boom)
+        with pytest.raises(ActivityError) as excinfo:
+            registry.invoke("boom", _context())
+        assert "I1/s1" in str(excinfo.value)
+        assert "kaput" in str(excinfo.value)
+
+    def test_names_sorted(self):
+        registry = ActivityRegistry()
+        registry.register_many({"b": lambda c: {}, "a": lambda c: {}})
+        assert registry.names() == ["a", "b"]
+
+
+class TestContext:
+    def test_service_lookup(self):
+        context = _context(services={"worklist": "WL"})
+        assert context.service("worklist") == "WL"
+
+    def test_missing_service_raises_with_hint(self):
+        with pytest.raises(ActivityError) as excinfo:
+            _context().service("rules")
+        assert "rules" in str(excinfo.value)
+
+    def test_default_wait_key(self):
+        assert _context().default_wait_key() == "I1/s1"
+
+
+class TestBuiltIns:
+    def test_noop(self):
+        assert built_in_registry().invoke("noop", _context()) == {}
+
+    def test_set_variables_echoes_inputs(self):
+        registry = built_in_registry()
+        result = registry.invoke("set_variables", _context(inputs={"a": 1}))
+        assert result == {"a": 1}
+
+    def test_wait_for_event_uses_param_key(self):
+        registry = built_in_registry()
+        result = registry.invoke(
+            "wait_for_event", _context(params={"wait_key": "K9"})
+        )
+        assert isinstance(result, Waiting) and result.wait_key == "K9"
+
+    def test_fail_raises(self):
+        registry = built_in_registry()
+        with pytest.raises(ActivityError) as excinfo:
+            registry.invoke("fail", _context(params={"message": "injected"}))
+        assert "injected" in str(excinfo.value)

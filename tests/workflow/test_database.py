@@ -1,0 +1,154 @@
+"""Tests for the workflow database (Figure 4) and replication."""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.workflow.database import ReplicatedDatabase, WorkflowDatabase
+from repro.workflow.definitions import WorkflowBuilder
+from repro.workflow.instance import INSTANCE_COMPLETED, WorkflowInstance
+
+
+def _type(name="wf", version="1"):
+    return WorkflowBuilder(name, version=version).activity("a", "noop").build()
+
+
+def _instance(instance_id="I1"):
+    return WorkflowInstance(instance_id, "wf", "1", ["a"])
+
+
+class TestTypes:
+    def test_store_and_load(self):
+        db = WorkflowDatabase()
+        db.store_type(_type())
+        loaded = db.load_type("wf", "1")
+        assert loaded.name == "wf"
+        assert db.type_loads == 1 and db.type_stores == 1
+
+    def test_load_returns_independent_copy(self):
+        db = WorkflowDatabase()
+        db.store_type(_type())
+        first = db.load_type("wf")
+        second = db.load_type("wf")
+        assert first is not second
+        first.metadata["mutated"] = True
+        assert "mutated" not in db.load_type("wf").metadata
+
+    def test_latest_version_resolution(self):
+        db = WorkflowDatabase()
+        db.store_type(_type(version="1"))
+        db.store_type(_type(version="2"))
+        db.store_type(_type(version="10"))
+        assert db.load_type("wf").version == "10"  # numeric, not lexicographic
+
+    def test_has_type(self):
+        db = WorkflowDatabase()
+        db.store_type(_type(version="2"))
+        assert db.has_type("wf")
+        assert db.has_type("wf", "2")
+        assert not db.has_type("wf", "1")
+        assert not db.has_type("other")
+
+    def test_missing_type_raises(self):
+        with pytest.raises(PersistenceError):
+            WorkflowDatabase().load_type("ghost")
+
+    def test_delete_type(self):
+        db = WorkflowDatabase()
+        db.store_type(_type())
+        db.delete_type("wf", "1")
+        assert not db.has_type("wf")
+        with pytest.raises(PersistenceError):
+            db.delete_type("wf", "1")
+
+    def test_list_types(self):
+        db = WorkflowDatabase()
+        db.store_type(_type("a"))
+        db.store_type(_type("b"))
+        assert sorted(t.name for t in db.list_types()) == ["a", "b"]
+
+
+class TestInstances:
+    def test_store_and_load(self):
+        db = WorkflowDatabase()
+        db.store_instance(_instance())
+        assert db.load_instance("I1").instance_id == "I1"
+        assert db.instance_count() == 1
+
+    def test_load_is_a_snapshot(self):
+        db = WorkflowDatabase()
+        db.store_instance(_instance())
+        loaded = db.load_instance("I1")
+        loaded.variables["leak"] = True
+        assert "leak" not in db.load_instance("I1").variables
+
+    def test_store_overwrites(self):
+        db = WorkflowDatabase()
+        instance = _instance()
+        db.store_instance(instance)
+        instance.status = INSTANCE_COMPLETED
+        db.store_instance(instance)
+        assert db.load_instance("I1").status == INSTANCE_COMPLETED
+
+    def test_missing_instance_raises(self):
+        with pytest.raises(PersistenceError):
+            WorkflowDatabase().load_instance("ghost")
+
+    def test_list_instances_by_status(self):
+        db = WorkflowDatabase()
+        first = _instance("I1")
+        second = _instance("I2")
+        second.status = INSTANCE_COMPLETED
+        db.store_instance(first)
+        db.store_instance(second)
+        assert len(db.list_instances()) == 2
+        assert [i.instance_id for i in db.list_instances(INSTANCE_COMPLETED)] == ["I2"]
+
+    def test_delete_instance(self):
+        db = WorkflowDatabase()
+        db.store_instance(_instance())
+        db.delete_instance("I1")
+        assert not db.has_instance("I1")
+
+
+class TestDurability:
+    def test_snapshot_restore_roundtrip(self):
+        db = WorkflowDatabase("primary")
+        db.store_type(_type())
+        db.store_instance(_instance())
+        restored = WorkflowDatabase.restore(db.snapshot())
+        assert restored.name == "primary"
+        assert restored.has_type("wf", "1")
+        assert restored.load_instance("I1").instance_id == "I1"
+
+    def test_corrupt_snapshot_rejected(self):
+        with pytest.raises(PersistenceError):
+            WorkflowDatabase.restore("{not json")
+        with pytest.raises(PersistenceError):
+            WorkflowDatabase.restore('{"missing": "keys"}')
+
+
+class TestReplication:
+    def test_write_through(self):
+        replica_a, replica_b = WorkflowDatabase("a"), WorkflowDatabase("b")
+        primary = ReplicatedDatabase("primary", [replica_a, replica_b])
+        primary.store_type(_type())
+        primary.store_instance(_instance())
+        for replica in (replica_a, replica_b):
+            assert replica.has_type("wf", "1")
+            assert replica.has_instance("I1")
+
+    def test_delete_propagates(self):
+        replica = WorkflowDatabase("a")
+        primary = ReplicatedDatabase("primary", [replica])
+        primary.store_instance(_instance())
+        primary.delete_instance("I1")
+        assert not replica.has_instance("I1")
+
+    def test_replicas_stay_consistent_after_update(self):
+        replica = WorkflowDatabase("a")
+        primary = ReplicatedDatabase("primary", [replica])
+        instance = _instance()
+        primary.store_instance(instance)
+        instance.status = INSTANCE_COMPLETED
+        primary.store_instance(instance)
+        assert replica.load_instance("I1").status == INSTANCE_COMPLETED

@@ -1,0 +1,128 @@
+"""Tests for workflow instance state and persistence snapshots."""
+
+import pytest
+
+from repro.documents.normalized import make_purchase_order
+from repro.errors import InstanceError
+from repro.workflow.instance import (
+    INSTANCE_COMPLETED,
+    INSTANCE_CREATED,
+    STEP_COMPLETED,
+    STEP_PENDING,
+    StepState,
+    WorkflowInstance,
+)
+
+
+def _instance():
+    return WorkflowInstance("I1", "wf", "1", ["a", "b", "c"], {"x": 1})
+
+
+class TestBasics:
+    def test_initial_state(self):
+        instance = _instance()
+        assert instance.status == INSTANCE_CREATED
+        assert all(s.status == STEP_PENDING for s in instance.steps.values())
+        assert not instance.is_terminal()
+
+    def test_requires_id(self):
+        with pytest.raises(InstanceError):
+            WorkflowInstance("", "wf", "1", [])
+
+    def test_step_state_lookup(self):
+        assert _instance().step_state("a").step_id == "a"
+        with pytest.raises(InstanceError):
+            _instance().step_state("ghost")
+
+    def test_steps_in_status(self):
+        instance = _instance()
+        instance.step_state("a").status = STEP_COMPLETED
+        assert [s.step_id for s in instance.steps_in_status(STEP_COMPLETED)] == ["a"]
+
+    def test_all_steps_terminal(self):
+        instance = _instance()
+        assert not instance.all_steps_terminal()
+        for state in instance.steps.values():
+            state.status = STEP_COMPLETED
+        assert instance.all_steps_terminal()
+
+
+class TestSignals:
+    def test_signal_lifecycle(self):
+        instance = _instance()
+        assert instance.signal("a", "b") is None
+        instance.set_signal("a", "b", True)
+        assert instance.signal("a", "b") is True
+        instance.set_signal("a", "c", False)
+        assert instance.signal("a", "c") is False
+
+
+class TestHistory:
+    def test_record_and_filter(self):
+        instance = _instance()
+        instance.record(1.0, "started")
+        instance.record(2.0, "step_completed", "a")
+        instance.record(3.0, "step_completed", "b")
+        assert len(instance.events("step_completed")) == 2
+        assert instance.events("started")[0]["at"] == 1.0
+
+
+class TestPersistence:
+    def test_roundtrip_plain_variables(self):
+        instance = _instance()
+        instance.status = INSTANCE_COMPLETED
+        instance.completed_at = 9.0
+        instance.set_signal("a", "b", True)
+        instance.step_state("a").status = STEP_COMPLETED
+        instance.step_state("a").outputs = {"k": [1, 2]}
+        instance.record(1.0, "started")
+        restored = WorkflowInstance.from_dict(instance.to_dict())
+        assert restored.to_dict() == instance.to_dict()
+        assert restored.signal("a", "b") is True
+        assert restored.step_state("a").outputs == {"k": [1, 2]}
+
+    def test_documents_in_variables_survive(self):
+        instance = _instance()
+        po = make_purchase_order(
+            "P1", "B", "S", [{"sku": "A", "quantity": 1, "unit_price": 2}]
+        )
+        instance.variables["document"] = po
+        restored = WorkflowInstance.from_dict(instance.to_dict())
+        assert restored.variables["document"] == po
+        assert restored.variables["document"].format_name == "normalized"
+
+    def test_snapshot_is_detached(self):
+        instance = _instance()
+        snapshot = instance.to_dict()
+        snapshot["variables"]["x"] = 999
+        assert instance.variables["x"] == 1
+
+    def test_documents_in_step_outputs_survive(self):
+        # regression: step outputs holding documents must stay JSON-encodable
+        import json
+
+        instance = _instance()
+        po = make_purchase_order(
+            "P1", "B", "S", [{"sku": "A", "quantity": 1, "unit_price": 2}]
+        )
+        instance.step_state("a").outputs = {"document": po}
+        payload = instance.to_dict()
+        json.dumps(payload)  # must not raise
+        restored = WorkflowInstance.from_dict(payload)
+        assert restored.step_state("a").outputs["document"] == po
+
+    def test_parent_links_preserved(self):
+        instance = WorkflowInstance(
+            "I2", "wf", "1", ["a"], parent_instance_id="I1", parent_step_id="s"
+        )
+        restored = WorkflowInstance.from_dict(instance.to_dict())
+        assert restored.parent_instance_id == "I1"
+        assert restored.parent_step_id == "s"
+
+
+class TestStepState:
+    def test_roundtrip(self):
+        state = StepState("s", status=STEP_COMPLETED, outputs={"x": 1},
+                          iterations=3, child_instance_id="C", wait_key="K",
+                          error="boom")
+        assert StepState.from_dict(state.to_dict()) == state

@@ -1,0 +1,107 @@
+"""Tests for the work-item list (human approvals)."""
+
+import pytest
+
+from repro.errors import WorklistError
+from repro.workflow.worklist import Worklist
+
+
+def _worklist():
+    return Worklist("test")
+
+
+class TestLifecycle:
+    def test_add_creates_open_item(self):
+        wl = _worklist()
+        item = wl.add("I1", "approve", "Approve PO", payload={"amount": 5})
+        assert item.status == "open"
+        assert item.payload == {"amount": 5}
+        assert wl.open_items() == [item]
+
+    def test_claim_then_complete(self):
+        wl = _worklist()
+        item = wl.add("I1", "approve", "Approve")
+        wl.claim(item.item_id, "alice")
+        completed = wl.complete(item.item_id, {"approved": True}, completed_by="alice")
+        assert completed.status == "completed"
+        assert completed.decision == {"approved": True}
+        assert wl.completed_count() == 1
+
+    def test_complete_unclaimed_item_allowed(self):
+        wl = _worklist()
+        item = wl.add("I1", "approve", "Approve")
+        wl.complete(item.item_id, {"approved": False})
+        assert wl.get(item.item_id).status == "completed"
+
+    def test_claim_completed_item_rejected(self):
+        wl = _worklist()
+        item = wl.add("I1", "approve", "Approve")
+        wl.complete(item.item_id, {})
+        with pytest.raises(WorklistError):
+            wl.claim(item.item_id, "bob")
+
+    def test_wrong_user_cannot_complete_claimed(self):
+        wl = _worklist()
+        item = wl.add("I1", "approve", "Approve")
+        wl.claim(item.item_id, "alice")
+        with pytest.raises(WorklistError):
+            wl.complete(item.item_id, {}, completed_by="bob")
+
+    def test_double_complete_rejected(self):
+        wl = _worklist()
+        item = wl.add("I1", "approve", "Approve")
+        wl.complete(item.item_id, {})
+        with pytest.raises(WorklistError):
+            wl.complete(item.item_id, {})
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(WorklistError):
+            _worklist().complete("WI-x", {})
+
+
+class TestQueries:
+    def test_open_items_by_role(self):
+        wl = _worklist()
+        wl.add("I1", "s", "a", role="manager")
+        wl.add("I1", "s2", "b", role="clerk")
+        assert len(wl.open_items("manager")) == 1
+        assert len(wl.open_items()) == 2
+
+    def test_items_for_instance(self):
+        wl = _worklist()
+        wl.add("I1", "s", "a")
+        wl.add("I2", "s", "b")
+        assert len(wl.items_for_instance("I1")) == 1
+
+
+class TestAutomation:
+    def test_auto_policy_completes_on_add(self):
+        wl = _worklist()
+        wl.set_auto_policy(lambda item: {"approved": item.payload["amount"] < 100})
+        approved = wl.add("I1", "s", "small", payload={"amount": 5})
+        denied = wl.add("I1", "s", "big", payload={"amount": 500})
+        assert approved.decision == {"approved": True}
+        assert denied.decision == {"approved": False}
+        assert wl.open_items() == []
+
+    def test_auto_policy_can_leave_open(self):
+        wl = _worklist()
+        wl.set_auto_policy(lambda item: None)
+        item = wl.add("I1", "s", "manual")
+        assert item.status == "open"
+
+    def test_completion_callback_fires(self):
+        wl = _worklist()
+        seen = []
+        wl.on_completion(lambda item: seen.append(item.item_id))
+        item = wl.add("I1", "s", "x")
+        wl.complete(item.item_id, {})
+        assert seen == [item.item_id]
+
+    def test_auto_policy_triggers_callback_too(self):
+        wl = _worklist()
+        seen = []
+        wl.on_completion(lambda item: seen.append(item.item_id))
+        wl.set_auto_policy(lambda item: {"approved": True})
+        item = wl.add("I1", "s", "x")
+        assert seen == [item.item_id]
