@@ -27,6 +27,15 @@ paper-vs-measured record of every figure.
 
 from repro.errors import ReproError
 from repro.sim import Clock, EventScheduler
+from repro.runtime import (
+    EventBus,
+    Kernel,
+    MetricsObserver,
+    RunQueue,
+    Runtime,
+    RuntimeEvent,
+    TraceRecorder,
+)
 from repro.documents.model import Document
 from repro.documents.normalized import make_po_ack, make_purchase_order
 from repro.transform import TransformationRegistry, build_standard_registry
@@ -76,6 +85,13 @@ __all__ = [
     "ReproError",
     "Clock",
     "EventScheduler",
+    "EventBus",
+    "Kernel",
+    "MetricsObserver",
+    "RunQueue",
+    "Runtime",
+    "RuntimeEvent",
+    "TraceRecorder",
     "Document",
     "make_purchase_order",
     "make_po_ack",

@@ -24,7 +24,7 @@ from repro.baselines.monolithic import (
     build_naive_seller_type,
     naive_element_index,
 )
-from repro.core.change import ChangeReport, diff_indexes
+from repro.core.change import diff_indexes
 from repro.core.integration import IntegrationModel
 from repro.core.private_process import seller_po_process
 from repro.core.public_process import PublicProcessDefinition, PublicStep

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 
 from repro.b2b.protocol import B2BProtocol, TRANSPORT_PLAIN, WireCodec, get_protocol
 from repro.backend import OracleSimulator, SapSimulator
-from repro.backend.base import ERPSimulator
 from repro.core.enterprise import Enterprise
 from repro.core.integration import IntegrationModel
 from repro.core.private_process import buyer_po_process, seller_po_process
@@ -58,6 +57,11 @@ class TwoEnterprisePair:
 
     def enterprises(self) -> list[Enterprise]:
         return [self.buyer, self.seller]
+
+    @property
+    def runtime(self):
+        """The runtime kernel shared by every component of the pair."""
+        return self.network.runtime
 
 
 def build_two_enterprise_pair(
@@ -195,6 +199,11 @@ class SourcingCommunity:
     def enterprises(self) -> list[Enterprise]:
         return [self.buyer, *self.sellers.values()]
 
+    @property
+    def runtime(self):
+        """The runtime kernel shared by every component of the community."""
+        return self.network.runtime
+
 
 def build_sourcing_community(
     seller_prices: dict[str, dict[str, float]],
@@ -281,6 +290,11 @@ class Fig15Community:
 
     def enterprises(self) -> list[Enterprise]:
         return [self.seller, *self.buyers.values()]
+
+    @property
+    def runtime(self):
+        """The runtime kernel shared by every component of the community."""
+        return self.network.runtime
 
 
 # Figure 9/10 rule amounts: TP1/TP2 at 55 000 / 40 000, TP3 (the Figure 10

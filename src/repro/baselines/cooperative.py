@@ -292,6 +292,7 @@ class _CooperativeNode:
                 "worklist": self.worklist,
                 "naive_sender": self._send,
             },
+            runtime=network.runtime,
         )
         backend.on_document_ready(self._backend_ready)
 

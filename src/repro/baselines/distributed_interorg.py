@@ -28,13 +28,13 @@ Two execution variants, matching Figure 5:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
 
 from repro.b2b.protocol import get_protocol
 from repro.backend.base import ERPSimulator
 from repro.baselines.activities import register_naive_activities
 from repro.core.metrics import comparison_terms
 from repro.core.private_process import register_private_activities
+from repro.runtime import Runtime
 from repro.sim import Clock
 from repro.workflow.activities import built_in_registry
 from repro.workflow.definitions import (
@@ -285,9 +285,16 @@ def build_interorg_roundtrip_types(
 
 
 def make_participant_engine(
-    name: str, backend: ERPSimulator, clock: Clock | None = None
+    name: str,
+    backend: ERPSimulator,
+    clock: Clock | None = None,
+    runtime: Runtime | None = None,
 ) -> WorkflowEngine:
-    """A WFMS for one participant: naive activities + its own back end."""
+    """A WFMS for one participant: naive activities + its own back end.
+
+    Pass a shared ``runtime`` so both participants of an inter-org run
+    schedule on (and emit lifecycle events to) one kernel.
+    """
     worklist = Worklist(name)
     worklist.set_auto_policy(lambda item: {"approved": True})
     activities = register_naive_activities(built_in_registry())
@@ -295,13 +302,14 @@ def make_participant_engine(
     engine = WorkflowEngine(
         f"{name}-wfms",
         activities=activities,
-        clock=clock or Clock(),
+        clock=clock or (runtime.clock if runtime is not None else Clock()),
         services={
             "transforms": _shared_transforms(),
             "backends": {backend.name: backend},
             "worklist": worklist,
             "naive_sender": lambda *args: None,
         },
+        runtime=runtime,
     )
     return engine
 

@@ -345,6 +345,7 @@ class NaiveSellerRuntime:
                 "worklist": self.worklist,
                 "naive_sender": self._send,
             },
+            runtime=network.runtime,
         )
         self.engine.deploy(workflow_type)
         self.workflow_type = workflow_type

@@ -41,11 +41,20 @@ def _table(rows: list[dict], columns: list[str], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def _print_trace(runtime, title: str) -> None:
+    """Print the kernel's recorded event trace for one scenario run."""
+    print()
+    print(f"--- kernel trace: {title} ---")
+    print(runtime.trace.render())
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analysis.scenarios import build_two_enterprise_pair
     from repro.core.enterprise import run_community
 
     pair = build_two_enterprise_pair(args.protocol, seller_delay=0.5)
+    if args.trace:
+        pair.runtime.enable_trace()
     instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-1001", DEMO_LINES)
     rounds = run_community(pair.enterprises())
     instance = pair.buyer.instance(instance_id)
@@ -56,6 +65,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"buyer stored ack: {'PO-1001' in pair.buyer.backends['SAP'].stored_acks}")
     trace = next(iter(pair.buyer.b2b.conversations.values())).documents
     print(f"exchange trace  : {' -> '.join(trace)}")
+    if args.trace:
+        _print_trace(pair.runtime, f"demo ({args.protocol})")
     return 0 if instance.status == "completed" else 1
 
 
@@ -65,10 +76,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.reporting import render_report
 
     community = build_fig15_community(seller_delay=0.2)
+    if args.trace:
+        community.runtime.enable_trace()
     for partner_id, buyer in community.buyers.items():
         buyer.submit_order("SAP", "ACME", f"PO-{partner_id}", DEMO_LINES)
     run_community(community.enterprises())
     print(render_report(community.seller))
+    if args.trace:
+        _print_trace(community.runtime, "fig15 community")
     return 0
 
 
@@ -126,13 +141,19 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     for protocol, label in (("rosettanet", "request/reply"),
                             ("rosettanet-ra", "acknowledged request/reply")):
         pair = build_two_enterprise_pair(protocol, seller_delay=0.2)
+        if args.trace:
+            pair.runtime.enable_trace()
         pair.buyer.submit_order("SAP", "ACME", "PO-P", DEMO_LINES)
         run_community(pair.enterprises())
         conversation = next(iter(pair.buyer.b2b.conversations.values()))
         rows.append({"pattern": label, "initiator": "buyer",
                      "trace": " -> ".join(conversation.documents)})
+        if args.trace:
+            _print_trace(pair.runtime, label)
 
     pair = build_order_to_cash_pair(seller_delay=0.2)
+    if args.trace:
+        pair.runtime.enable_trace()
     pair.buyer.submit_order("SAP", "ACME", "PO-P", DEMO_LINES)
     run_community(pair.enterprises())
     pair.seller.submit_shipment("Oracle", "TP1", "PO-P")
@@ -143,10 +164,14 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     )
     rows.append({"pattern": "one-way multi-step", "initiator": "seller",
                  "trace": " -> ".join(conversation.documents)})
+    if args.trace:
+        _print_trace(pair.runtime, "one-way multi-step")
 
     community = build_sourcing_community(
         {"ACME": {"GPU": 1500.0}, "GLOBEX": {"GPU": 1450.0}}
     )
+    if args.trace:
+        community.runtime.enable_trace()
     instance_id = community.buyer.submit_rfq(
         ["ACME", "GLOBEX"], "RFQ-P", [{"sku": "GPU", "quantity": 5}]
     )
@@ -158,6 +183,8 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
         "trace": f"2x RFQ out -> {len(instance.variables['quotes'])}x quote in "
                  f"-> winner {instance.variables['chosen_partner']}",
     })
+    if args.trace:
+        _print_trace(community.runtime, "broadcast RFQ")
     print(_table(rows, ["pattern", "initiator", "trace"],
                  "Exchange patterns on one architecture (Section 1)"))
     return 0
@@ -171,14 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    trace_help = "print the runtime kernel's lifecycle event trace after the run"
+
     demo = subparsers.add_parser("demo", help="run the Figure 1 PO-POA round trip")
     demo.add_argument("--protocol", default="rosettanet",
                       choices=["edi-van", "rosettanet", "oagis-http", "rosettanet-ra"])
+    demo.add_argument("--trace", action="store_true", help=trace_help)
     demo.set_defaults(handler=_cmd_demo)
 
     report = subparsers.add_parser(
         "report", help="run the Figure 15 community and print the seller report"
     )
+    report.add_argument("--trace", action="store_true", help=trace_help)
     report.set_defaults(handler=_cmd_report)
 
     growth = subparsers.add_parser("growth", help="print the growth tables")
@@ -195,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     patterns = subparsers.add_parser(
         "patterns", help="run the four exchange patterns"
     )
+    patterns.add_argument("--trace", action="store_true", help=trace_help)
     patterns.set_defaults(handler=_cmd_patterns)
     return parser
 

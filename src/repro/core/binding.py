@@ -21,7 +21,7 @@ bindings with "Transform to SAP PO" / "Transform to normalized POA".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.documents.model import Document

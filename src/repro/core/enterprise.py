@@ -117,6 +117,9 @@ class Enterprise:
         self.name = name
         self.network = network
         self.scheduler = network.scheduler
+        # All enterprises on one network share its runtime kernel, so the
+        # whole community emits a single lifecycle event stream.
+        self.runtime = network.runtime
         self.endpoint = Endpoint(name, network)
         self.reliable = ReliableEndpoint(self.endpoint, retry_policy)
         self.van = van
@@ -132,6 +135,7 @@ class Enterprise:
             activities=activities,
             clock=self.scheduler.clock,
             services={"worklist": self.worklist, "archive": self.archive},
+            runtime=self.runtime,
         )
         self.model = IntegrationModel(name)
         self.model.transforms = build_standard_registry()

@@ -43,6 +43,14 @@ from repro.messaging.disciplines import (
 )
 from repro.messaging.envelope import IdGenerator, KIND_BUSINESS, Message
 from repro.partners.directory import PartnerDirectory
+from repro.runtime import (
+    ConversationCompleted,
+    ConversationFailed,
+    ConversationStarted,
+    DocumentReceived,
+    DocumentSent,
+    RuntimeEvent,
+)
 from repro.transform.transformer import TransformationRegistry
 from repro.workflow.definitions import WorkflowType
 from repro.workflow.engine import WorkflowEngine
@@ -334,14 +342,28 @@ class B2BEngine:
         self._conversation_ids = IdGenerator(f"CONV-{model.name}")
         self._broadcast_ids = IdGenerator(f"BCAST-{model.name}")
         self._message_ids = IdGenerator(f"B2B-{model.name}")
-        self.messages_sent = 0
-        self.messages_received = 0
+        # The B2B engine shares the WFMS's runtime kernel: conversation and
+        # document events interleave with workflow events on one bus.
+        self.runtime = wfms.runtime
         # Make the engine and its collaborators reachable from activities.
         wfms.services.setdefault("b2b", self)
         wfms.services.setdefault("rules", model.rules)
         wfms.services.setdefault("transforms", model.transforms)
         wfms.services.setdefault("backends", self.backends)
         wfms.services.setdefault("app_bindings", model.app_bindings())
+
+    @property
+    def messages_sent(self) -> int:
+        """Business documents transmitted (view over the kernel metrics)."""
+        return self.runtime.metrics.count(DocumentSent, source=self.model.name)
+
+    @property
+    def messages_received(self) -> int:
+        """Business documents accepted inbound (view over the kernel metrics)."""
+        return self.runtime.metrics.count(DocumentReceived, source=self.model.name)
+
+    def _emit(self, event_cls: type[RuntimeEvent], **fields: Any) -> None:
+        self.runtime.emit(event_cls, self.model.name, **fields)
 
     # -- clock / scheduler access -----------------------------------------------------
 
@@ -403,6 +425,13 @@ class B2BEngine:
         )
         conversation.public.conversation_id = conversation.conversation_id
         self.conversations[conversation.conversation_id] = conversation
+        self._emit(
+            ConversationStarted,
+            conversation_id=conversation.conversation_id,
+            protocol=conversation.protocol,
+            partner_id=partner_id,
+            role=our_role,
+        )
         self._push_outbound(conversation, route, document)
         return conversation.conversation_id
 
@@ -462,6 +491,13 @@ class B2BEngine:
             if conversation is not None and conversation.is_open():
                 conversation.status = "failed"
                 conversation.fault = "no reply before the broadcast deadline"
+                self._emit(
+                    ConversationFailed,
+                    conversation_id=conversation.conversation_id,
+                    protocol=conversation.protocol,
+                    partner_id=conversation.partner_id,
+                    reason=conversation.fault,
+                )
         batch.pending.clear()
         if self.wfms.has_waiting(batch.wait_key):
             self.wfms.complete_waiting_step(
@@ -535,7 +571,12 @@ class B2BEngine:
             conversation_id=conversation.conversation_id,
             sent_at=self._clock.now(),
         )
-        self.messages_sent += 1
+        self._emit(
+            DocumentSent,
+            conversation_id=conversation.conversation_id,
+            doc_type=wire_document.doc_type,
+            partner_id=conversation.partner_id,
+        )
         self._journal("out", conversation, wire_document.doc_type, len(body))
         if protocol.transport == TRANSPORT_RELIABLE:
             reliable = self._transport(TRANSPORT_RELIABLE, protocol.name)
@@ -568,7 +609,12 @@ class B2BEngine:
         reliable endpoint, or pull from a VAN poll)."""
         if message.kind != KIND_BUSINESS:
             return
-        self.messages_received += 1
+        self._emit(
+            DocumentReceived,
+            conversation_id=message.conversation_id,
+            doc_type=message.doc_type,
+            partner_id=message.sender,
+        )
         try:
             partner = self.model.partners.partner_by_address(message.sender)
             protocol = self.model.protocols.get(message.protocol)
@@ -612,6 +658,13 @@ class B2BEngine:
             ),
         )
         self.conversations[conversation.conversation_id] = conversation
+        self._emit(
+            ConversationStarted,
+            conversation_id=conversation.conversation_id,
+            protocol=conversation.protocol,
+            partner_id=partner_id,
+            role=route.role,
+        )
         self._accept_wire(conversation, route, wire_document, is_new=True)
 
     def _handle_reply(self, conversation: Conversation, wire_document: Document) -> None:
@@ -759,6 +812,13 @@ class B2BEngine:
             return
         conversation.status = "failed"
         conversation.fault = str(error)
+        self._emit(
+            ConversationFailed,
+            conversation_id=conversation_id,
+            protocol=conversation.protocol,
+            partner_id=conversation.partner_id,
+            reason=str(error),
+        )
         self.faults.append(
             {"conversation": conversation_id, "message": "", "error": str(error)}
         )
@@ -814,6 +874,12 @@ class B2BEngine:
             if instance.status == INSTANCE_WAITING or not instance.is_terminal():
                 return
         conversation.status = "completed"
+        self._emit(
+            ConversationCompleted,
+            conversation_id=conversation.conversation_id,
+            protocol=conversation.protocol,
+            partner_id=conversation.partner_id,
+        )
 
     def _conversation(self, conversation_id: str) -> Conversation:
         try:

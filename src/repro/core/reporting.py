@@ -115,6 +115,16 @@ def runtime_statistics(enterprise: Enterprise) -> dict[str, Any]:
             for name, backend in sorted(enterprise.backends.items())
         },
         "archive_documents": enterprise.archive.count(),
+        # One place for runtime tallies: the shared kernel's metrics
+        # observer (counts every lifecycle event across the community).
+        "kernel": {
+            "events_published": enterprise.runtime.bus.published,
+            "run_queue_batches": enterprise.runtime.run_queue.batches,
+            "tasks_executed": enterprise.runtime.run_queue.tasks_executed,
+            "instance_durations": (
+                enterprise.runtime.metrics.instance_durations.as_dict()
+            ),
+        },
     }
 
 
@@ -161,4 +171,10 @@ def render_report(enterprise: Enterprise) -> str:
     lines.append(f"  faults recorded: {statistics['faults']}")
     for name, backend in statistics["backends"].items():
         lines.append(f"  back end {name:<8}: {backend}")
+    kernel = statistics["kernel"]
+    lines.append(
+        f"  kernel        : {kernel['events_published']} events, "
+        f"{kernel['run_queue_batches']} batches, "
+        f"{kernel['tasks_executed']} tasks"
+    )
     return "\n".join(lines)

@@ -21,6 +21,7 @@ from typing import Callable
 
 from repro.errors import EndpointError, MessagingError
 from repro.messaging.envelope import Message
+from repro.runtime import Kernel, MessageDelivered, MessageDropped, MessageSent, Runtime
 from repro.sim import EventScheduler
 
 __all__ = ["NetworkConditions", "NetworkStats", "SimulatedNetwork"]
@@ -82,21 +83,40 @@ class NetworkStats:
 
 
 class SimulatedNetwork:
-    """The event-scheduled network connecting enterprise endpoints."""
+    """The event-scheduled network connecting enterprise endpoints.
+
+    The network owns (or is handed) the simulation's runtime kernel: every
+    component sharing this network — engines, B2B engines, reliable
+    endpoints — reaches the kernel through ``network.runtime``, so one
+    event stream covers the whole community.
+    """
 
     def __init__(
         self,
         scheduler: EventScheduler,
         conditions: NetworkConditions | None = None,
         seed: int = 7,
+        runtime: Runtime | None = None,
     ):
         self.scheduler = scheduler
         self.conditions = conditions or NetworkConditions.perfect()
+        self.runtime = runtime or Kernel(clock=scheduler.clock)
         self._rng = random.Random(seed)
         self._handlers: dict[str, Handler] = {}
         self._link_conditions: dict[tuple[str, str], NetworkConditions] = {}
         self._partitioned: set[str] = set()
         self.stats = NetworkStats()
+
+    def _emit_drop(self, message: Message, reason: str) -> None:
+        self.stats.dropped += 1
+        self.runtime.emit(
+            MessageDropped,
+            "network",
+            message_id=message.message_id,
+            sender=message.sender,
+            receiver=message.receiver,
+            reason=reason,
+        )
 
     # -- topology -------------------------------------------------------------
 
@@ -135,14 +155,24 @@ class SimulatedNetwork:
     def send(self, message: Message) -> None:
         """Transmit ``message``; delivery (if any) happens via the scheduler."""
         self.stats.sent += 1
+        self.runtime.emit(
+            MessageSent,
+            "network",
+            message_id=message.message_id,
+            sender=message.sender,
+            receiver=message.receiver,
+            kind=message.kind,
+            protocol=message.protocol,
+            doc_type=message.doc_type,
+        )
         conditions = self._link_conditions.get(
             (message.sender, message.receiver), self.conditions
         )
         if message.receiver in self._partitioned:
-            self.stats.dropped += 1
+            self._emit_drop(message, "partitioned")
             return
         if self._rng.random() < conditions.loss_rate:
-            self.stats.dropped += 1
+            self._emit_drop(message, "lost")
             return
         copies = 1
         if self._rng.random() < conditions.duplicate_rate:
@@ -177,7 +207,15 @@ class SimulatedNetwork:
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.receiver)
         if handler is None or message.receiver in self._partitioned:
-            self.stats.dropped += 1
+            self._emit_drop(message, "unreachable")
             return
         self.stats.delivered += 1
+        self.runtime.emit(
+            MessageDelivered,
+            "network",
+            message_id=message.message_id,
+            sender=message.sender,
+            receiver=message.receiver,
+            kind=message.kind,
+        )
         handler(message)

@@ -24,12 +24,13 @@ together: exactly-once delivery whenever any of the attempts gets through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import MessagingError, RetryExhaustedError
 from repro.messaging.envelope import KIND_ACK, KIND_BUSINESS, Message
 from repro.messaging.transport import Endpoint
+from repro.runtime import DeliveryFailed, RetryScheduled
 from repro.sim import ScheduledEvent
 
 __all__ = ["RetryPolicy", "ReliableStats", "ReliableEndpoint"]
@@ -136,6 +137,11 @@ class ReliableEndpoint:
         """The shared event scheduler (convenience for protocol timers)."""
         return self.endpoint.network.scheduler
 
+    @property
+    def runtime(self):
+        """The simulation's runtime kernel (shared via the network)."""
+        return self.endpoint.network.runtime
+
     # -- application-facing API ------------------------------------------------
 
     def on_message(self, handler: DeliveryHandler | None) -> None:
@@ -191,6 +197,13 @@ class ReliableEndpoint:
         if pending.attempt > self.policy.max_retries:
             del self._pending[message_id]
             self.stats.failed += 1
+            self.runtime.emit(
+                DeliveryFailed,
+                self.address,
+                message_id=message_id,
+                receiver=pending.message.receiver,
+                attempts=pending.attempt,
+            )
             error = RetryExhaustedError(
                 f"message {message_id} to {pending.message.receiver} "
                 f"unacknowledged after {pending.attempt} transmission(s)",
@@ -203,6 +216,14 @@ class ReliableEndpoint:
             return
         pending.attempt += 1
         self.stats.retries += 1
+        self.runtime.emit(
+            RetryScheduled,
+            self.address,
+            message_id=message_id,
+            receiver=pending.message.receiver,
+            attempt=pending.attempt,
+            timeout=self.policy.timeout_for_attempt(pending.attempt),
+        )
         self._transmit(pending)
 
     def _on_raw_message(self, message: Message) -> None:

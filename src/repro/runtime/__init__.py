@@ -1,0 +1,74 @@
+"""Unified runtime kernel shared by all four architectures.
+
+See :mod:`repro.runtime.kernel` for the scheduler, :mod:`repro.runtime.events`
+for the lifecycle event taxonomy, and :mod:`repro.runtime.observers` for the
+shipped trace/metrics observers.
+"""
+
+from repro.runtime.bus import EventBus, Subscription
+from repro.runtime.events import (
+    ALL_EVENT_TYPES,
+    CONVERSATION_EVENTS,
+    MESSAGING_EVENTS,
+    WORKFLOW_EVENTS,
+    ConversationCompleted,
+    ConversationFailed,
+    ConversationStarted,
+    DeliveryFailed,
+    DocumentReceived,
+    DocumentSent,
+    InstanceCancelled,
+    InstanceCompleted,
+    InstanceCreated,
+    InstanceFailed,
+    InstanceStarted,
+    MessageDelivered,
+    MessageDropped,
+    MessageSent,
+    RetryScheduled,
+    RuntimeEvent,
+    StepCompleted,
+    StepFailed,
+    StepSkipped,
+    StepStarted,
+    StepWaiting,
+)
+from repro.runtime.kernel import Kernel, RunQueue, Runtime, Task
+from repro.runtime.observers import Histogram, MetricsObserver, TraceRecorder
+
+__all__ = [
+    "ALL_EVENT_TYPES",
+    "CONVERSATION_EVENTS",
+    "MESSAGING_EVENTS",
+    "WORKFLOW_EVENTS",
+    "ConversationCompleted",
+    "ConversationFailed",
+    "ConversationStarted",
+    "DeliveryFailed",
+    "DocumentReceived",
+    "DocumentSent",
+    "EventBus",
+    "Histogram",
+    "InstanceCancelled",
+    "InstanceCompleted",
+    "InstanceCreated",
+    "InstanceFailed",
+    "InstanceStarted",
+    "Kernel",
+    "MessageDelivered",
+    "MessageDropped",
+    "MessageSent",
+    "MetricsObserver",
+    "RetryScheduled",
+    "RunQueue",
+    "Runtime",
+    "RuntimeEvent",
+    "StepCompleted",
+    "StepFailed",
+    "StepSkipped",
+    "StepStarted",
+    "StepWaiting",
+    "Subscription",
+    "Task",
+    "TraceRecorder",
+]

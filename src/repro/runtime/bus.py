@@ -1,0 +1,94 @@
+"""In-process event bus: the kernel's publish/subscribe backbone.
+
+The bus is synchronous and deterministic — :meth:`EventBus.publish` calls
+every matching observer before returning, in subscription order.  That
+keeps traces reproducible under the discrete-event simulation and lets
+tests assert on observer state immediately after driving a scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.runtime.events import RuntimeEvent
+
+__all__ = ["EventBus", "Subscription"]
+
+Observer = Callable[[RuntimeEvent], None]
+
+
+def _normalize_filter(
+    events: Iterable[type[RuntimeEvent] | str] | None,
+) -> frozenset[str] | None:
+    """Turn a mixed iterable of event classes / type strings into a name set."""
+    if events is None:
+        return None
+    names = set()
+    for item in events:
+        if isinstance(item, str):
+            names.add(item)
+        else:
+            names.add(item.type)
+    return frozenset(names)
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; lets the observer detach."""
+
+    __slots__ = ("bus", "observer", "types", "active")
+
+    def __init__(self, bus: "EventBus", observer: Observer,
+                 types: frozenset[str] | None) -> None:
+        self.bus = bus
+        self.observer = observer
+        self.types = types
+        self.active = True
+
+    def matches(self, event: RuntimeEvent) -> bool:
+        return self.active and (self.types is None or event.type in self.types)
+
+    def unsubscribe(self) -> None:
+        """Detach the observer; safe to call more than once."""
+        if self.active:
+            self.active = False
+            self.bus._remove(self)
+
+
+class EventBus:
+    """Synchronous pub/sub channel for :class:`RuntimeEvent` objects."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[Subscription] = []
+        self.published = 0
+
+    def subscribe(
+        self,
+        observer: Observer,
+        events: Iterable[type[RuntimeEvent] | str] | None = None,
+    ) -> Subscription:
+        """Register ``observer`` for every event (default) or a filtered set.
+
+        :param observer: callable invoked with each matching event
+        :param events: optional iterable of event classes and/or ``type``
+            strings to filter on; ``None`` subscribes to everything
+        :returns: a :class:`Subscription` whose ``unsubscribe()`` detaches
+        """
+        subscription = Subscription(self, observer, _normalize_filter(events))
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def publish(self, event: RuntimeEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, in order."""
+        self.published += 1
+        for subscription in list(self._subscriptions):
+            if subscription.matches(event):
+                subscription.observer(event)
+
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
+
+    def _remove(self, subscription: Subscription) -> None:
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass

@@ -1,0 +1,152 @@
+"""Shipped kernel observers: a structured trace recorder and a metrics sink.
+
+Both are plain callables — the bus invokes them with each event — so any
+test helper or ad-hoc lambda can sit beside them on the same bus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any
+
+from repro.runtime.events import RuntimeEvent
+
+__all__ = ["TraceRecorder", "MetricsObserver", "Histogram"]
+
+
+class TraceRecorder:
+    """Ring-buffered structured trace of kernel events, queryable in tests.
+
+    :param capacity: maximum retained events; older events fall off the
+        front (``recorded`` still counts everything ever seen).
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self.capacity = capacity
+        self._events: deque[RuntimeEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def __call__(self, event: RuntimeEvent) -> None:
+        self._events.append(event)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        type: str | type[RuntimeEvent] | None = None,
+        source: str | None = None,
+        instance_id: str | None = None,
+    ) -> list[RuntimeEvent]:
+        """Retained events, optionally filtered by type/source/instance."""
+        wanted = type if type is None or isinstance(type, str) else type.type
+        results = []
+        for event in self._events:
+            if wanted is not None and event.type != wanted:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if instance_id is not None and getattr(event, "instance_id", None) != instance_id:
+                continue
+            results.append(event)
+        return results
+
+    def event_types(self) -> set[str]:
+        """The distinct event type strings currently retained."""
+        return {event.type for event in self._events}
+
+    def last(self, type: str | type[RuntimeEvent] | None = None) -> RuntimeEvent | None:
+        """Most recent retained event (of ``type``, if given)."""
+        matches = self.events(type=type)
+        return matches[-1] if matches else None
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable trace, one line per event (most recent last)."""
+        events = list(self._events)
+        if limit is not None:
+            events = events[-limit:]
+        return "\n".join(event.describe() for event in events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class Histogram:
+    """Fixed-bucket histogram for non-negative observations (durations)."""
+
+    def __init__(self, bounds: tuple[float, ...] = (0.1, 1.0, 5.0, 20.0, 100.0)) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        labels = [f"<={bound:g}" for bound in self.bounds] + [f">{self.bounds[-1]:g}"]
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": dict(zip(labels, self.buckets)),
+        }
+
+
+class MetricsObserver:
+    """Counts every event by type and by (type, source); tracks durations.
+
+    This is the single place architectures' runtime tallies live: engine
+    step counters, message counters, and conversation counters are all
+    views over these counts (see e.g.
+    :attr:`repro.workflow.engine.WorkflowEngine.steps_executed`).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Counter[str] = Counter()
+        self._by_source: Counter[tuple[str, str]] = Counter()
+        self.instance_durations = Histogram()
+
+    def __call__(self, event: RuntimeEvent) -> None:
+        self.counters[event.type] += 1
+        self._by_source[(event.type, event.source)] += 1
+        if event.type == "instance_completed":
+            self.instance_durations.observe(event.duration)
+
+    def count(self, event_type: str | type[RuntimeEvent], source: str | None = None) -> int:
+        """Total events of ``event_type`` (optionally from one ``source``)."""
+        name = event_type if isinstance(event_type, str) else event_type.type
+        if source is None:
+            return self.counters[name]
+        return self._by_source[(name, source)]
+
+    def sources(self, event_type: str | type[RuntimeEvent]) -> dict[str, int]:
+        """Per-source breakdown for one event type."""
+        name = event_type if isinstance(event_type, str) else event_type.type
+        return {
+            source: count
+            for (type_name, source), count in sorted(self._by_source.items())
+            if type_name == name
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "events": dict(sorted(self.counters.items())),
+            "instance_durations": self.instance_durations.as_dict(),
+        }

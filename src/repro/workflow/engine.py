@@ -27,6 +27,21 @@ from typing import Any, Mapping
 
 from repro.errors import ActivityError, DefinitionError, InstanceError, WorkflowError
 from repro.messaging.envelope import IdGenerator
+from repro.runtime import (
+    InstanceCancelled,
+    InstanceCompleted,
+    InstanceCreated,
+    InstanceFailed,
+    InstanceStarted,
+    Kernel,
+    Runtime,
+    RuntimeEvent,
+    StepCompleted,
+    StepFailed,
+    StepSkipped,
+    StepStarted,
+    StepWaiting,
+)
 from repro.sim import Clock
 from repro.workflow.activities import ActivityContext, ActivityRegistry, Waiting, built_in_registry
 from repro.workflow.database import WorkflowDatabase
@@ -79,6 +94,11 @@ class WorkflowEngine:
         workflow type information with it avoiding repeated access"),
         faster but losing in-flight steps on a crash.  The ablation bench
         quantifies the trade.
+    :param runtime: the runtime kernel this engine schedules on and emits
+        lifecycle events to; engines in the same simulation share one
+        kernel so all architectures produce a single event stream.  When
+        omitted the engine gets a private :class:`~repro.runtime.Kernel`
+        on its own clock.
     """
 
     PERSIST_PER_STEP = "per_step"
@@ -93,6 +113,7 @@ class WorkflowEngine:
         services: dict[str, Any] | None = None,
         raise_on_failure: bool = True,
         persistence: str = PERSIST_PER_STEP,
+        runtime: Runtime | None = None,
     ):
         if persistence not in (self.PERSIST_PER_STEP, self.PERSIST_PER_QUIESCENCE):
             raise WorkflowError(f"unknown persistence policy {persistence!r}")
@@ -100,7 +121,12 @@ class WorkflowEngine:
         self.name = name
         self.database = database or WorkflowDatabase(f"{name}-db")
         self.activities = activities or built_in_registry()
-        self.clock = clock or Clock()
+        if runtime is not None:
+            self.runtime = runtime
+            self.clock = clock or runtime.clock
+        else:
+            self.clock = clock or Clock()
+            self.runtime = Kernel(clock=self.clock)
         self.services = dict(services or {})
         self.raise_on_failure = raise_on_failure
         self._ids = IdGenerator(f"WF-{name}")
@@ -109,8 +135,19 @@ class WorkflowEngine:
         # child instance id -> (master engine, parent instance, parent step).
         self._remote_parents: dict[str, tuple["WorkflowEngine", str, str]] = {}
         self._expression_cache: dict[str, Expression] = {}
-        self.steps_executed = 0
-        self.instances_completed = 0
+
+    @property
+    def steps_executed(self) -> int:
+        """Steps this engine executed (view over the kernel metrics)."""
+        return self.runtime.metrics.count(StepStarted, source=self.name)
+
+    @property
+    def instances_completed(self) -> int:
+        """Instances this engine completed (view over the kernel metrics)."""
+        return self.runtime.metrics.count(InstanceCompleted, source=self.name)
+
+    def _emit(self, event_cls: type[RuntimeEvent], **fields: Any) -> None:
+        self.runtime.emit(event_cls, self.name, **fields)
 
     # ------------------------------------------------------------------ deploy
 
@@ -149,6 +186,11 @@ class WorkflowEngine:
         )
         instance.record(self.clock.now(), "created")
         self.database.store_instance(instance)
+        self._emit(
+            InstanceCreated,
+            instance_id=instance.instance_id,
+            type_name=workflow_type.name,
+        )
         return instance.instance_id
 
     def start(self, instance_id: str) -> WorkflowInstance:
@@ -165,6 +207,9 @@ class WorkflowEngine:
             instance.step_state(step.step_id).status = STEP_READY
         instance.record(self.clock.now(), "started")
         self.database.store_instance(instance)
+        self._emit(
+            InstanceStarted, instance_id=instance_id, type_name=instance.type_name
+        )
         return self._advance(instance_id)
 
     def run(
@@ -250,6 +295,12 @@ class WorkflowEngine:
         instance.error = reason
         instance.record(self.clock.now(), "cancelled", detail=reason)
         self.database.store_instance(instance)
+        self._emit(
+            InstanceCancelled,
+            instance_id=instance_id,
+            type_name=instance.type_name,
+            reason=reason,
+        )
         return instance
 
     def retry_failed_step(self, instance_id: str) -> WorkflowInstance:
@@ -305,7 +356,24 @@ class WorkflowEngine:
         return self.database.load_type(instance.type_name, instance.type_version)
 
     def _advance(self, instance_id: str) -> WorkflowInstance:
-        """Advance until quiescent.
+        """Queue an advance task on the runtime kernel and drain it.
+
+        All instance advancement — API calls, child completions, message
+        deliveries — goes through the kernel's run queue, so one external
+        stimulus runs every affected instance to quiescence in a single
+        batch.  When called from inside a running task (a parent starting
+        a child synchronously) the nested drain consumes the shared queue,
+        preserving the synchronous-subtree semantics of Section 3.1.
+        """
+        self.runtime.submit(
+            lambda: self._advance_instance(instance_id),
+            label=f"{self.name}:advance:{instance_id}",
+        )
+        self.runtime.drain()
+        return self.database.load_instance(instance_id)
+
+    def _advance_instance(self, instance_id: str) -> None:
+        """Advance one instance until quiescent (runs as a kernel task).
 
         Under ``per_step`` persistence every iteration is a full
         load-advance-store cycle against the database (Figure 4); under
@@ -318,7 +386,7 @@ class WorkflowEngine:
             if per_step:
                 instance = self.database.load_instance(instance_id)
             if instance.is_terminal():
-                return instance
+                return
             workflow_type = self._type_of(instance)
             ready = instance.steps_in_status(STEP_READY)
             if not ready:
@@ -326,7 +394,7 @@ class WorkflowEngine:
                 self.database.store_instance(instance)
                 if instance.status == INSTANCE_COMPLETED:
                     self._notify_parent(instance)
-                return self.database.load_instance(instance_id)
+                return
             state = ready[0]
             try:
                 self._execute_step(instance, workflow_type, state.step_id)
@@ -335,7 +403,7 @@ class WorkflowEngine:
                 self.database.store_instance(instance)
                 if self.raise_on_failure:
                     raise
-                return self.database.load_instance(instance_id)
+                return
             if per_step:
                 self.database.store_instance(instance)
 
@@ -347,7 +415,12 @@ class WorkflowEngine:
             instance.status = INSTANCE_COMPLETED
             instance.completed_at = self.clock.now()
             instance.record(self.clock.now(), "completed")
-            self.instances_completed += 1
+            self._emit(
+                InstanceCompleted,
+                instance_id=instance.instance_id,
+                type_name=instance.type_name,
+                duration=instance.completed_at - instance.created_at,
+            )
         elif instance.steps_in_status(STEP_WAITING):
             instance.status = INSTANCE_WAITING
         else:
@@ -364,7 +437,7 @@ class WorkflowEngine:
         self, instance: WorkflowInstance, workflow_type: WorkflowType, step_id: str
     ) -> None:
         step = workflow_type.step(step_id)
-        self.steps_executed += 1
+        self._emit(StepStarted, instance_id=instance.instance_id, step_id=step_id)
         instance.record(self.clock.now(), "step_started", step_id)
         if isinstance(step, ActivityStep):
             self._execute_activity(instance, workflow_type, step)
@@ -410,6 +483,12 @@ class WorkflowEngine:
             state.wait_key = wait_key
             self._wait_index[wait_key] = (instance.instance_id, step.step_id)
             instance.record(self.clock.now(), "step_waiting", step.step_id, wait_key)
+            self._emit(
+                StepWaiting,
+                instance_id=instance.instance_id,
+                step_id=step.step_id,
+                wait_key=wait_key,
+            )
             return
         self._finish_step(instance, workflow_type, step.step_id, dict(result))
 
@@ -596,6 +675,7 @@ class WorkflowEngine:
         else:
             instance.variables.update(outputs)
         instance.record(self.clock.now(), "step_completed", step_id)
+        self._emit(StepCompleted, instance_id=instance.instance_id, step_id=step_id)
         self._propagate(instance, workflow_type, step_id, completed=True)
 
     def _fail_step(
@@ -607,6 +687,18 @@ class WorkflowEngine:
         instance.status = INSTANCE_FAILED
         instance.error = str(error)
         instance.record(self.clock.now(), "step_failed", step_id, str(error))
+        self._emit(
+            StepFailed,
+            instance_id=instance.instance_id,
+            step_id=step_id,
+            error=str(error),
+        )
+        self._emit(
+            InstanceFailed,
+            instance_id=instance.instance_id,
+            type_name=instance.type_name,
+            error=str(error),
+        )
 
     def _propagate(
         self,
@@ -665,6 +757,7 @@ class WorkflowEngine:
         else:
             state.status = STEP_SKIPPED
             instance.record(self.clock.now(), "step_skipped", step_id)
+            self._emit(StepSkipped, instance_id=instance.instance_id, step_id=step_id)
             self._propagate(instance, workflow_type, step_id, completed=False)
 
     # -- helpers ---------------------------------------------------------------------

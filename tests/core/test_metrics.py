@@ -1,7 +1,5 @@
 """Tests for the model-complexity metrics."""
 
-import pytest
-
 from repro.analysis.change_impact import build_fig14_model
 from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
 from repro.core.metrics import (

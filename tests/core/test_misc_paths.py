@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.scenarios import build_two_enterprise_pair
 from repro.core.enterprise import Enterprise
-from repro.core.private_process import buyer_po_process
 from repro.errors import BindingError, PartnerError, ProtocolError
 
 
@@ -30,7 +29,6 @@ class TestIntegrationEdges:
         """A binding that consumes an *outbound* document would silently
         swallow a business reply — the engine treats it as a wiring bug."""
         from repro.core.binding import BindingStep
-        from repro.core.enterprise import run_community
 
         pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
         route = pair.buyer.model.route("rosettanet", "buyer")
@@ -64,7 +62,6 @@ class TestIntegrationEdges:
     def test_auto_ack_without_receipt_builder_rejected(self):
         """A public process with auto_ack steps on a protocol without a
         receipt builder is a configuration error surfaced at runtime."""
-        from repro.b2b.protocol import get_protocol
         from repro.core.integration import Conversation
         from repro.core.public_process import PublicProcessDefinition, PublicStep
         from repro.core.public_process import PublicProcessInstance

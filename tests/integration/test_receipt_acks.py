@@ -15,7 +15,6 @@ from repro.analysis.scenarios import build_two_enterprise_pair
 from repro.b2b.protocol import get_protocol, standard_protocols
 from repro.core.enterprise import run_community
 from repro.documents import rosettanet
-from repro.documents.normalized import make_purchase_order
 from repro.errors import WireFormatError
 
 LINES = [{"sku": "GPU", "quantity": 4, "unit_price": 1500.0}]

@@ -6,8 +6,6 @@ conversation correlation, batch collection, ERP state and archives stay
 consistent under sustained mixed load.
 """
 
-import pytest
-
 from repro.analysis.scenarios import (
     build_fig15_community,
     build_order_to_cash_pair,

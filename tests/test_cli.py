@@ -29,6 +29,26 @@ class TestCommands:
     def test_demo_over_van(self, capsys):
         assert main(["demo", "--protocol", "edi-van"]) == 0
 
+    def test_demo_trace_prints_kernel_events(self, capsys):
+        assert main(["demo", "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "--- kernel trace: demo (rosettanet) ---" in output
+        assert "instance_started" in output
+        assert "message_delivered" in output
+        assert "conversation_completed" in output
+
+    def test_demo_without_trace_stays_quiet(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "kernel trace" not in output
+        assert "instance_started" not in output
+
+    def test_report_trace_prints_kernel_events(self, capsys):
+        assert main(["report", "--trace"]) == 0
+        output = capsys.readouterr().out
+        assert "--- kernel trace: fig15 community ---" in output
+        assert "document_received" in output
+
     def test_growth_single_dimension(self, capsys):
         assert main(["growth", "--dimension", "backends", "--values", "1", "2"]) == 0
         output = capsys.readouterr().out

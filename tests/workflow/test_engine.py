@@ -8,8 +8,8 @@ failure handling, and the persist-advance-persist database contract.
 
 import pytest
 
-from repro.errors import ActivityError, InstanceError, WorkflowError
-from repro.workflow.activities import Waiting, built_in_registry
+from repro.errors import ActivityError, InstanceError
+from repro.workflow.activities import built_in_registry
 from repro.workflow.definitions import WorkflowBuilder
 from repro.workflow.engine import WorkflowEngine
 from repro.workflow.instance import (

@@ -1,0 +1,143 @@
+"""Control-flow edge cases: all-false XOR joins, dead paths through nested
+subworkflows, and wait-key handling on cancelled instances."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.workflow.database import WorkflowDatabase
+from repro.workflow.definitions import WorkflowBuilder
+from repro.workflow.engine import WorkflowEngine
+
+
+def _engine() -> WorkflowEngine:
+    return WorkflowEngine("edges", WorkflowDatabase("edges-db"))
+
+
+class TestXorJoinAllFalse:
+    def _build(self):
+        """start fans out on two conditions into an XOR join; when both
+        conditions are false the join (and everything after it) must be
+        skipped, not stuck."""
+        builder = WorkflowBuilder("xor-all-false")
+        builder.variable("flag1", False).variable("flag2", False)
+        builder.activity("start", "noop")
+        builder.activity("left", "noop")
+        builder.activity("right", "noop")
+        builder.activity("merge", "noop", join="XOR")
+        builder.activity("end", "noop")
+        builder.link("start", "left", condition="flag1 == True")
+        builder.link("start", "right", condition="flag2 == True")
+        builder.link("left", "merge")
+        builder.link("right", "merge")
+        builder.link("merge", "end")
+        return builder.build()
+
+    def test_all_false_arcs_skip_the_join_and_downstream(self):
+        engine = _engine()
+        engine.deploy(self._build())
+        instance = engine.run("xor-all-false")
+        assert instance.status == "completed"
+        for step_id in ("left", "right", "merge", "end"):
+            assert instance.step_state(step_id).status == "skipped", step_id
+        assert instance.step_state("start").status == "completed"
+
+    def test_one_true_arc_fires_the_join(self):
+        engine = _engine()
+        engine.deploy(self._build())
+        instance = engine.run("xor-all-false", variables={"flag2": True})
+        assert instance.status == "completed"
+        assert instance.step_state("left").status == "skipped"
+        assert instance.step_state("right").status == "completed"
+        assert instance.step_state("merge").status == "completed"
+        assert instance.step_state("end").status == "completed"
+
+    def test_skips_emit_kernel_events(self):
+        engine = _engine()
+        trace = engine.runtime.enable_trace()
+        engine.deploy(self._build())
+        engine.run("xor-all-false")
+        skipped = {event.step_id for event in trace.events(type="step_skipped")}
+        assert skipped == {"left", "right", "merge", "end"}
+
+
+class TestDeadPathThroughNestedSubworkflows:
+    def _deploy(self, engine: WorkflowEngine) -> None:
+        """grandparent --false--> parent-sub(child-sub(grandchild)): the
+        whole nested chain must be eliminated without instantiating any
+        child, and the XOR join after it must still fire from the live arc."""
+        grandchild = WorkflowBuilder("grandchild")
+        grandchild.activity("leaf", "noop")
+        child = WorkflowBuilder("child")
+        child.activity("pre", "noop")
+        child.subworkflow("inner", "grandchild", after="pre")
+        parent = WorkflowBuilder("parent")
+        parent.variable("take_detour", False)
+        parent.activity("start", "noop")
+        parent.subworkflow("detour", "child")
+        parent.activity("straight", "noop")
+        parent.activity("merge", "noop", join="XOR")
+        parent.link("start", "detour", condition="take_detour == True")
+        parent.link("start", "straight", otherwise=True)
+        parent.link("detour", "merge")
+        parent.link("straight", "merge")
+        engine.deploy_all([grandchild.build(), child.build(), parent.build()])
+
+    def test_false_branch_skips_subworkflow_without_instantiation(self):
+        engine = _engine()
+        self._deploy(engine)
+        instance = engine.run("parent")
+        assert instance.status == "completed"
+        assert instance.step_state("detour").status == "skipped"
+        assert instance.step_state("detour").child_instance_id == ""
+        assert instance.step_state("merge").status == "completed"
+        types_instantiated = {
+            other.type_name for other in engine.database.list_instances()
+        }
+        assert types_instantiated == {"parent"}
+
+    def test_true_branch_runs_the_whole_nested_chain(self):
+        engine = _engine()
+        self._deploy(engine)
+        instance = engine.run("parent", variables={"take_detour": True})
+        assert instance.status == "completed"
+        assert instance.step_state("detour").status == "completed"
+        assert instance.step_state("straight").status == "skipped"
+        types_instantiated = sorted(
+            other.type_name for other in engine.database.list_instances()
+        )
+        assert types_instantiated == ["child", "grandchild", "parent"]
+
+
+class TestWaitingStepOnCancelledInstance:
+    def _deploy(self, engine: WorkflowEngine) -> None:
+        builder = WorkflowBuilder("parker")
+        builder.activity("wait", "wait_for_event", params={"wait_key": "edge:key"})
+        builder.activity("done", "noop", after="wait")
+        engine.deploy(builder.build())
+
+    def test_complete_waiting_step_after_cancel_raises(self):
+        engine = _engine()
+        self._deploy(engine)
+        instance = engine.run("parker")
+        assert instance.status == "waiting"
+        assert engine.has_waiting("edge:key")
+        engine.cancel_instance(instance.instance_id, "operator abort")
+        # cancellation released the wait key: the late event must not
+        # resurrect the cancelled instance.
+        assert not engine.has_waiting("edge:key")
+        with pytest.raises(InstanceError, match="no step waiting"):
+            engine.complete_waiting_step("edge:key", {})
+        refreshed = engine.get_instance(instance.instance_id)
+        assert refreshed.status == "cancelled"
+        assert refreshed.error == "operator abort"
+
+    def test_cancel_emits_instance_cancelled_event(self):
+        engine = _engine()
+        trace = engine.runtime.enable_trace()
+        self._deploy(engine)
+        instance = engine.run("parker")
+        engine.cancel_instance(instance.instance_id, "operator abort")
+        event = trace.last(type="instance_cancelled")
+        assert event is not None
+        assert event.instance_id == instance.instance_id
+        assert event.reason == "operator abort"

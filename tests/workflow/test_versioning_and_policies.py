@@ -145,8 +145,6 @@ class TestPersistencePolicies:
         """The durability trade, demonstrated: a crash mid-advance loses
         everything since the last quiescence under per_quiescence, nothing
         under per_step."""
-        from repro.errors import ActivityError
-
         observed = {}
         for policy in ("per_step", "per_quiescence"):
             engine = WorkflowEngine("p", persistence=policy, raise_on_failure=False)
