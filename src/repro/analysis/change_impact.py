@@ -43,9 +43,12 @@ __all__ = ["ChangeScenario", "CHANGE_SCENARIOS", "change_table", "build_fig14_mo
 # ---------------------------------------------------------------------------
 
 
-def build_fig14_model() -> IntegrationModel:
+def build_fig14_model(verify: bool = False) -> IntegrationModel:
     """The advanced model for the Figure 9/14 topology: EDI + RosettaNet,
-    TP1 + TP2, SAP + Oracle, the paper's four approval rules."""
+    TP1 + TP2, SAP + Oracle, the paper's four approval rules.
+
+    With ``verify=True`` the assembled model is statically verified
+    (:mod:`repro.verify`) before being returned."""
     model = IntegrationModel("ACME")
     model.transforms = build_standard_registry()
     model.add_private_process(seller_po_process(owner="ACME"))
@@ -68,6 +71,8 @@ def build_fig14_model() -> IntegrationModel:
         )
     )
     model.rules.register(routing_rule_set({"TP1": "SAP", "TP2": "Oracle"}))
+    if verify:
+        model.verify(strict=True)
     return model
 
 

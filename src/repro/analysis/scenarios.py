@@ -75,6 +75,7 @@ def build_two_enterprise_pair(
     seller_delay: float = 1.0,
     retry_policy: RetryPolicy | None = None,
     auto_approve: bool = True,
+    verify: bool = False,
 ) -> TwoEnterprisePair:
     """Assemble the paper's running example (Figure 1 / Figure 14).
 
@@ -82,6 +83,10 @@ def build_two_enterprise_pair(
     ERP with ``seller_delay`` of asynchronous order processing.  Approval
     thresholds default to Figure 1's 10 000 (buyer) and the seller-side
     amount of the Figure 9 rules (55 000).
+
+    With ``verify=True``, both assembled models are statically verified
+    (:mod:`repro.verify`) and :class:`~repro.errors.VerificationError` is
+    raised on any error-severity diagnostic.
     """
     scheduler = EventScheduler()
     network = SimulatedNetwork(scheduler, conditions or NetworkConditions.perfect(), seed=seed)
@@ -115,6 +120,9 @@ def build_two_enterprise_pair(
     if auto_approve:
         buyer.worklist.set_auto_policy(lambda item: {"approved": True})
         seller.worklist.set_auto_policy(lambda item: {"approved": True})
+    if verify:
+        buyer.model.verify(strict=True)
+        seller.model.verify(strict=True)
     return TwoEnterprisePair(scheduler, network, van, buyer, seller)
 
 
@@ -124,6 +132,7 @@ def build_order_to_cash_pair(
     seed: int = 7,
     conditions: NetworkConditions | None = None,
     seller_delay: float = 0.5,
+    verify: bool = False,
 ) -> TwoEnterprisePair:
     """The Figure 14 pair extended with the order-to-cash dispatch.
 
@@ -184,6 +193,9 @@ def build_order_to_cash_pair(
         return float(ack.get("summary.summe"))
 
     buyer.add_rule_set(invoice_match_rule_set(expected_amount))
+    if verify:
+        buyer.model.verify(strict=True)
+        seller.model.verify(strict=True)
     return pair
 
 
@@ -210,6 +222,7 @@ def build_sourcing_community(
     seed: int = 7,
     conditions: NetworkConditions | None = None,
     buyer_name: str = "TP1",
+    verify: bool = False,
 ) -> SourcingCommunity:
     """Assemble the Section 2.3 RFQ scenario: one buyer, N quoting sellers.
 
@@ -275,6 +288,9 @@ def build_sourcing_community(
         )
         sellers[seller_id] = seller
 
+    if verify:
+        for enterprise in (buyer, *sellers.values()):
+            enterprise.model.verify(strict=True)
     return SourcingCommunity(scheduler, network, buyer, sellers)
 
 
@@ -311,6 +327,7 @@ def build_fig15_community(
     conditions: NetworkConditions | None = None,
     seller_delay: float = 0.5,
     partners: dict[str, tuple[str, float, str]] | None = None,
+    verify: bool = False,
 ) -> Fig15Community:
     """Assemble the Figure 15 topology.
 
@@ -364,6 +381,9 @@ def build_fig15_community(
         buyer.worklist.set_auto_policy(lambda item: {"approved": True})
         buyers[partner_id] = buyer
 
+    if verify:
+        for enterprise in (seller, *buyers.values()):
+            enterprise.model.verify(strict=True)
     return Fig15Community(scheduler, network, van, seller, buyers)
 
 

@@ -7,6 +7,7 @@
     python -m repro growth          # the Figure 9/10 growth tables
     python -m repro changes         # the Section 4.5 change-impact table
     python -m repro patterns        # Section 1's four exchange patterns
+    python -m repro lint            # statically verify all example models
 
 Installed as the ``repro-b2b`` console script.
 """
@@ -190,6 +191,47 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import at_or_above, count_by_severity, render_text
+    from repro.verify.targets import build_broken_model, lint_all
+
+    if args.demo_broken:
+        model = build_broken_model()
+        results = {"broken-demo": model.verify()}
+    else:
+        try:
+            results = lint_all(only=args.model)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    failing = 0
+    for diagnostics in results.values():
+        failing += len(at_or_above(diagnostics, args.fail_on))
+
+    if args.format == "json":
+        payload = {
+            label: {
+                "counts": count_by_severity(diagnostics),
+                "diagnostics": [d.to_dict() for d in diagnostics],
+            }
+            for label, diagnostics in sorted(results.items())
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for label, diagnostics in sorted(results.items()):
+            print(render_text(diagnostics, title=label))
+        print()
+        verdict = "FAIL" if failing else "OK"
+        print(
+            f"{verdict}: {len(results)} model(s) linted, "
+            f"{failing} diagnostic(s) at or above {args.fail_on!r}"
+        )
+    return 1 if failing else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -228,6 +270,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     patterns.add_argument("--trace", action="store_true", help=trace_help)
     patterns.set_defaults(handler=_cmd_patterns)
+
+    lint = subparsers.add_parser(
+        "lint", help="statically verify the example integration models"
+    )
+    lint.add_argument(
+        "--model",
+        help="lint only this named target (e.g. fig14, fig15, sourcing)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--fail-on", default="error", choices=["error", "warning"],
+        help="exit nonzero when diagnostics at/above this severity exist "
+        "(default: error)",
+    )
+    lint.add_argument(
+        "--demo-broken", action="store_true",
+        help="lint a deliberately broken model instead (demonstrates the "
+        "diagnostic families)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

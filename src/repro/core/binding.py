@@ -185,6 +185,20 @@ class Binding:
             "outbound": [step.fingerprint() for step in self.outbound],
         }
 
+    def fingerprint(self) -> str:
+        """A short stable digest of the binding's structure.
+
+        Derived from :meth:`to_dict` only — runtime counters do not
+        affect it — so two structurally identical bindings share a
+        fingerprint and any structural edit (renamed step, reordered
+        chain, different endpoint) changes it.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     def __repr__(self) -> str:
         side = self.public_process or self.application
         return f"Binding({self.name!r}: {side!r} <-> {self.private_process!r})"

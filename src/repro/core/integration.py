@@ -257,6 +257,29 @@ class IntegrationModel:
             index[f"application:{name}"] = native_format
         return index
 
+    def verify(self, strict: bool = False) -> list:
+        """Statically lint this model (see :mod:`repro.verify`).
+
+        Returns the list of :class:`~repro.verify.Diagnostic` records.
+        With ``strict=True``, raises :class:`VerificationError` if any
+        error-severity diagnostic is present — the deployment-time gate.
+        """
+        from repro.errors import VerificationError
+        from repro.verify import SEVERITY_ERROR, at_or_above, verify_model
+
+        diagnostics = verify_model(self)
+        if strict:
+            errors = at_or_above(diagnostics, SEVERITY_ERROR)
+            if errors:
+                rendered = "; ".join(d.render() for d in errors[:5])
+                suffix = "" if len(errors) <= 5 else f" (+{len(errors) - 5} more)"
+                raise VerificationError(
+                    f"model {self.name!r} failed static verification with "
+                    f"{len(errors)} error(s): {rendered}{suffix}",
+                    diagnostics=errors,
+                )
+        return diagnostics
+
 
 @dataclass
 class Conversation:

@@ -50,6 +50,7 @@ __all__ = [
     "BackendError",
     "ProtocolError",
     "ChangeError",
+    "VerificationError",
 ]
 
 
@@ -167,7 +168,15 @@ class DefinitionError(WorkflowError):
 
 
 class ExpressionError(WorkflowError):
-    """A condition/data expression failed to parse or evaluate."""
+    """A condition/data expression failed to parse or evaluate.
+
+    Carries the offending expression text in :attr:`expression` when known
+    (runtime evaluation failures always set it).
+    """
+
+    def __init__(self, message: str, expression: str = ""):
+        super().__init__(message)
+        self.expression = expression
 
 
 class InstanceError(WorkflowError):
@@ -243,3 +252,15 @@ class ProtocolError(IntegrationError):
 
 class ChangeError(IntegrationError):
     """A change scenario could not be applied to a model."""
+
+
+class VerificationError(IntegrationError):
+    """Static verification of an integration model found errors.
+
+    Raised by ``IntegrationModel.verify(strict=True)``; carries the error
+    diagnostics in :attr:`diagnostics`.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])

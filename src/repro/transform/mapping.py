@@ -189,6 +189,47 @@ class Mapping:
     target_schema: DocumentSchema | None = None
     post: Callable[[Document, Document, Context], None] | None = None
 
+    _SCALAR_TYPES = frozenset({"str", "int", "float", "number", "bool"})
+
+    def __post_init__(self) -> None:
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        """Reject rules whose target paths contradict ``target_schema``.
+
+        Two contradictions are decidable at construction time: a target
+        path writing *below* a path the schema declares as a scalar, and an
+        :class:`Each` rule (which always writes a list) targeting a path
+        the schema declares as a non-list.  Both would fail on every
+        document, so they are mapping bugs, not data bugs.
+        """
+        if self.target_schema is None:
+            return
+        declared = {spec.path: spec for spec in self.target_schema.fields}
+        for index, rule in enumerate(self.rules):
+            target = getattr(rule, "target", None)
+            if target is None:
+                continue
+            for declared_path, spec in declared.items():
+                if (
+                    target.startswith(declared_path + ".")
+                    and spec.type_name in self._SCALAR_TYPES
+                ):
+                    raise MappingError(
+                        f"mapping {self.name!r} rule {index} "
+                        f"({type(rule).__name__}) targets {target!r}, which "
+                        f"writes below {declared_path!r} declared as "
+                        f"{spec.type_name} in schema {self.target_schema.name!r}"
+                    )
+            if isinstance(rule, Each):
+                spec = declared.get(target)
+                if spec is not None and spec.type_name != "list":
+                    raise MappingError(
+                        f"mapping {self.name!r} rule {index} (Each) targets "
+                        f"{target!r}, declared as {spec.type_name} (not list) "
+                        f"in schema {self.target_schema.name!r}"
+                    )
+
     def apply(self, document: Document, context: Context | None = None) -> Document:
         """Transform ``document`` and return the new target-format document."""
         context = context or {}

@@ -1,0 +1,57 @@
+"""Deployment-time static verification of integration models.
+
+The paper's central argument is that B2B integration concepts must be
+first-class so that tooling can analyze them *before* any message flows
+(Section 5.2 lists analysis as a core benefit of explicit semantics).
+This package is that tooling: it lints workflow types, bindings, mappings,
+public processes, or a whole :class:`~repro.core.integration.IntegrationModel`
+without executing anything, and reports findings as stable-coded
+:class:`Diagnostic` records.
+
+Code families::
+
+    B2B1xx  workflow graph        (unreachable steps, dead/constant arcs,
+                                   non-exhaustive XOR fan-outs)
+    B2B2xx  expressions           (undeclared variables, unknown doc paths)
+    B2B3xx  bindings & transform  (broken chains, dangling references,
+                                   uncovered schema fields)
+    B2B4xx  whole model           (unrouted protocols, orphaned processes,
+                                   agreement integrity)
+
+Entry points: ``repro lint`` on the CLI, ``IntegrationModel.verify()``
+programmatically, and the scenario builders' ``verify=True`` opt-in.
+"""
+
+from repro.verify.binding_checks import (
+    verify_binding,
+    verify_mapping,
+    verify_public_process,
+)
+from repro.verify.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    at_or_above,
+    count_by_severity,
+    render_text,
+    worst_severity,
+)
+from repro.verify.model_checks import verify_model
+from repro.verify.workflow_checks import verify_workflow
+
+__all__ = [
+    "Diagnostic",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SEVERITY_INFO",
+    "at_or_above",
+    "count_by_severity",
+    "render_text",
+    "worst_severity",
+    "verify_workflow",
+    "verify_binding",
+    "verify_mapping",
+    "verify_public_process",
+    "verify_model",
+]

@@ -1,0 +1,316 @@
+"""Binding, mapping and public-process checks (B2B3xx).
+
+Bindings are the place where format obligations concentrate: the inbound
+chain must carry the wire (or back-end native) layout to the normalized
+format, the outbound chain must carry normalized back out.  A transform
+step whose source format cannot be routed to its target format is a
+deployment bug the runtime would only discover on the first message —
+these checks find it from the model alone, by *simulating the chain over
+formats* instead of documents.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.binding import (
+    KIND_CONSUME,
+    KIND_PRODUCE,
+    KIND_TRANSFORM,
+    Binding,
+    BindingStep,
+)
+from repro.core.public_process import (
+    KIND_FROM_BINDING,
+    KIND_RECEIVE,
+    KIND_SEND,
+    KIND_TO_BINDING,
+    PublicProcessDefinition,
+)
+from repro.errors import NoRouteError
+from repro.transform.mapping import Compute, Const, Each, Field, Mapping
+from repro.transform.transformer import TransformationRegistry
+from repro.verify.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.integration import IntegrationModel
+
+__all__ = ["verify_binding", "verify_mapping", "verify_public_process"]
+
+
+# ---------------------------------------------------------------------------
+# Bindings: B2B301 (broken chain), B2B302 (dangling endpoint references)
+# ---------------------------------------------------------------------------
+
+
+def verify_binding(
+    binding: Binding, model: "IntegrationModel | None" = None
+) -> list[Diagnostic]:
+    """Lint one binding; ``model`` supplies the deployment context (the
+    endpoint registries and the transformation catalog).  Without a model
+    only the chain-local shape can be checked."""
+    prefix = f"binding:{binding.name}"
+    diagnostics: list[Diagnostic] = []
+    if model is None:
+        return diagnostics
+    _check_endpoints(binding, model, prefix, diagnostics)
+    inbound_docs, outbound_docs, inbound_start, outbound_start = _chain_context(
+        binding, model
+    )
+    _check_chain(
+        binding.inbound, "inbound", inbound_start, inbound_docs,
+        model.transforms, prefix, diagnostics,
+    )
+    _check_chain(
+        binding.outbound, "outbound", outbound_start, outbound_docs,
+        model.transforms, prefix, diagnostics,
+    )
+    return diagnostics
+
+
+def _check_endpoints(
+    binding: Binding,
+    model: "IntegrationModel",
+    prefix: str,
+    diagnostics: list[Diagnostic],
+) -> None:
+    def dangling(kind: str, name: str) -> None:
+        diagnostics.append(
+            Diagnostic(
+                "B2B302",
+                SEVERITY_ERROR,
+                prefix,
+                f"binding references {kind} {name!r}, which is not "
+                "registered in the model",
+                hint=f"register the {kind} or fix the binding",
+            )
+        )
+
+    if binding.public_process and binding.public_process not in model.public_processes:
+        dangling("public process", binding.public_process)
+    if binding.application and binding.application not in model.applications:
+        dangling("application", binding.application)
+    if binding.private_process not in model.private_processes:
+        dangling("private process", binding.private_process)
+
+
+def _chain_context(
+    binding: Binding, model: "IntegrationModel"
+) -> tuple[list[str], list[str], str | None, str | None]:
+    """Doc types and starting formats for the two chains.
+
+    Protocol bindings: inbound starts at the public process's wire format
+    and carries its ``to_binding`` doc types; outbound starts at the hub
+    (normalized) format and carries the ``from_binding`` doc types.
+    Application bindings: inbound starts at the application's native
+    format, outbound at the hub, both carrying the private process's
+    declared ``doc_types``.
+    """
+    hub = model.transforms.hub_format
+    if binding.public_process:
+        definition = model.public_processes.get(binding.public_process)
+        if definition is None:
+            return [], [], None, None
+        inbound_docs = [
+            step.doc_type
+            for step in definition.steps
+            if step.kind == KIND_TO_BINDING and step.doc_type
+        ]
+        outbound_docs = [
+            step.doc_type
+            for step in definition.steps
+            if step.kind == KIND_FROM_BINDING and step.doc_type
+        ]
+        return inbound_docs, outbound_docs, definition.wire_format, hub
+    native = model.applications.get(binding.application)
+    workflow = model.private_processes.get(binding.private_process)
+    doc_types = list((workflow.metadata.get("doc_types") if workflow else None) or [])
+    return doc_types, doc_types, native, hub
+
+
+def _check_chain(
+    chain: list[BindingStep],
+    direction: str,
+    start_format: str | None,
+    doc_types: list[str],
+    transforms: TransformationRegistry,
+    prefix: str,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if start_format is None or not doc_types:
+        return
+    for doc_type in doc_types:
+        current: str | None = start_format
+        for index, step in enumerate(chain):
+            if step.kind == KIND_CONSUME:
+                break
+            if step.kind == KIND_PRODUCE:
+                # the producer's output format is not statically known
+                current = None
+                continue
+            if step.kind != KIND_TRANSFORM or current is None:
+                continue
+            try:
+                transforms.route(current, step.target_format, doc_type)
+            except NoRouteError:
+                diagnostics.append(
+                    Diagnostic(
+                        "B2B301",
+                        SEVERITY_ERROR,
+                        f"{prefix}/{direction}[{index}]",
+                        f"transform step {step.step_id!r} needs a route "
+                        f"{current!r} -> {step.target_format!r} for doc_type "
+                        f"{doc_type!r}, but the registry has none",
+                        hint="register the missing mapping(s) or fix the "
+                        "chain's formats",
+                    )
+                )
+            current = step.target_format
+
+
+# ---------------------------------------------------------------------------
+# Mappings: B2B303 (required target fields unwritten), B2B304 (metadata
+# disagrees with the attached schemas)
+# ---------------------------------------------------------------------------
+
+
+def verify_mapping(mapping: Mapping) -> list[Diagnostic]:
+    """Lint one mapping against its attached schemas."""
+    prefix = f"mapping:{mapping.name}"
+    diagnostics: list[Diagnostic] = []
+    _check_schema_metadata(mapping, prefix, diagnostics)
+    _check_target_coverage(mapping, prefix, diagnostics)
+    return diagnostics
+
+
+def _check_schema_metadata(
+    mapping: Mapping, prefix: str, diagnostics: list[Diagnostic]
+) -> None:
+    pairs = (
+        ("source_schema", mapping.source_schema, "format_name", mapping.source_format),
+        ("target_schema", mapping.target_schema, "format_name", mapping.target_format),
+        ("source_schema", mapping.source_schema, "doc_type", mapping.doc_type),
+        ("target_schema", mapping.target_schema, "doc_type", mapping.doc_type),
+    )
+    for role, schema, attribute, expected in pairs:
+        if schema is None:
+            continue
+        actual = getattr(schema, attribute)
+        if actual and actual != expected:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B304",
+                    SEVERITY_ERROR,
+                    prefix,
+                    f"{role} {schema.name!r} declares {attribute} {actual!r} "
+                    f"but the mapping declares {expected!r}",
+                    hint="attach the schema matching the mapping's endpoints",
+                )
+            )
+
+
+def _covered_paths(rules: tuple | list) -> set[str]:
+    covered: set[str] = set()
+    for rule in rules:
+        if isinstance(rule, (Field, Const, Compute)):
+            covered.add(rule.target)
+        elif isinstance(rule, Each):
+            covered.add(rule.target)
+            covered.update(
+                f"{rule.target}[].{nested}" for nested in _covered_paths(rule.rules)
+            )
+    return covered
+
+
+def _is_covered(path: str, covered: set[str]) -> bool:
+    return any(
+        path == target or path.startswith(target + ".") or target.startswith(path + ".")
+        for target in covered
+    )
+
+
+def _check_target_coverage(
+    mapping: Mapping, prefix: str, diagnostics: list[Diagnostic]
+) -> None:
+    schema = mapping.target_schema
+    if schema is None or mapping.post is not None:
+        # a post hook can write fields the rule language cannot express;
+        # coverage cannot be decided statically then
+        return
+    covered = _covered_paths(mapping.rules)
+    for spec in schema.fields:
+        if not spec.required:
+            continue
+        if not _is_covered(spec.path, covered):
+            diagnostics.append(
+                Diagnostic(
+                    "B2B303",
+                    SEVERITY_WARNING,
+                    prefix,
+                    f"no rule writes required target field {spec.path!r} "
+                    f"of schema {schema.name!r}",
+                    hint="add a Field/Const/Compute rule for the field or "
+                    "mark it optional",
+                )
+            )
+        if spec.type_name == "list" and spec.items is not None:
+            for each in mapping.rules:
+                if not isinstance(each, Each) or each.target != spec.path:
+                    continue
+                item_covered = _covered_paths(each.rules)
+                for item_spec in spec.items.fields:
+                    if item_spec.required and not _is_covered(
+                        item_spec.path, item_covered
+                    ):
+                        diagnostics.append(
+                            Diagnostic(
+                                "B2B303",
+                                SEVERITY_WARNING,
+                                prefix,
+                                f"Each rule for {spec.path!r} writes no "
+                                f"required item field {item_spec.path!r} of "
+                                f"schema {schema.name!r}",
+                                hint="add a nested rule for the item field",
+                            )
+                        )
+
+
+# ---------------------------------------------------------------------------
+# Public processes: B2B305 (connection step without doc_type),
+# B2B306 (no wire steps)
+# ---------------------------------------------------------------------------
+
+
+def verify_public_process(definition: PublicProcessDefinition) -> list[Diagnostic]:
+    """Lint one public process definition in isolation."""
+    prefix = f"public:{definition.name}"
+    diagnostics: list[Diagnostic] = []
+    for step in definition.steps:
+        if step.kind in (KIND_TO_BINDING, KIND_FROM_BINDING) and not step.doc_type:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B305",
+                    SEVERITY_INFO,
+                    f"{prefix}/step:{step.step_id}",
+                    f"connection step {step.step_id!r} carries no doc_type; "
+                    "binding chain checks cannot cover it",
+                    hint="declare the doc_type the connection step carries",
+                )
+            )
+    if not any(step.kind in (KIND_SEND, KIND_RECEIVE) for step in definition.steps):
+        diagnostics.append(
+            Diagnostic(
+                "B2B306",
+                SEVERITY_WARNING,
+                prefix,
+                "public process has no send or receive step: it never "
+                "exchanges a message with the partner",
+                hint="add the wire steps or remove the definition",
+            )
+        )
+    return diagnostics

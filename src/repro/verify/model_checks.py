@@ -1,0 +1,186 @@
+"""Whole-model checks (B2B4xx) and the model-level orchestrator.
+
+:func:`verify_model` runs every layer's checks over one
+:class:`~repro.core.integration.IntegrationModel`: each private process
+(graph + expressions), each public process, each mapping in the
+transformation catalog, each binding in its deployment context, and the
+cross-element integrity checks only the whole model can decide — dangling
+routes, orphaned private processes, agreements over undeployed protocols.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING
+
+from repro.verify.binding_checks import (
+    verify_binding,
+    verify_mapping,
+    verify_public_process,
+)
+from repro.verify.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+from repro.verify.workflow_checks import verify_workflow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.integration import IntegrationModel
+
+__all__ = ["verify_model"]
+
+
+def verify_model(model: "IntegrationModel") -> list[Diagnostic]:
+    """Statically lint every element of ``model``."""
+    prefix = f"model:{model.name}"
+    diagnostics: list[Diagnostic] = []
+    for name, workflow in model.private_processes.items():
+        diagnostics.extend(
+            verify_workflow(workflow, location_prefix=f"{prefix}/private:{name}")
+        )
+    for definition in model.public_processes.values():
+        diagnostics.extend(_prefixed(verify_public_process(definition), prefix))
+    for mapping in model.transforms.mappings():
+        diagnostics.extend(_prefixed(verify_mapping(mapping), prefix))
+    for binding in model.bindings.values():
+        diagnostics.extend(_prefixed(verify_binding(binding, model), prefix))
+    _check_routes(model, prefix, diagnostics)
+    _check_orphans(model, prefix, diagnostics)
+    _check_agreements(model, prefix, diagnostics)
+    return diagnostics
+
+
+def _prefixed(diagnostics: list[Diagnostic], prefix: str) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            d.code, d.severity, f"{prefix}/{d.location}", d.message, d.hint
+        )
+        for d in diagnostics
+    ]
+
+
+# ---------------------------------------------------------------------------
+# B2B401 / B2B403: protocol and route integrity
+# ---------------------------------------------------------------------------
+
+
+def _check_routes(
+    model: "IntegrationModel", prefix: str, diagnostics: list[Diagnostic]
+) -> None:
+    routed_protocols = {protocol for protocol, _role in model._routes}
+    for name in model.protocols:
+        if name not in routed_protocols:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B401",
+                    SEVERITY_ERROR,
+                    f"{prefix}/protocol:{name}",
+                    "protocol is deployed but no route connects it to a "
+                    "private process",
+                    hint="deploy the protocol via add_protocol() so routes exist",
+                )
+            )
+    for (protocol, role), route in model._routes.items():
+        location = f"{prefix}/route:{protocol}/{role}"
+        missing = []
+        if route.public_process not in model.public_processes:
+            missing.append(f"public process {route.public_process!r}")
+        if route.binding not in model.bindings:
+            missing.append(f"binding {route.binding!r}")
+        if route.private_process not in model.private_processes:
+            missing.append(f"private process {route.private_process!r}")
+        if protocol not in model.protocols:
+            missing.append(f"protocol {protocol!r}")
+        for reference in missing:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B403",
+                    SEVERITY_ERROR,
+                    location,
+                    f"route references missing {reference}",
+                    hint="re-deploy the protocol or remove the stale route",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# B2B402: orphaned private processes
+# ---------------------------------------------------------------------------
+
+
+def _check_orphans(
+    model: "IntegrationModel", prefix: str, diagnostics: list[Diagnostic]
+) -> None:
+    served = {binding.private_process for binding in model.bindings.values()}
+    for name in model.private_processes:
+        if name not in served:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B402",
+                    SEVERITY_WARNING,
+                    f"{prefix}/private:{name}",
+                    "private process is registered but no binding serves it: "
+                    "no protocol or application can ever reach it",
+                    hint="deploy a protocol/application for it or remove it",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# B2B404 / B2B405 / B2B406: partner and agreement integrity
+# ---------------------------------------------------------------------------
+
+
+def _check_agreements(
+    model: "IntegrationModel", prefix: str, diagnostics: list[Diagnostic]
+) -> None:
+    deployed = set(model.protocols)
+    overlap: dict[tuple[str, str, str], list[str]] = defaultdict(list)
+    for agreement in model.partners.agreements():
+        location = f"{prefix}/agreement:{':'.join(agreement.key())}"
+        if agreement.protocol not in deployed:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B404",
+                    SEVERITY_ERROR,
+                    location,
+                    f"agreement references protocol {agreement.protocol!r}, "
+                    "which is not deployed in this model",
+                    hint="deploy the protocol or retire the agreement",
+                )
+            )
+        if agreement.status != "active":
+            continue
+        for doc_type in agreement.doc_types:
+            overlap[(agreement.partner_id, agreement.our_role, doc_type)].append(
+                agreement.protocol
+            )
+    for (partner_id, role, doc_type), protocols in sorted(overlap.items()):
+        if len(protocols) < 2:
+            continue
+        diagnostics.append(
+            Diagnostic(
+                "B2B405",
+                SEVERITY_WARNING,
+                f"{prefix}/partner:{partner_id}",
+                f"duplicate agreements: {sorted(protocols)} all cover "
+                f"doc_type {doc_type!r} with partner {partner_id!r} as "
+                f"{role!r}; agreement lookup without an explicit protocol "
+                "is ambiguous",
+                hint="retire one agreement or always pass protocol= when "
+                "starting conversations",
+            )
+        )
+    for partner in model.partners.partners():
+        if partner.protocols and not set(partner.protocols) & deployed:
+            diagnostics.append(
+                Diagnostic(
+                    "B2B406",
+                    SEVERITY_WARNING,
+                    f"{prefix}/partner:{partner.partner_id}",
+                    f"partner speaks {sorted(partner.protocols)} but none of "
+                    "these protocols is deployed in this model",
+                    hint="deploy a shared protocol or update the partner profile",
+                )
+            )

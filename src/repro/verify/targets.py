@@ -1,0 +1,161 @@
+"""Named lint targets: every model the analysis layer can build.
+
+``repro lint`` and the CI model-lint job iterate these so a regression in
+any scenario builder, the mapping catalog, or the standard protocol
+registry surfaces as a diagnostic instead of a runtime failure three
+layers deep.  Each builder returns ``{label: diagnostics}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.verify.diagnostics import Diagnostic
+from repro.verify.workflow_checks import verify_workflow
+
+__all__ = ["lint_targets", "lint_all", "build_broken_model"]
+
+
+def _lint_pair(protocol: str) -> dict[str, list[Diagnostic]]:
+    from repro.analysis.scenarios import build_two_enterprise_pair
+
+    pair = build_two_enterprise_pair(protocol)
+    return {
+        f"pair-{protocol}/{enterprise.name}": enterprise.model.verify()
+        for enterprise in pair.enterprises()
+    }
+
+
+def _lint_order_to_cash() -> dict[str, list[Diagnostic]]:
+    from repro.analysis.scenarios import build_order_to_cash_pair
+
+    pair = build_order_to_cash_pair()
+    return {
+        f"order-to-cash/{enterprise.name}": enterprise.model.verify()
+        for enterprise in pair.enterprises()
+    }
+
+
+def _lint_sourcing() -> dict[str, list[Diagnostic]]:
+    from repro.analysis.scenarios import build_sourcing_community
+
+    community = build_sourcing_community(
+        {"S1": {"widget": 5.0}, "S2": {"widget": 4.5}}
+    )
+    return {
+        f"sourcing/{enterprise.name}": enterprise.model.verify()
+        for enterprise in community.enterprises()
+    }
+
+
+def _lint_fig15() -> dict[str, list[Diagnostic]]:
+    from repro.analysis.scenarios import build_fig15_community
+
+    community = build_fig15_community()
+    return {
+        f"fig15/{enterprise.name}": enterprise.model.verify()
+        for enterprise in community.enterprises()
+    }
+
+
+def _lint_fig14() -> dict[str, list[Diagnostic]]:
+    from repro.analysis.change_impact import build_fig14_model
+
+    return {"fig14": build_fig14_model().verify()}
+
+
+def _lint_sweep() -> dict[str, list[Diagnostic]]:
+    from repro.analysis.scenarios import advanced_synthetic_model
+
+    model = advanced_synthetic_model(4, 4, 3)
+    return {f"sweep/{model.name}": model.verify()}
+
+
+def _lint_naive_seller() -> dict[str, list[Diagnostic]]:
+    from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
+
+    workflow = build_naive_seller_type(NaiveTopology.figure9())
+    return {"naive-seller": verify_workflow(workflow)}
+
+
+def lint_targets() -> dict[str, Callable[[], dict[str, list[Diagnostic]]]]:
+    """The registry of named lint targets."""
+    return {
+        "pair-edi-van": lambda: _lint_pair("edi-van"),
+        "pair-rosettanet": lambda: _lint_pair("rosettanet"),
+        "pair-oagis-http": lambda: _lint_pair("oagis-http"),
+        "pair-rosettanet-ra": lambda: _lint_pair("rosettanet-ra"),
+        "order-to-cash": _lint_order_to_cash,
+        "sourcing": _lint_sourcing,
+        "fig15": _lint_fig15,
+        "fig14": _lint_fig14,
+        "sweep": _lint_sweep,
+        "naive-seller": _lint_naive_seller,
+    }
+
+
+def lint_all(only: str | None = None) -> dict[str, list[Diagnostic]]:
+    """Run all (or one) named lint targets; returns ``{label: diagnostics}``.
+
+    :param only: restrict to the target with this name.
+    """
+    targets = lint_targets()
+    if only is not None:
+        if only not in targets:
+            raise KeyError(
+                f"unknown lint target {only!r}; known: {sorted(targets)}"
+            )
+        targets = {only: targets[only]}
+    results: dict[str, list[Diagnostic]] = {}
+    for builder in targets.values():
+        results.update(builder())
+    return results
+
+
+def build_broken_model():
+    """A deliberately broken model for demonstrating the verifier.
+
+    Contains (at least) an undeclared condition variable (B2B201), a
+    binding chain whose transform has no route (B2B301), and an XOR
+    fan-out without an otherwise arc (B2B103) — three distinct failure
+    families the verifier must catch.
+    """
+    from repro.core.binding import Binding, BindingStep
+    from repro.core.integration import IntegrationModel
+    from repro.core.public_process import seller_request_reply
+    from repro.transform.catalog import build_standard_registry
+    from repro.workflow.definitions import WorkflowBuilder
+
+    workflow = (
+        WorkflowBuilder("broken-seller")
+        .activity("receive", "receive_po", outputs={"document": "document"})
+        .activity("approve", "approve_po")
+        .activity("reject", "reject_po")
+        .activity("store", "store_po")
+        # B2B201: 'approval_flag' is never declared nor bound as an output
+        .link("receive", "approve", condition="approval_flag == True")
+        # B2B103: the XOR fan-out has no otherwise and is not exhaustive
+        .link("receive", "reject", condition="document.amount > 100000")
+        .link("approve", "store")
+        .link("reject", "store")
+        .meta(doc_types=["purchase_order"])
+        .build()
+    )
+    model = IntegrationModel("broken-demo")
+    model.transforms = build_standard_registry()
+    model.add_private_process(workflow)
+    definition = seller_request_reply(
+        "broken-public", protocol="rosettanet", wire_format="rosettanet-xml"
+    )
+    model.public_processes[definition.name] = definition
+    # B2B301: the inbound chain targets a format the registry cannot
+    # reach from rosettanet-xml for purchase orders
+    binding = Binding(
+        name="broken-binding",
+        public_process=definition.name,
+        private_process=workflow.name,
+        inbound=[BindingStep("to_nowhere", "transform", target_format="csv-flat")],
+        outbound=[BindingStep("to_wire", "transform", target_format="rosettanet-xml")],
+    )
+    model.bindings[binding.name] = binding
+    return model

@@ -67,12 +67,17 @@ class Expression:
 
     def __init__(self, text: str):
         if not isinstance(text, str) or not text.strip():
-            raise ExpressionError(f"empty expression: {text!r}")
+            raise ExpressionError(
+                f"empty expression: {text!r}",
+                expression=text if isinstance(text, str) else "",
+            )
         self.text = text
         try:
             tree = ast.parse(text, mode="eval")
         except SyntaxError as exc:
-            raise ExpressionError(f"syntax error in {text!r}: {exc.msg}") from None
+            raise ExpressionError(
+                f"syntax error in {text!r}: {exc.msg}", expression=text
+            ) from None
         self._check(tree.body)
         self._tree = tree.body
 
@@ -82,7 +87,8 @@ class Expression:
         if isinstance(node, ast.Constant):
             if not isinstance(node.value, (int, float, str, bool, type(None))):
                 raise ExpressionError(
-                    f"{self.text!r}: unsupported literal {node.value!r}"
+                    f"{self.text!r}: unsupported literal {node.value!r}",
+                    expression=self.text,
                 )
             return
         if isinstance(node, ast.Name):
@@ -96,17 +102,24 @@ class Expression:
                 node.slice.value, (int, str)
             ):
                 raise ExpressionError(
-                    f"{self.text!r}: only constant int/str subscripts allowed"
+                    f"{self.text!r}: only constant int/str subscripts allowed",
+                    expression=self.text,
                 )
             return
         if isinstance(node, ast.UnaryOp):
             if not isinstance(node.op, (ast.Not, ast.USub, ast.UAdd)):
-                raise ExpressionError(f"{self.text!r}: unsupported unary operator")
+                raise ExpressionError(
+                    f"{self.text!r}: unsupported unary operator",
+                    expression=self.text,
+                )
             self._check(node.operand)
             return
         if isinstance(node, ast.BinOp):
             if type(node.op) not in _BIN_OPS:
-                raise ExpressionError(f"{self.text!r}: unsupported binary operator")
+                raise ExpressionError(
+                    f"{self.text!r}: unsupported binary operator",
+                    expression=self.text,
+                )
             self._check(node.left)
             self._check(node.right)
             return
@@ -118,7 +131,10 @@ class Expression:
             self._check(node.left)
             for op, comparator in zip(node.ops, node.comparators):
                 if type(op) not in _COMPARE_OPS:
-                    raise ExpressionError(f"{self.text!r}: unsupported comparison")
+                    raise ExpressionError(
+                        f"{self.text!r}: unsupported comparison",
+                        expression=self.text,
+                    )
                 self._check(comparator)
             return
         if isinstance(node, ast.Call):
@@ -128,7 +144,8 @@ class Expression:
                 or node.keywords
             ):
                 raise ExpressionError(
-                    f"{self.text!r}: only {sorted(_ALLOWED_FUNCTIONS)} may be called"
+                    f"{self.text!r}: only {sorted(_ALLOWED_FUNCTIONS)} may be called",
+                    expression=self.text,
                 )
             for argument in node.args:
                 self._check(argument)
@@ -138,7 +155,8 @@ class Expression:
                 self._check(element)
             return
         raise ExpressionError(
-            f"{self.text!r}: construct {type(node).__name__} not allowed"
+            f"{self.text!r}: construct {type(node).__name__} not allowed",
+            expression=self.text,
         )
 
     # -- evaluation ---------------------------------------------------------------
@@ -150,7 +168,9 @@ class Expression:
         except ExpressionError:
             raise
         except Exception as exc:
-            raise ExpressionError(f"evaluating {self.text!r}: {exc!r}") from exc
+            raise ExpressionError(
+                f"evaluating {self.text!r}: {exc!r}", expression=self.text
+            ) from exc
 
     def evaluate_bool(self, variables: Mapping[str, Any]) -> bool:
         """Evaluate as a condition (result coerced with ``bool``)."""
@@ -162,7 +182,8 @@ class Expression:
         if isinstance(node, ast.Name):
             if node.id not in variables:
                 raise ExpressionError(
-                    f"{self.text!r}: unknown variable {node.id!r}"
+                    f"{self.text!r}: unknown variable {node.id!r}",
+                    expression=self.text,
                 )
             return variables[node.id]
         if isinstance(node, ast.Attribute):
@@ -211,7 +232,8 @@ class Expression:
             values = [self._eval(element, variables) for element in node.elts]
             return tuple(values) if isinstance(node, ast.Tuple) else values
         raise ExpressionError(
-            f"{self.text!r}: construct {type(node).__name__} not allowed"
+            f"{self.text!r}: construct {type(node).__name__} not allowed",
+            expression=self.text,
         )  # pragma: no cover - compile check prevents this
 
     def _access(self, value: Any, key: Any) -> Any:
@@ -231,19 +253,26 @@ class Expression:
             if isinstance(key, str) and value.has(f"header.{key}"):
                 return value.get(f"header.{key}")
             raise ExpressionError(
-                f"{self.text!r}: document has no field {key!r}"
+                f"{self.text!r}: document has no field {key!r}",
+                expression=self.text,
             )
         if isinstance(value, Mapping):
             if key in value:
                 return value[key]
-            raise ExpressionError(f"{self.text!r}: no key {key!r}")
+            raise ExpressionError(
+                f"{self.text!r}: no key {key!r}", expression=self.text
+            )
         if isinstance(value, (list, tuple)) and isinstance(key, int):
             try:
                 return value[key]
             except IndexError:
-                raise ExpressionError(f"{self.text!r}: index {key} out of range") from None
+                raise ExpressionError(
+                    f"{self.text!r}: index {key} out of range",
+                    expression=self.text,
+                ) from None
         raise ExpressionError(
-            f"{self.text!r}: cannot access {key!r} on {type(value).__name__}"
+            f"{self.text!r}: cannot access {key!r} on {type(value).__name__}",
+            expression=self.text,
         )
 
     def variables_used(self) -> set[str]:
@@ -253,6 +282,67 @@ class Expression:
             for node in ast.walk(self._tree)
             if isinstance(node, ast.Name) and node.id not in _ALLOWED_FUNCTIONS
         }
+
+    # -- static analysis (repro.verify) -------------------------------------------
+
+    def names(self) -> set[str]:
+        """Referenced variable names (the :mod:`repro.verify` spelling of
+        :meth:`variables_used`)."""
+        return self.variables_used()
+
+    def paths(self) -> set[str]:
+        """Dotted document paths referenced by this expression.
+
+        ``PO.amount > 10000 and PO.header.currency == 'USD'`` yields
+        ``{"PO.amount", "PO.header.currency"}``.  Only maximal access
+        chains rooted at a variable are returned; constant string
+        subscripts count as path segments, constant int subscripts as
+        ``[i]`` list indexes.
+        """
+        found: set[str] = set()
+        self._collect_paths(self._tree, found)
+        return found
+
+    def _collect_paths(self, node: ast.AST, found: set[str]) -> None:
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            dotted = self._dotted(node)
+            if dotted is not None:
+                found.add(dotted)
+                return
+        for child in ast.iter_child_nodes(node):
+            self._collect_paths(child, found)
+
+    def _dotted(self, node: ast.AST) -> str | None:
+        """Render an access chain as a dotted path, or ``None`` when the
+        chain does not bottom out at a plain variable name."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self._dotted(node.value)
+            return None if base is None else f"{base}.{node.attr}"
+        if isinstance(node, ast.Subscript) and isinstance(node.slice, ast.Constant):
+            base = self._dotted(node.value)
+            if base is None:
+                return None
+            key = node.slice.value
+            return f"{base}[{key}]" if isinstance(key, int) else f"{base}.{key}"
+        return None
+
+    def fold_constant(self) -> tuple[Any] | None:
+        """Constant-fold the expression.
+
+        Returns a 1-tuple ``(value,)`` when the expression references no
+        variables and evaluates cleanly, else ``None``.  The tuple wrapper
+        distinguishes a folded ``None``/``False`` from "not constant" —
+        the dead-edge/shadowed-branch checks of :mod:`repro.verify` rely
+        on this.
+        """
+        if self.variables_used():
+            return None
+        try:
+            return (self.evaluate({}),)
+        except ExpressionError:
+            return None
 
     def __repr__(self) -> str:
         return f"Expression({self.text!r})"

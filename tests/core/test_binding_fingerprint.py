@@ -1,0 +1,55 @@
+"""Binding.fingerprint(): stable across runs, sensitive to structure."""
+
+from repro.core.binding import (
+    Binding,
+    BindingStep,
+    make_application_binding,
+    make_protocol_binding,
+)
+
+
+def _binding(name="b", target="normalized"):
+    return Binding(
+        name=name,
+        public_process="pub",
+        private_process="priv",
+        inbound=[BindingStep("in", "transform", target_format=target)],
+        outbound=[BindingStep("out", "transform", target_format="wire")],
+    )
+
+
+def test_fingerprint_is_short_stable_hex():
+    fingerprint = _binding().fingerprint()
+    assert len(fingerprint) == 16
+    assert all(c in "0123456789abcdef" for c in fingerprint)
+    assert _binding().fingerprint() == fingerprint
+
+
+def test_identical_structures_share_a_fingerprint():
+    assert _binding().fingerprint() == _binding().fingerprint()
+    a = make_protocol_binding("pb", "pub", "priv", "rosettanet-xml")
+    b = make_protocol_binding("pb", "pub", "priv", "rosettanet-xml")
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_structural_edits_change_the_fingerprint():
+    base = _binding().fingerprint()
+    assert _binding(name="other").fingerprint() != base
+    assert _binding(target="edi-x12").fingerprint() != base
+    extra = _binding()
+    extra.inbound.append(BindingStep("extra", "consume"))
+    assert extra.fingerprint() != base
+
+
+def test_runtime_counters_do_not_affect_fingerprint():
+    binding = make_protocol_binding("pb", "pub", "priv", "rosettanet-xml")
+    before = binding.fingerprint()
+    binding.inbound_runs = 12
+    binding.outbound_runs = 7
+    assert binding.fingerprint() == before
+
+
+def test_protocol_and_application_bindings_differ():
+    protocol = make_protocol_binding("same", "pub", "priv", "rosettanet-xml")
+    application = make_application_binding("same", "app", "priv", "sap-idoc")
+    assert protocol.fingerprint() != application.fingerprint()

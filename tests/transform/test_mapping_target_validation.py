@@ -1,0 +1,78 @@
+"""Construction-time validation of rule target paths against target_schema."""
+
+import pytest
+
+from repro.documents.schema import DocumentSchema, FieldSpec
+from repro.errors import MappingError
+from repro.transform.catalog import build_standard_registry
+from repro.transform.mapping import Compute, Const, Each, Field, Mapping
+
+
+SCHEMA = DocumentSchema(
+    "target", "fmt", "purchase_order",
+    [
+        FieldSpec("header.po_number", "str"),
+        FieldSpec("summary.total_amount", "number"),
+        FieldSpec("lines", "list"),
+        FieldSpec("header.extra", "dict", required=False),
+    ],
+)
+
+
+def build(rules):
+    return Mapping(
+        "m", "src", "fmt", "purchase_order", rules=rules, target_schema=SCHEMA
+    )
+
+
+def test_field_below_declared_scalar_is_rejected_with_rule_index():
+    with pytest.raises(MappingError) as excinfo:
+        build([
+            Const("header.po_number", "PO-1"),
+            Field("x", "summary.total_amount.cents"),
+        ])
+    message = str(excinfo.value)
+    assert "rule 1" in message
+    assert "summary.total_amount.cents" in message
+    assert "number" in message
+
+
+def test_compute_below_declared_scalar_is_rejected():
+    with pytest.raises(MappingError) as excinfo:
+        build([Compute("header.po_number.checksum", lambda doc, ctx: 0)])
+    assert "rule 0" in str(excinfo.value)
+    assert "Compute" in str(excinfo.value)
+
+
+def test_each_onto_declared_non_list_is_rejected():
+    with pytest.raises(MappingError) as excinfo:
+        build([Each("lines", "header.po_number", [Field("a", "b")])])
+    message = str(excinfo.value)
+    assert "Each" in message
+    assert "not list" in message
+
+
+def test_valid_targets_construct():
+    mapping = build([
+        Const("header.po_number", "PO-1"),
+        Field("x", "summary.total_amount"),
+        Each("lines", "lines", [Field("sku", "sku")]),
+        # writing below a declared dict container is fine
+        Const("header.extra.note", "hello"),
+        # a path the schema does not mention at all is permitted
+        Const("trailer.checksum", "00"),
+    ])
+    assert mapping.rule_count() == 6
+
+
+def test_no_schema_means_no_validation():
+    mapping = Mapping(
+        "free", "src", "fmt", "purchase_order",
+        rules=[Field("x", "anything.goes.here")],
+    )
+    assert mapping.rule_count() == 1
+
+
+def test_standard_catalog_still_constructs():
+    registry = build_standard_registry()
+    assert len(registry.mappings()) >= 20

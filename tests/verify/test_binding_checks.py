@@ -1,0 +1,196 @@
+"""Binding, mapping and public-process checks (B2B3xx)."""
+
+from repro.core.binding import Binding, BindingStep
+from repro.core.integration import IntegrationModel
+from repro.core.public_process import (
+    PublicProcessDefinition,
+    PublicStep,
+    seller_request_reply,
+)
+from repro.documents.schema import DocumentSchema, FieldSpec
+from repro.transform.catalog import build_standard_registry
+from repro.transform.mapping import Const, Each, Field, Mapping
+from repro.verify import verify_binding, verify_mapping, verify_public_process
+from repro.workflow.definitions import WorkflowBuilder
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def _model_with(binding, workflow=None, definition=None):
+    model = IntegrationModel("m")
+    model.transforms = build_standard_registry()
+    if workflow is not None:
+        model.add_private_process(workflow)
+    if definition is not None:
+        model.public_processes[definition.name] = definition
+    model.bindings[binding.name] = binding
+    return model
+
+
+def _private(name="p"):
+    return (
+        WorkflowBuilder(name)
+        .activity("a", "noop")
+        .meta(doc_types=["purchase_order"])
+        .build()
+    )
+
+
+def test_b2b301_unroutable_transform_step():
+    definition = seller_request_reply(
+        "pub", protocol="rosettanet", wire_format="rosettanet-xml"
+    )
+    binding = Binding(
+        name="b",
+        public_process="pub",
+        private_process="p",
+        inbound=[BindingStep("dead-end", "transform", target_format="csv-flat")],
+    )
+    model = _model_with(binding, workflow=_private(), definition=definition)
+    diagnostics = verify_binding(binding, model)
+    broken = [d for d in diagnostics if d.code == "B2B301"]
+    assert len(broken) == 1
+    assert "csv-flat" in broken[0].message
+    assert "inbound[0]" in broken[0].location
+
+
+def test_b2b301_clean_for_routable_chain():
+    definition = seller_request_reply(
+        "pub", protocol="rosettanet", wire_format="rosettanet-xml"
+    )
+    binding = Binding(
+        name="b",
+        public_process="pub",
+        private_process="p",
+        inbound=[BindingStep("to_norm", "transform", target_format="normalized")],
+        outbound=[BindingStep("to_wire", "transform", target_format="rosettanet-xml")],
+    )
+    model = _model_with(binding, workflow=_private(), definition=definition)
+    assert verify_binding(binding, model) == []
+
+
+def test_b2b302_dangling_references():
+    binding = Binding(name="b", public_process="ghost-pub", private_process="ghost-priv")
+    model = _model_with(binding)
+    diagnostics = verify_binding(binding, model)
+    assert codes(diagnostics) == ["B2B302", "B2B302"]
+    messages = " ".join(d.message for d in diagnostics)
+    assert "ghost-pub" in messages and "ghost-priv" in messages
+
+
+def test_b2b302_dangling_application():
+    binding = Binding(name="b", application="ghost-app", private_process="p")
+    model = _model_with(binding, workflow=_private())
+    diagnostics = verify_binding(binding, model)
+    assert [d.code for d in diagnostics] == ["B2B302"]
+    assert "ghost-app" in diagnostics[0].message
+
+
+def test_verify_binding_without_model_is_silent():
+    binding = Binding(name="b", public_process="anything", private_process="p")
+    assert verify_binding(binding) == []
+
+
+def _target_schema(**overrides):
+    fields = overrides.get(
+        "fields",
+        [
+            FieldSpec("header.po_number", "str"),
+            FieldSpec("lines", "list", items=DocumentSchema(
+                "item", "", "", [FieldSpec("sku", "str")]
+            )),
+        ],
+    )
+    return DocumentSchema(
+        overrides.get("name", "schema"),
+        overrides.get("format_name", "fmt"),
+        overrides.get("doc_type", "purchase_order"),
+        fields,
+    )
+
+
+def test_b2b303_uncovered_required_field():
+    mapping = Mapping(
+        "m", "src", "fmt", "purchase_order",
+        rules=[Each("lines", "lines", [Field("sku", "sku")])],
+        target_schema=_target_schema(),
+    )
+    diagnostics = verify_mapping(mapping)
+    missing = [d for d in diagnostics if d.code == "B2B303"]
+    assert len(missing) == 1
+    assert "header.po_number" in missing[0].message
+
+
+def test_b2b303_nested_item_field_uncovered():
+    mapping = Mapping(
+        "m", "src", "fmt", "purchase_order",
+        rules=[
+            Field("x", "header.po_number"),
+            Each("lines", "lines", [Const("other", 1)]),
+        ],
+        target_schema=_target_schema(),
+    )
+    diagnostics = verify_mapping(mapping)
+    nested = [d for d in diagnostics if "item field" in d.message]
+    assert len(nested) == 1
+    assert "'sku'" in nested[0].message
+
+
+def test_b2b303_suppressed_by_post_hook():
+    mapping = Mapping(
+        "m", "src", "fmt", "purchase_order",
+        rules=[],
+        target_schema=_target_schema(),
+        post=lambda source, target, context: None,
+    )
+    assert verify_mapping(mapping) == []
+
+
+def test_b2b304_schema_metadata_mismatch():
+    mapping = Mapping(
+        "m", "src", "fmt", "purchase_order",
+        rules=[Field("x", "header.po_number"),
+               Each("lines", "lines", [Field("sku", "sku")])],
+        target_schema=_target_schema(format_name="other-fmt", doc_type="invoice"),
+    )
+    diagnostics = verify_mapping(mapping)
+    mismatches = [d for d in diagnostics if d.code == "B2B304"]
+    assert len(mismatches) == 2  # format_name and doc_type both disagree
+    messages = " ".join(d.message for d in mismatches)
+    assert "other-fmt" in messages and "invoice" in messages
+
+
+def test_catalog_mappings_are_clean():
+    for mapping in build_standard_registry().mappings():
+        assert verify_mapping(mapping) == [], mapping.name
+
+
+def test_b2b305_connection_step_without_doc_type():
+    definition = PublicProcessDefinition(
+        "pub", protocol="p", role="seller", wire_format="w",
+        steps=[
+            PublicStep("r", "receive", doc_type="purchase_order"),
+            PublicStep("tb", "to_binding", doc_type=""),
+        ],
+    )
+    diagnostics = verify_public_process(definition)
+    assert codes(diagnostics) == ["B2B305"]
+    assert diagnostics[0].severity == "info"
+
+
+def test_b2b306_no_wire_steps():
+    definition = PublicProcessDefinition(
+        "pub", protocol="p", role="seller", wire_format="w",
+        steps=[PublicStep("tb", "to_binding", doc_type="purchase_order")],
+    )
+    diagnostics = verify_public_process(definition)
+    assert codes(diagnostics) == ["B2B306"]
+
+
+def test_standard_public_processes_are_clean():
+    definition = seller_request_reply(
+        "pub", protocol="rosettanet", wire_format="rosettanet-xml"
+    )
+    assert verify_public_process(definition) == []

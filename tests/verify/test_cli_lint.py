@@ -1,0 +1,46 @@
+"""The ``repro lint`` subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+def test_lint_single_clean_model_exits_zero(capsys):
+    assert main(["lint", "--model", "fig14"]) == 0
+    out = capsys.readouterr().out
+    assert "fig14" in out
+    assert "OK" in out
+
+
+def test_lint_demo_broken_exits_nonzero_with_three_codes(capsys):
+    assert main(["lint", "--demo-broken"]) == 1
+    out = capsys.readouterr().out
+    found = {code for code in ("B2B103", "B2B201", "B2B301") if code in out}
+    assert len(found) >= 3
+    assert "FAIL" in out
+
+
+def test_lint_json_format(capsys):
+    assert main(["lint", "--demo-broken", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert "broken-demo" in payload
+    entry = payload["broken-demo"]
+    assert entry["counts"]["error"] >= 2
+    codes = {d["code"] for d in entry["diagnostics"]}
+    assert {"B2B201", "B2B301", "B2B103"} <= codes
+
+
+def test_lint_fail_on_warning_catches_naive_baseline(capsys):
+    assert main(["lint", "--model", "naive-seller", "--fail-on", "warning"]) == 1
+    out = capsys.readouterr().out
+    assert "B2B103" in out
+
+
+def test_lint_naive_baseline_passes_on_error_threshold(capsys):
+    assert main(["lint", "--model", "naive-seller"]) == 0
+
+
+def test_lint_unknown_target_exits_two(capsys):
+    assert main(["lint", "--model", "no-such-target"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown lint target" in err

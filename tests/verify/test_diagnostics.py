@@ -1,0 +1,72 @@
+"""Diagnostic record and helper behaviour."""
+
+import pytest
+
+from repro.verify import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+    at_or_above,
+    count_by_severity,
+    render_text,
+    worst_severity,
+)
+
+
+def _sample():
+    return [
+        Diagnostic("B2B101", SEVERITY_ERROR, "wf/step:a", "unreachable"),
+        Diagnostic("B2B103", SEVERITY_WARNING, "wf/step:b", "not exhaustive"),
+        Diagnostic("B2B305", SEVERITY_INFO, "pub/step:c", "no doc_type"),
+    ]
+
+
+def test_diagnostic_is_immutable_and_validated():
+    diagnostic = Diagnostic("B2B101", SEVERITY_ERROR, "loc", "msg", hint="fix it")
+    with pytest.raises(Exception):
+        diagnostic.code = "B2B999"
+    with pytest.raises(ValueError):
+        Diagnostic("B2B101", "fatal", "loc", "msg")
+
+
+def test_to_dict_round_trips_all_fields():
+    diagnostic = Diagnostic("B2B201", SEVERITY_ERROR, "loc", "msg", hint="h")
+    payload = diagnostic.to_dict()
+    assert payload == {
+        "code": "B2B201",
+        "severity": "error",
+        "location": "loc",
+        "message": "msg",
+        "hint": "h",
+    }
+
+
+def test_render_includes_code_location_and_hint():
+    rendered = Diagnostic("B2B301", SEVERITY_ERROR, "b/x", "broken", hint="fix").render()
+    assert "B2B301" in rendered
+    assert "b/x" in rendered
+    assert "fix" in rendered
+
+
+def test_count_and_worst_severity():
+    diagnostics = _sample()
+    assert count_by_severity(diagnostics) == {"error": 1, "warning": 1, "info": 1}
+    assert worst_severity(diagnostics) == SEVERITY_ERROR
+    assert worst_severity([]) is None
+
+
+def test_at_or_above_thresholds():
+    diagnostics = _sample()
+    assert [d.code for d in at_or_above(diagnostics, SEVERITY_ERROR)] == ["B2B101"]
+    assert len(at_or_above(diagnostics, SEVERITY_WARNING)) == 2
+    assert len(at_or_above(diagnostics, SEVERITY_INFO)) == 3
+
+
+def test_render_text_sorts_errors_first():
+    text = render_text(_sample(), title="sample")
+    lines = text.splitlines()
+    assert lines[0] == "sample"
+    assert "B2B101" in lines[1]
+    assert "1 error(s), 1 warning(s), 1 info" in lines[-1]
+    assert "clean" in render_text([], title="empty")

@@ -1,0 +1,136 @@
+"""Whole-model checks (B2B4xx), verify_model orchestration and
+IntegrationModel.verify()."""
+
+import pytest
+
+from repro.analysis.change_impact import build_fig14_model
+from repro.core.integration import IntegrationModel, Route
+from repro.errors import VerificationError
+from repro.partners.agreement import TradingPartnerAgreement
+from repro.partners.profile import TradingPartner
+from repro.transform.catalog import build_standard_registry
+from repro.verify import verify_model
+from repro.verify.targets import build_broken_model
+from repro.workflow.definitions import WorkflowBuilder
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def _empty_model(name="m"):
+    model = IntegrationModel(name)
+    model.transforms = build_standard_registry()
+    return model
+
+
+def _workflow(name="p"):
+    return WorkflowBuilder(name).activity("a", "noop").build()
+
+
+def test_fig14_model_is_clean():
+    assert verify_model(build_fig14_model()) == []
+
+
+def test_b2b401_protocol_without_route():
+    from repro.b2b.protocol import get_protocol
+
+    model = _empty_model()
+    # register the protocol directly, bypassing add_protocol's route wiring
+    model.protocols["rosettanet"] = get_protocol("rosettanet")
+    diagnostics = verify_model(model)
+    unrouted = [d for d in diagnostics if d.code == "B2B401"]
+    assert len(unrouted) == 1
+    assert "rosettanet" in unrouted[0].location
+
+
+def test_b2b402_orphaned_private_process():
+    model = _empty_model()
+    model.add_private_process(_workflow("lonely"))
+    diagnostics = verify_model(model)
+    orphans = [d for d in diagnostics if d.code == "B2B402"]
+    assert len(orphans) == 1
+    assert "private:lonely" in orphans[0].location
+
+
+def test_b2b403_route_with_missing_references():
+    model = _empty_model()
+    model._routes[("ghost-protocol", "seller")] = Route(
+        protocol="ghost-protocol",
+        role="seller",
+        public_process="ghost-pub",
+        binding="ghost-binding",
+        private_process="ghost-priv",
+    )
+    diagnostics = verify_model(model)
+    stale = [d for d in diagnostics if d.code == "B2B403"]
+    # public process, binding, private process and protocol all missing
+    assert len(stale) == 4
+
+
+def test_b2b404_agreement_over_undeployed_protocol():
+    model = _empty_model()
+    model.partners.add_partner(TradingPartner("TP1", protocols=("rosettanet",)))
+    model.partners.add_agreement(
+        TradingPartnerAgreement("TP1", "rosettanet", "seller")
+    )
+    diagnostics = verify_model(model)
+    assert "B2B404" in codes(diagnostics)
+
+
+def test_b2b405_overlapping_agreements():
+    from repro.b2b.protocol import get_protocol
+
+    model = _empty_model()
+    model.add_private_process(
+        WorkflowBuilder("private-po-seller").activity("a", "noop").build()
+    )
+    model.add_protocol(get_protocol("edi-van"), "private-po-seller")
+    model.add_protocol(get_protocol("rosettanet"), "private-po-seller")
+    model.partners.add_partner(
+        TradingPartner("TP1", protocols=("edi-van", "rosettanet"))
+    )
+    model.partners.add_agreement(TradingPartnerAgreement("TP1", "edi-van", "seller"))
+    model.partners.add_agreement(TradingPartnerAgreement("TP1", "rosettanet", "seller"))
+    diagnostics = verify_model(model)
+    overlaps = [d for d in diagnostics if d.code == "B2B405"]
+    assert overlaps, codes(diagnostics)
+    assert "TP1" in overlaps[0].message
+
+
+def test_b2b406_partner_with_no_deployed_protocol():
+    model = _empty_model()
+    model.partners.add_partner(TradingPartner("TP9", protocols=("oagis-http",)))
+    diagnostics = verify_model(model)
+    assert "B2B406" in codes(diagnostics)
+
+
+def test_verify_model_prefixes_locations_with_model_name():
+    model = build_broken_model()
+    diagnostics = verify_model(model)
+    assert diagnostics
+    assert all(d.location.startswith("model:broken-demo/") for d in diagnostics)
+
+
+def test_integration_model_verify_strict_raises():
+    model = build_broken_model()
+    diagnostics = model.verify()
+    assert len({d.code for d in diagnostics}) >= 3
+    with pytest.raises(VerificationError) as excinfo:
+        model.verify(strict=True)
+    assert excinfo.value.diagnostics
+    assert all(d.severity == "error" for d in excinfo.value.diagnostics)
+
+
+def test_integration_model_verify_strict_passes_clean_model():
+    model = build_fig14_model()
+    assert model.verify(strict=True) == []
+
+
+def test_scenario_builders_verify_opt_in():
+    from repro.analysis.scenarios import build_two_enterprise_pair
+
+    pair = build_two_enterprise_pair("rosettanet", verify=True)
+    assert pair.buyer.model.name == "TP1"
+
+    assert build_fig14_model(verify=True).name == "ACME"

@@ -1,0 +1,232 @@
+"""Graph and expression checks (B2B1xx / B2B2xx)."""
+
+from repro.documents.normalized import schema_for
+from repro.verify import verify_workflow
+from repro.workflow.definitions import WorkflowBuilder
+
+
+def codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+def test_clean_linear_workflow_has_no_diagnostics():
+    workflow = (
+        WorkflowBuilder("clean")
+        .activity("a", "noop")
+        .activity("b", "noop", after="a")
+        .build()
+    )
+    assert verify_workflow(workflow) == []
+
+
+def test_b2b101_unreachable_step():
+    # a step with no incoming arcs counts as a start step, so true
+    # unreachability needs a dead edge as the only way in
+    workflow = (
+        WorkflowBuilder("unreachable")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="1 > 2")
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    assert "B2B101" in codes(diagnostics)
+    unreachable = [d for d in diagnostics if d.code == "B2B101"]
+    assert any("step:b" in d.location for d in unreachable)
+
+
+def test_b2b102_all_outgoing_transitions_dead():
+    workflow = (
+        WorkflowBuilder("stuck")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="False")
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    sinks = [d for d in diagnostics if d.code == "B2B102"]
+    assert len(sinks) == 1
+    assert "step:a" in sinks[0].location
+
+
+def test_b2b103_xor_fanout_without_otherwise():
+    workflow = (
+        WorkflowBuilder("fanout")
+        .variable("amount", 0)
+        .activity("decide", "noop")
+        .activity("high", "noop")
+        .activity("low", "noop")
+        .link("decide", "high", condition="amount > 100")
+        .link("decide", "low", condition="amount <= 100")
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    assert codes(diagnostics) == ["B2B103"]
+    assert "step:decide" in diagnostics[0].location
+
+
+def test_b2b103_suppressed_by_otherwise():
+    workflow = (
+        WorkflowBuilder("fanout-ok")
+        .variable("amount", 0)
+        .activity("decide", "noop")
+        .activity("high", "noop")
+        .activity("low", "noop")
+        .link("decide", "high", condition="amount > 100")
+        .link("decide", "low", otherwise=True)
+        .build()
+    )
+    assert verify_workflow(workflow) == []
+
+
+def test_b2b103_suppressed_by_always_true_sibling():
+    workflow = (
+        WorkflowBuilder("fanout-true")
+        .variable("amount", 0)
+        .activity("decide", "noop")
+        .activity("high", "noop")
+        .activity("low", "noop")
+        .link("decide", "high", condition="amount > 100")
+        .link("decide", "low", condition="1 == 1")
+        .build()
+    )
+    found = codes(verify_workflow(workflow))
+    assert "B2B103" not in found
+    assert "B2B105" in found  # the constant-True arc is still reported
+
+
+def test_b2b104_constant_false_condition():
+    workflow = (
+        WorkflowBuilder("deadarc")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .activity("c", "noop")
+        .link("a", "b", condition="2 < 1")
+        .link("a", "c")
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    dead = [d for d in diagnostics if d.code == "B2B104"]
+    assert len(dead) == 1
+    assert "transition[0]" in dead[0].location
+
+
+def test_b2b105_constant_true_condition():
+    workflow = (
+        WorkflowBuilder("truearc")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .activity("c", "noop")
+        .link("a", "b", condition="len('x') == 1")
+        .link("a", "c", otherwise=True)
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    shadows = [d for d in diagnostics if d.code == "B2B105"]
+    assert len(shadows) == 1
+    assert "shadows" in shadows[0].message
+
+
+def test_b2b201_undeclared_variable_in_condition():
+    workflow = (
+        WorkflowBuilder("undeclared")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="mystery > 5")
+        .link("a", "b", otherwise=True)
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    undeclared = [d for d in diagnostics if d.code == "B2B201"]
+    assert len(undeclared) == 1
+    assert "'mystery'" in undeclared[0].message
+
+
+def test_b2b201_step_outputs_declare_variables():
+    workflow = (
+        WorkflowBuilder("outputs")
+        .activity("a", "noop", outputs={"result": "value"})
+        .activity("b", "noop")
+        .link("a", "b", condition="result > 5")
+        .link("a", "b", otherwise=True)
+        .build()
+    )
+    assert verify_workflow(workflow) == []
+
+
+def test_b2b201_checks_step_inputs_and_loop_conditions():
+    workflow = (
+        WorkflowBuilder("inputs")
+        .activity("a", "noop", inputs={"x": "ghost + 1"})
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    assert codes(diagnostics) == ["B2B201"]
+    assert "input:x" in diagnostics[0].location
+
+    workflow = (
+        WorkflowBuilder("looped")
+        .activity("a", "noop")
+        .loop("more", body="child-flow", condition="pending > 0", after="a")
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    assert codes(diagnostics) == ["B2B201"]
+    assert "step:more/condition" in diagnostics[0].location
+
+
+def test_b2b202_unknown_document_path():
+    schemas = {"document": schema_for("purchase_order")}
+    workflow = (
+        WorkflowBuilder("docpath")
+        .variable("document")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="document.header.no_such_field == 'x'")
+        .link("a", "b", otherwise=True)
+        .build()
+    )
+    diagnostics = verify_workflow(workflow, schemas=schemas)
+    assert codes(diagnostics) == ["B2B202"]
+    assert "no_such_field" in diagnostics[0].message
+
+
+def test_b2b202_known_paths_and_amount_alias_pass():
+    schemas = {"document": schema_for("purchase_order")}
+    workflow = (
+        WorkflowBuilder("docpath-ok")
+        .variable("document")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="document.amount > 10000")
+        .link("a", "b", otherwise=True)
+        .build()
+    )
+    assert verify_workflow(workflow, schemas=schemas) == []
+
+
+def test_b2b202_derived_from_doc_types_metadata():
+    workflow = (
+        WorkflowBuilder("docpath-meta")
+        .variable("document")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="document.bogus.path == 1")
+        .link("a", "b", otherwise=True)
+        .meta(doc_types=["purchase_order"])
+        .build()
+    )
+    diagnostics = verify_workflow(workflow)
+    assert codes(diagnostics) == ["B2B202"]
+
+
+def test_location_prefix_is_applied():
+    workflow = (
+        WorkflowBuilder("prefixed")
+        .activity("a", "noop")
+        .activity("b", "noop")
+        .link("a", "b", condition="False")
+        .build()
+    )
+    diagnostics = verify_workflow(workflow, location_prefix="model:X/private:p")
+    assert all(d.location.startswith("model:X/private:p/") for d in diagnostics)

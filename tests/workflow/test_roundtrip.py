@@ -1,0 +1,180 @@
+"""to_dict / from_dict round trips for every step kind.
+
+A serialized type must rebuild into a semantically identical definition —
+type migration between engines (Figure 6) depends on it.
+"""
+
+import json
+
+from repro.workflow.definitions import (
+    ActivityStep,
+    LoopStep,
+    RemoteSubworkflowStep,
+    SubworkflowStep,
+    Transition,
+    WorkflowType,
+)
+
+
+def roundtrip(workflow: WorkflowType) -> WorkflowType:
+    # through JSON, not just dicts, to prove the payload is serializable
+    return WorkflowType.from_dict(json.loads(json.dumps(workflow.to_dict())))
+
+
+def assert_equivalent(original: WorkflowType, rebuilt: WorkflowType) -> None:
+    assert rebuilt.to_dict() == original.to_dict()
+    assert rebuilt.name == original.name
+    assert rebuilt.version == original.version
+    assert rebuilt.owner == original.owner
+    assert set(rebuilt.steps) == set(original.steps)
+    assert rebuilt.variables == original.variables
+    assert rebuilt.metadata == original.metadata
+
+
+def test_activity_step_round_trip():
+    workflow = WorkflowType(
+        "activities",
+        [
+            ActivityStep(
+                "a",
+                label="first",
+                join="XOR",
+                tags=("transformation", "edi"),
+                activity="extract",
+                inputs={"x": "amount + 1"},
+                outputs={"result": "value"},
+                params={"retries": 3, "codes": [1, 2]},
+            ),
+            ActivityStep("b", activity="store"),
+        ],
+        [Transition("a", "b", condition="result > 0"),
+         Transition("a", "b", otherwise=True)],
+        variables={"amount": 10},
+        version="7",
+        owner="ACME",
+        metadata={"private": True, "doc_types": ["purchase_order"]},
+    )
+    rebuilt = roundtrip(workflow)
+    assert_equivalent(workflow, rebuilt)
+    step = rebuilt.steps["a"]
+    assert isinstance(step, ActivityStep)
+    assert step.tags == ("transformation", "edi")
+    assert step.params == {"retries": 3, "codes": [1, 2]}
+
+
+def test_subworkflow_step_round_trip():
+    workflow = WorkflowType(
+        "subflows",
+        [
+            SubworkflowStep(
+                "call",
+                subworkflow="child",
+                version="2",
+                inputs={"doc": "document"},
+                outputs={"verdict": "approved"},
+            ),
+        ],
+        [],
+        variables={"document": None},
+    )
+    rebuilt = roundtrip(workflow)
+    assert_equivalent(workflow, rebuilt)
+    step = rebuilt.steps["call"]
+    assert isinstance(step, SubworkflowStep)
+    assert step.subworkflow == "child"
+    assert step.version == "2"
+
+
+def test_remote_subworkflow_step_round_trip():
+    workflow = WorkflowType(
+        "remote",
+        [
+            RemoteSubworkflowStep(
+                "offload",
+                subworkflow="partner-flow",
+                engine="partner-engine",
+                inputs={"po": "document"},
+                outputs={"ack": "ack_document"},
+            ),
+        ],
+        [],
+        variables={"document": None},
+    )
+    rebuilt = roundtrip(workflow)
+    assert_equivalent(workflow, rebuilt)
+    step = rebuilt.steps["offload"]
+    assert isinstance(step, RemoteSubworkflowStep)
+    assert step.engine == "partner-engine"
+
+
+def test_loop_step_round_trip():
+    workflow = WorkflowType(
+        "loops",
+        [
+            ActivityStep("init", activity="noop", outputs={"pending": "count"}),
+            LoopStep(
+                "drain",
+                body="process-one",
+                condition="pending > 0",
+                mode="until",
+                max_iterations=25,
+                inputs={"item": "pending"},
+            ),
+        ],
+        [Transition("init", "drain")],
+    )
+    rebuilt = roundtrip(workflow)
+    assert_equivalent(workflow, rebuilt)
+    step = rebuilt.steps["drain"]
+    assert isinstance(step, LoopStep)
+    assert step.mode == "until"
+    assert step.max_iterations == 25
+    assert step.condition == "pending > 0"
+
+
+def test_mixed_kind_workflow_round_trip_preserves_transitions():
+    workflow = WorkflowType(
+        "mixed",
+        [
+            ActivityStep("a", activity="noop", outputs={"n": "n"}),
+            SubworkflowStep("s", subworkflow="child"),
+            RemoteSubworkflowStep("r", subworkflow="child", engine="there"),
+            LoopStep("l", body="child", condition="n > 0"),
+        ],
+        [
+            Transition("a", "s", condition="n > 10"),
+            Transition("a", "r", otherwise=True),
+            Transition("s", "l"),
+            Transition("r", "l"),
+        ],
+    )
+    rebuilt = roundtrip(workflow)
+    assert_equivalent(workflow, rebuilt)
+    kinds = {step_id: step.kind for step_id, step in rebuilt.steps.items()}
+    assert kinds == {
+        "a": "activity",
+        "s": "subworkflow",
+        "r": "remote_subworkflow",
+        "l": "loop",
+    }
+    rebuilt_arcs = [
+        (arc.source, arc.target, arc.condition, arc.otherwise)
+        for arc in rebuilt.transitions
+    ]
+    original_arcs = [
+        (arc.source, arc.target, arc.condition, arc.otherwise)
+        for arc in workflow.transitions
+    ]
+    assert rebuilt_arcs == original_arcs
+
+
+def test_double_round_trip_is_stable():
+    workflow = WorkflowType(
+        "stable",
+        [ActivityStep("a", activity="noop")],
+        [],
+        metadata={"doc_types": ["purchase_order", "po_ack"]},
+    )
+    once = roundtrip(workflow)
+    twice = roundtrip(once)
+    assert twice.to_dict() == once.to_dict() == workflow.to_dict()
