@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Standalone benchmark driver (see ``repro.analysis.bench``).
+
+Runs the tracked hot-path benchmarks, prints a table, and optionally writes
+machine-readable JSON and gates against a committed baseline:
+
+    PYTHONPATH=src python benchmarks/run_bench.py --json BENCH_PR3.json
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --check benchmarks/bench_baseline.json
+
+The same driver backs the ``repro bench`` CLI subcommand.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -374,21 +374,32 @@ _EXTENDED: dict[str, Callable[[], B2BProtocol]] = {
 }
 
 
+# Descriptors are frozen and their process factories build fresh definitions
+# per call, so the built descriptors can be shared.  The naive baselines call
+# get_protocol() from per-message activities (decode/encode steps), which made
+# descriptor construction a hot-path cost worth caching.
+_BUILT: dict[str, B2BProtocol] = {}
+
+
 def standard_protocols() -> dict[str, B2BProtocol]:
-    """Build the paper's three standard protocol descriptors."""
-    return {name: factory() for name, factory in _STANDARD.items()}
+    """The paper's three standard protocol descriptors."""
+    return {name: get_protocol(name) for name in _STANDARD}
 
 
 def extended_protocols() -> dict[str, B2BProtocol]:
     """All protocols including the receipt-acknowledged RosettaNet variant."""
-    return {name: factory() for name, factory in _EXTENDED.items()}
+    return {name: get_protocol(name) for name in _EXTENDED}
 
 
 def get_protocol(name: str) -> B2BProtocol:
-    """Build one protocol descriptor by name."""
-    try:
-        return _EXTENDED[name]()
-    except KeyError:
-        raise ProtocolError(
-            f"unknown B2B protocol {name!r}; known: {sorted(_EXTENDED)}"
-        ) from None
+    """Look up one protocol descriptor by name (built once, shared)."""
+    protocol = _BUILT.get(name)
+    if protocol is None:
+        try:
+            factory = _EXTENDED[name]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown B2B protocol {name!r}; known: {sorted(_EXTENDED)}"
+            ) from None
+        protocol = _BUILT[name] = factory()
+    return protocol

@@ -8,6 +8,7 @@
     python -m repro changes         # the Section 4.5 change-impact table
     python -m repro patterns        # Section 1's four exchange patterns
     python -m repro lint            # statically verify all example models
+    python -m repro bench           # time the per-message hot paths
 
 Installed as the ``repro-b2b`` console script.
 """
@@ -232,6 +233,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failing else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import bench
+
+    return bench.run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -293,6 +300,14 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnostic families)",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark the per-message hot paths"
+    )
+    from repro.analysis.bench import add_arguments as _bench_arguments
+
+    _bench_arguments(bench)
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

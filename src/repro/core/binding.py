@@ -17,6 +17,14 @@ private process does not supply) — the compensation mechanisms Section
 The same class binds private processes to back-end applications
 (``application`` set instead of ``public_process``): Figure 14's right-hand
 bindings with "Transform to SAP PO" / "Transform to normalized POA".
+
+Bindings sit on the per-message hot path, so chain execution is **planned**:
+the first message through a chain resolves the transformation route (format
+lookups, mapping sequence) once, compiles the mappings, and caches the plan
+keyed on :meth:`Binding.fingerprint` and the registry version.  Later
+messages replay the plan; editing the chain or registering a new mapping
+invalidates it.  The unplanned interpreter (``_run_chain``) is kept as the
+behavioural reference and cross-checked in tests.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Any, Callable, Mapping
 
 from repro.documents.model import Document
 from repro.errors import BindingError
+from repro.transform.mapping import CompiledMapping
 from repro.transform.transformer import TransformationRegistry
 
 __all__ = [
@@ -79,6 +88,38 @@ class BindingStep:
         return f"{self.step_id}|{self.kind}|{self.target_format}|{producer_name}"
 
 
+class _ChainPlan:
+    """A cached execution plan for one binding chain.
+
+    ``routes`` memoizes, per (step index, incoming format, doc type), the
+    compiled mapping sequence that transform step applies.  Route entries
+    are filled lazily because a ``produce`` step makes the mid-chain
+    document format a runtime property.
+    """
+
+    __slots__ = ("steps", "snapshot", "registry_id", "registry_version", "routes")
+
+    def __init__(
+        self,
+        steps: tuple["BindingStep", ...],
+        registry: TransformationRegistry,
+    ):
+        self.steps = steps
+        self.snapshot = steps
+        self.registry_id = id(registry)
+        self.registry_version = registry.version
+        self.routes: dict[tuple[int, str, str], tuple[CompiledMapping, ...]] = {}
+
+    def valid_for(
+        self, chain: tuple["BindingStep", ...], registry: TransformationRegistry
+    ) -> bool:
+        return (
+            self.registry_id == id(registry)
+            and self.registry_version == registry.version
+            and self.snapshot == chain
+        )
+
+
 class Binding:
     """A binding between a public process (or application) and a private
     process.
@@ -115,6 +156,11 @@ class Binding:
         self.outbound = list(outbound or [])
         self.inbound_runs = 0
         self.outbound_runs = 0
+        # direction -> active plan; (direction, fingerprint, registry id,
+        # registry version) -> built plan, so a structure flipped back to a
+        # previously-seen shape reuses its resolved routes.
+        self._active_plans: dict[str, _ChainPlan] = {}
+        self._plan_cache: dict[tuple[str, str, int, int], _ChainPlan] = {}
 
     # -- execution -----------------------------------------------------------
 
@@ -126,7 +172,7 @@ class Binding:
     ) -> Document | None:
         """Run the inbound chain; ``None`` means the document was consumed."""
         self.inbound_runs += 1
-        return self._run_chain(self.inbound, document, registry, context or {})
+        return self._run_planned("in", self.inbound, document, registry, context or {})
 
     def apply_outbound(
         self,
@@ -136,7 +182,70 @@ class Binding:
     ) -> Document | None:
         """Run the outbound chain; ``None`` means the document was consumed."""
         self.outbound_runs += 1
-        return self._run_chain(self.outbound, document, registry, context or {})
+        return self._run_planned("out", self.outbound, document, registry, context or {})
+
+    # -- planned execution (hot path) ------------------------------------------
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached execution plan (model-change hook)."""
+        self._active_plans.clear()
+        self._plan_cache.clear()
+
+    def _plan(
+        self,
+        direction: str,
+        chain: list[BindingStep],
+        registry: TransformationRegistry,
+    ) -> _ChainPlan:
+        snapshot = tuple(chain)
+        plan = self._active_plans.get(direction)
+        if plan is not None and plan.valid_for(snapshot, registry):
+            return plan
+        key = (direction, self.fingerprint(), id(registry), registry.version)
+        plan = self._plan_cache.get(key)
+        if plan is None or not plan.valid_for(snapshot, registry):
+            plan = _ChainPlan(snapshot, registry)
+            self._plan_cache[key] = plan
+        self._active_plans[direction] = plan
+        return plan
+
+    def _run_planned(
+        self,
+        direction: str,
+        chain: list[BindingStep],
+        document: Document | None,
+        registry: TransformationRegistry,
+        context: Mapping[str, Any],
+    ) -> Document | None:
+        plan = self._plan(direction, chain, registry)
+        routes = plan.routes
+        stats = registry.stats
+        for index, step in enumerate(plan.steps):
+            if step.kind == KIND_CONSUME:
+                return None
+            if step.kind == KIND_PRODUCE:
+                assert step.producer is not None
+                document = step.producer(context)
+                continue
+            if document is None:
+                raise BindingError(
+                    f"binding {self.name!r}: step {step.step_id!r} has no "
+                    "document to transform (consumed earlier in the chain?)"
+                )
+            route_key = (index, document.format_name, document.doc_type)
+            mappings = routes.get(route_key)
+            if mappings is None:
+                mappings = tuple(
+                    mapping.compile()
+                    for mapping in registry.route(
+                        document.format_name, step.target_format, document.doc_type
+                    )
+                )
+                routes[route_key] = mappings
+            for compiled in mappings:
+                document = compiled.apply(document, context)
+                stats[compiled.name] += 1
+        return document
 
     def _run_chain(
         self,

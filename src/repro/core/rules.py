@@ -59,6 +59,7 @@ class BusinessRule:
     expression: str = ""
     body: RuleBody | None = None
     _compiled: Expression | None = field(default=None, repr=False, compare=False)
+    _program: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -68,7 +69,10 @@ class BusinessRule:
                 f"rule {self.name!r}: exactly one of expression or body required"
             )
         if self.expression:
-            self._compiled = Expression(self.expression)
+            self._compiled = Expression.shared(self.expression)
+            # Rules are evaluated once per routed message; the closure tree
+            # built by Expression.compile() is the hot evaluation path.
+            self._program = self._compiled.compile()
 
     def applies(self, source: str, target: str) -> bool:
         """True when this rule covers the (source, target) pair."""
@@ -81,8 +85,8 @@ class BusinessRule:
                 return self.body(source, target, document)
             except Exception as exc:
                 raise RuleError(f"rule {self.name!r} body failed: {exc!r}") from exc
-        assert self._compiled is not None
-        return self._compiled.evaluate(
+        assert self._program is not None
+        return self._program(
             {"source": source, "target": target, "document": document}
         )
 

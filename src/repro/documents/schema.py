@@ -12,10 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.documents.model import Document
+from repro.documents.model import Document, DocumentPath
 from repro.errors import SchemaError, ValidationError
 
 __all__ = ["FieldSpec", "DocumentSchema"]
+
+_ABSENT = object()
 
 _TYPE_NAMES: dict[str, type | tuple[type, ...]] = {
     "str": str,
@@ -61,12 +63,14 @@ class FieldSpec:
             raise SchemaError(
                 f"field {self.path!r}: items= requires type 'list'"
             )
+        # Schema validation runs on every document at every trust boundary;
+        # compile the path once instead of re-parsing it per validation.
+        object.__setattr__(self, "_compiled_path", DocumentPath(self.path))
 
     def violations_for(self, document: Document) -> list[str]:
         """Return the list of violations of this spec in ``document``."""
-        marker = object()
-        value = document.get(self.path, default=marker)
-        if value is marker:
+        value = document.get(self._compiled_path, default=_ABSENT)
+        if value is _ABSENT:
             if self.required:
                 return [f"{self.path}: required field is missing"]
             return []

@@ -1296,7 +1296,12 @@ def standard_mappings() -> list[Mapping]:
 
 
 def build_standard_registry() -> TransformationRegistry:
-    """Return a registry loaded with the full standard catalog."""
+    """Return a registry loaded with the full standard catalog.
+
+    All mappings are pre-compiled so the first message through a fresh
+    enterprise pays no path-lowering cost.
+    """
     registry = TransformationRegistry()
     registry.register_all(standard_mappings())
+    registry.precompile()
     return registry

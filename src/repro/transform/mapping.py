@@ -16,6 +16,16 @@ The *context* is a plain dict the caller (a binding, at runtime) supplies
 for environmental values a pure field copy cannot know: control numbers,
 logical timestamps, sender/receiver ids.  Rules never mutate the source
 document.
+
+Two application paths exist and must stay byte-identical (property-tested
+against the whole catalog):
+
+* ``Mapping.apply`` — the reference interpreter; every rule re-splits its
+  path strings on every document;
+* ``Mapping.compile()`` — lowers the rule list once into
+  :class:`CompiledMapping`, whose rules hold pre-resolved
+  :class:`~repro.documents.model.DocumentPath` accessors.  This is the
+  per-message hot path the transformation registry uses.
 """
 
 from __future__ import annotations
@@ -23,11 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable, Mapping as TypingMapping, Sequence
 
-from repro.documents.model import Document
+from repro.documents.model import Document, DocumentPath
 from repro.documents.schema import DocumentSchema
 from repro.errors import MappingError, TransformError
 
-__all__ = ["Field", "Const", "Compute", "Each", "Mapping", "MISSING"]
+__all__ = ["Field", "Const", "Compute", "Each", "Mapping", "CompiledMapping", "MISSING"]
 
 
 class _Missing:
@@ -164,6 +174,153 @@ class Each:
 
 Rule = Field | Const | Compute | Each
 
+# Sentinel for "source path absent" in compiled Field rules; private to this
+# module so no document value can collide with it.
+_ABSENT = object()
+
+RuleRunner = Callable[[Document, Document, Context], None]
+
+
+def _lower_rule(rule: Rule) -> RuleRunner:
+    """Lower one rule into a closure over pre-compiled document paths.
+
+    The closures replicate the interpreted ``apply`` methods exactly —
+    same checks, same error messages — minus the per-document path
+    re-parsing.
+    """
+    if isinstance(rule, Field):
+        source_path = DocumentPath(rule.source)
+        target_path = DocumentPath(rule.target)
+        source_text, target_text = rule.source, rule.target
+        convert, default, required = rule.convert, rule.default, rule.required
+
+        def run_field(source_doc: Document, target_doc: Document, context: Context) -> None:
+            value = source_doc.get(source_path, default=_ABSENT)
+            if value is _ABSENT:
+                if default is not MISSING:
+                    target_doc.set(target_path, default)
+                    return
+                if required:
+                    raise MappingError(
+                        f"source path {source_text!r} missing "
+                        f"(mapping to {target_text!r})"
+                    )
+                return
+            if convert is not None:
+                try:
+                    value = convert(value)
+                except TransformError:
+                    raise
+                except Exception as exc:
+                    raise MappingError(
+                        f"converter failed on {source_text!r} -> {target_text!r}: {exc!r}"
+                    ) from exc
+            target_doc.set(target_path, value)
+
+        return run_field
+    if isinstance(rule, Const):
+        const_path = DocumentPath(rule.target)
+        const_value = rule.value
+
+        def run_const(source_doc: Document, target_doc: Document, context: Context) -> None:
+            target_doc.set(const_path, const_value)
+
+        return run_const
+    if isinstance(rule, Compute):
+        compute_path = DocumentPath(rule.target)
+        compute_target, fn, label = rule.target, rule.fn, rule.label
+
+        def run_compute(source_doc: Document, target_doc: Document, context: Context) -> None:
+            try:
+                value = fn(source_doc, context)
+            except TransformError:
+                raise
+            except Exception as exc:
+                name = label or getattr(fn, "__name__", "<fn>")
+                raise MappingError(
+                    f"compute {name!r} for target {compute_target!r} failed: {exc!r}"
+                ) from exc
+            target_doc.set(compute_path, value)
+
+        return run_compute
+    if isinstance(rule, Each):
+        each_source_path = DocumentPath(rule.source)
+        each_target_path = DocumentPath(rule.target)
+        each_source, min_items = rule.source, rule.min_items
+        item_rules = tuple(_lower_rule(nested) for nested in rule.rules)
+
+        def run_each(source_doc: Document, target_doc: Document, context: Context) -> None:
+            items = source_doc.get(each_source_path, default=MISSING)
+            if items is MISSING or not isinstance(items, list):
+                raise MappingError(f"source path {each_source!r} is not a list")
+            if len(items) < min_items:
+                raise MappingError(
+                    f"source list {each_source!r} has {len(items)} item(s), "
+                    f"mapping requires at least {min_items}"
+                )
+            built: list[Any] = []
+            for index, item in enumerate(items):
+                if not isinstance(item, dict):
+                    raise MappingError(
+                        f"{each_source}[{index}] is {type(item).__name__}, expected dict"
+                    )
+                item_source = Document(source_doc.format_name, "item", item)
+                item_target = Document(target_doc.format_name, "item", {})
+                item_context = {**context, "_index": index, "_ordinal": index + 1}
+                for nested in item_rules:
+                    nested(item_source, item_target, item_context)
+                built.append(item_target.data)
+            target_doc.set(each_target_path, built)
+
+        return run_each
+    raise MappingError(f"cannot compile rule of type {type(rule).__name__}")
+
+
+class CompiledMapping:
+    """A :class:`Mapping` lowered to pre-resolved path accessors.
+
+    Built once by :meth:`Mapping.compile`; ``apply`` has the same contract
+    (and raises the same errors) as the interpreted ``Mapping.apply``, but
+    no rule re-parses a path string per document.
+    """
+
+    __slots__ = ("mapping", "name", "_rules")
+
+    def __init__(self, mapping: "Mapping"):
+        self.mapping = mapping
+        self.name = mapping.name
+        self._rules: tuple[RuleRunner, ...] = tuple(
+            _lower_rule(rule) for rule in mapping.rules
+        )
+
+    def apply(self, document: Document, context: Context | None = None) -> Document:
+        """Transform ``document`` exactly as the interpreted path would."""
+        mapping = self.mapping
+        context = context or {}
+        if document.format_name != mapping.source_format:
+            raise TransformError(
+                f"mapping {mapping.name!r} expects format {mapping.source_format!r}, "
+                f"got {document.format_name!r}"
+            )
+        if document.doc_type != mapping.doc_type:
+            raise TransformError(
+                f"mapping {mapping.name!r} expects doc_type {mapping.doc_type!r}, "
+                f"got {document.doc_type!r}"
+            )
+        if mapping.source_schema is not None:
+            mapping.source_schema.validate(document)
+        target = Document(mapping.target_format, mapping.doc_type, {})
+        for rule in self._rules:
+            rule(document, target, context)
+        if mapping.post is not None:
+            mapping.post(document, target, context)
+        if mapping.target_schema is not None:
+            mapping.target_schema.validate(target)
+        return target
+
+    def __repr__(self) -> str:
+        return f"CompiledMapping({self.name!r}, {len(self._rules)} rules)"
+
 
 @dataclass
 class Mapping:
@@ -188,11 +345,30 @@ class Mapping:
     source_schema: DocumentSchema | None = None
     target_schema: DocumentSchema | None = None
     post: Callable[[Document, Document, Context], None] | None = None
+    _compiled: CompiledMapping | None = dataclass_field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _compiled_rules: tuple[int, ...] = dataclass_field(
+        default=(), init=False, repr=False, compare=False
+    )
 
     _SCALAR_TYPES = frozenset({"str", "int", "float", "number", "bool"})
 
     def __post_init__(self) -> None:
         self._validate_targets()
+
+    def compile(self) -> CompiledMapping:
+        """Return the compiled form of this mapping (built once, cached).
+
+        The cache is invalidated when the rule list is edited (rules are
+        frozen, so edits replace rule objects — the identity snapshot
+        detects that), keeping long-lived registries safe to reconfigure.
+        """
+        signature = tuple(map(id, self.rules))
+        if self._compiled is None or self._compiled_rules != signature:
+            self._compiled = CompiledMapping(self)
+            self._compiled_rules = signature
+        return self._compiled
 
     def _validate_targets(self) -> None:
         """Reject rules whose target paths contradict ``target_schema``.

@@ -36,6 +36,10 @@ class TransformationRegistry:
         self.hub_format = hub_format
         self._mappings: dict[tuple[str, str, str], Mapping] = {}
         self.stats: Counter[str] = Counter()
+        #: bumped on every registration; binding plan caches key on it so a
+        #: reconfigured registry invalidates every cached execution plan.
+        self.version = 0
+        self._route_cache: dict[tuple[str, str, str], tuple[Mapping, ...]] = {}
 
     # -- registration --------------------------------------------------------
 
@@ -48,6 +52,8 @@ class TransformationRegistry:
                 f"({self._mappings[key].name!r})"
             )
         self._mappings[key] = mapping
+        self.version += 1
+        self._route_cache.clear()
         return mapping
 
     def register_all(self, mappings: Iterable[Mapping]) -> None:
@@ -65,8 +71,20 @@ class TransformationRegistry:
         """Return the mapping chain from source to target (1 or 2 hops).
 
         Raises :class:`NoRouteError` when neither a direct mapping nor a
-        hub route exists.
+        hub route exists.  Successful resolutions are cached until the next
+        registration.
         """
+        key = (source_format, target_format, doc_type)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        chain = self._resolve_route(source_format, target_format, doc_type)
+        self._route_cache[key] = tuple(chain)
+        return chain
+
+    def _resolve_route(
+        self, source_format: str, target_format: str, doc_type: str
+    ) -> list[Mapping]:
         if source_format == target_format:
             return []
         direct = self.find(source_format, target_format, doc_type)
@@ -110,9 +128,19 @@ class TransformationRegistry:
         """
         chain = self.route(document.format_name, target_format, document.doc_type)
         for mapping in chain:
-            document = mapping.apply(document, context)
+            document = mapping.compile().apply(document, context)
             self.stats[mapping.name] += 1
         return document
+
+    def precompile(self) -> int:
+        """Compile every registered mapping eagerly; returns the count.
+
+        Catalog construction calls this so the first message through a
+        fresh registry pays no lowering cost.
+        """
+        for mapping in self._mappings.values():
+            mapping.compile()
+        return len(self._mappings)
 
     def applications(self) -> int:
         """Total number of mapping applications performed so far."""

@@ -87,7 +87,7 @@ class ActivityStep(_BaseStep):
         if not self.activity:
             raise DefinitionError(f"step {self.step_id!r}: activity name missing")
         for expression_text in self.inputs.values():
-            Expression(expression_text)
+            Expression.shared(expression_text)
 
 
 @dataclass
@@ -114,7 +114,7 @@ class SubworkflowStep(_BaseStep):
         if not self.subworkflow:
             raise DefinitionError(f"step {self.step_id!r}: subworkflow name missing")
         for expression_text in self.inputs.values():
-            Expression(expression_text)
+            Expression.shared(expression_text)
 
 
 @dataclass
@@ -141,7 +141,7 @@ class RemoteSubworkflowStep(_BaseStep):
         if not self.engine:
             raise DefinitionError(f"step {self.step_id!r}: remote engine missing")
         for expression_text in self.inputs.values():
-            Expression(expression_text)
+            Expression.shared(expression_text)
 
 
 @dataclass
@@ -176,9 +176,9 @@ class LoopStep(_BaseStep):
             raise DefinitionError(
                 f"step {self.step_id!r}: max_iterations must be >= 1"
             )
-        Expression(self.condition)
+        Expression.shared(self.condition)
         for expression_text in self.inputs.values():
-            Expression(expression_text)
+            Expression.shared(expression_text)
 
 
 Step = ActivityStep | SubworkflowStep | RemoteSubworkflowStep | LoopStep
@@ -212,7 +212,7 @@ class Transition:
                 "otherwise are mutually exclusive"
             )
         if self.condition is not None:
-            Expression(self.condition)
+            Expression.shared(self.condition)
 
 
 class WorkflowType:

@@ -593,7 +593,7 @@ class WorkflowEngine:
         instance.status = refreshed.status
 
     def _loop_condition(self, instance: WorkflowInstance, step: LoopStep) -> bool:
-        return self._expression(step.condition).evaluate_bool(instance.variables)
+        return bool(self._condition(step.condition)(instance.variables))
 
     # -- child completion -----------------------------------------------------------
 
@@ -729,7 +729,7 @@ class WorkflowEngine:
             if arc.condition is None and not arc.otherwise:
                 values.append((arc, True))
             elif arc.condition is not None:
-                truth = self._expression(arc.condition).evaluate_bool(instance.variables)
+                truth = bool(self._condition(arc.condition)(instance.variables))
                 any_condition_true = any_condition_true or truth
                 values.append((arc, truth))
         for arc in arcs:
@@ -765,6 +765,17 @@ class WorkflowEngine:
     def _expression(self, text: str) -> Expression:
         expression = self._expression_cache.get(text)
         if expression is None:
-            expression = Expression(text)
+            # Expression.shared: definitions already validated (and parsed)
+            # the same text at deployment, so reuse that instance.
+            expression = Expression.shared(text)
             self._expression_cache[text] = expression
         return expression
+
+    def _condition(self, text: str):
+        """The compiled ``variables -> value`` callable for a condition.
+
+        Conditions are evaluated once per transition per advanced step —
+        the engine's hottest expression site — so they run through
+        :meth:`Expression.compile`'s closure tree, cached per text.
+        """
+        return self._expression(text).compile()

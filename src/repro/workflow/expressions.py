@@ -6,24 +6,43 @@ restricted Python-expression subset, compiled once per workflow type and
 evaluated against the instance's variables.
 
 Supported grammar: literals, variable names, dotted attribute access into
-dicts and :class:`~repro.documents.model.Document` values, constant
-subscripts, arithmetic (``+ - * / % //``), comparisons (including chained),
-``and/or/not``, membership tests, and the ``len``/``min``/``max``/``abs``/
-``round`` builtins.  Everything else — calls, lambdas, comprehensions,
-attribute access on arbitrary objects — is rejected at **compile** time, so
-a workflow type containing a malicious or malformed condition fails at
-deployment, not mid-instance.
+dicts and :class:`~repro.documents.model.Document` values, subscripts
+(constant int/str keys or any supported sub-expression, e.g. ``items[i]``;
+slices are rejected), arithmetic (``+ - * / % //``), comparisons (including
+chained), ``and/or/not``, membership tests, and the ``len``/``min``/``max``/
+``abs``/``round`` builtins.  Everything else — calls, lambdas,
+comprehensions, attribute access on arbitrary objects — is rejected at
+**compile** time, so a workflow type containing a malicious or malformed
+condition fails at deployment, not mid-instance.
+
+Two evaluation paths exist and must stay behaviourally identical (the
+equivalence is property-tested):
+
+* :meth:`Expression.evaluate` — the reference interpreter, re-dispatching
+  on AST node types per evaluation;
+* :meth:`Expression.compile` — lowers the validated AST once into a closure
+  tree (one Python callable per node) and returns a ``variables -> value``
+  callable.  This is the per-message hot path the workflow engine and rule
+  engine use.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
-from repro.documents.model import Document
-from repro.errors import ExpressionError
+from repro.documents.model import Document, DocumentPath
+from repro.errors import DocumentPathError, ExpressionError
 
 __all__ = ["Expression"]
+
+_MARKER = object()
+
+# Precompiled fallback paths for the paper's ``PO.amount`` convention.
+_AMOUNT_PATHS = (
+    DocumentPath("summary.total_amount"),
+    DocumentPath("summary.accepted_amount"),
+)
 
 _ALLOWED_FUNCTIONS: dict[str, Any] = {
     "len": len,
@@ -56,6 +75,12 @@ _COMPARE_OPS = {
 }
 
 
+# Cache behind Expression.shared(); cleared wholesale at the limit rather
+# than LRU-evicted — model builds re-prime it in one pass.
+_SHARED: dict[str, "Expression"] = {}
+_SHARED_LIMIT = 4096
+
+
 class Expression:
     """A compiled, reusable expression.
 
@@ -63,7 +88,7 @@ class Expression:
     True
     """
 
-    __slots__ = ("text", "_tree")
+    __slots__ = ("text", "_tree", "_compiled")
 
     def __init__(self, text: str):
         if not isinstance(text, str) or not text.strip():
@@ -80,6 +105,23 @@ class Expression:
             ) from None
         self._check(tree.body)
         self._tree = tree.body
+        self._compiled: Callable[[Mapping[str, Any]], Any] | None = None
+
+    @classmethod
+    def shared(cls, text: str) -> "Expression":
+        """A process-wide shared instance for ``text`` (bounded cache).
+
+        Expressions are immutable after construction, so callers that
+        repeatedly build the same source — definition validation on every
+        model build, rule engines, generated naive topologies — can share
+        one parsed/compiled instance instead of re-parsing.
+        """
+        expression = _SHARED.get(text)
+        if expression is None:
+            if len(_SHARED) >= _SHARED_LIMIT:
+                _SHARED.clear()  # generated sweeps can produce unbounded text
+            expression = _SHARED[text] = cls(text)
+        return expression
 
     # -- compile-time whitelist ------------------------------------------------
 
@@ -98,13 +140,21 @@ class Expression:
             return
         if isinstance(node, ast.Subscript):
             self._check(node.value)
-            if not isinstance(node.slice, ast.Constant) or not isinstance(
-                node.slice.value, (int, str)
-            ):
+            if isinstance(node.slice, ast.Slice):
                 raise ExpressionError(
-                    f"{self.text!r}: only constant int/str subscripts allowed",
+                    f"{self.text!r}: slice subscripts are not allowed",
                     expression=self.text,
                 )
+            if isinstance(node.slice, ast.Constant):
+                if not isinstance(node.slice.value, (int, str)):
+                    raise ExpressionError(
+                        f"{self.text!r}: only int/str constant subscripts allowed",
+                        expression=self.text,
+                    )
+                return
+            # Non-constant subscripts (``items[i]``, ``row[col]``) are any
+            # supported sub-expression, evaluated at runtime.
+            self._check(node.slice)
             return
         if isinstance(node, ast.UnaryOp):
             if not isinstance(node.op, (ast.Not, ast.USub, ast.UAdd)):
@@ -176,6 +226,200 @@ class Expression:
         """Evaluate as a condition (result coerced with ``bool``)."""
         return bool(self.evaluate(variables))
 
+    # -- compiled evaluation -------------------------------------------------------
+
+    def compile(self) -> Callable[[Mapping[str, Any]], Any]:
+        """Lower the AST into a closure tree and return ``variables -> value``.
+
+        The closure tree is built once (per :class:`Expression`) and cached;
+        evaluating it performs no AST dispatch, only direct Python calls.
+        The compiled callable raises exactly the :class:`ExpressionError`\\ s
+        the interpreted :meth:`evaluate` path raises — the two paths are
+        interchangeable and property-tested as such.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            program = self._lower(self._tree)
+            text = self.text
+
+            def run(variables: Mapping[str, Any]) -> Any:
+                try:
+                    return program(variables)
+                except ExpressionError:
+                    raise
+                except Exception as exc:
+                    raise ExpressionError(
+                        f"evaluating {text!r}: {exc!r}", expression=text
+                    ) from exc
+
+            self._compiled = compiled = run
+        return compiled
+
+    def _lower(self, node: ast.AST) -> Callable[[Mapping[str, Any]], Any]:
+        """Build the closure for one AST node (called once per node)."""
+        text = self.text
+        if isinstance(node, ast.Constant):
+            value = node.value
+            return lambda variables: value
+        if isinstance(node, ast.Name):
+            name = node.id
+
+            def load_name(variables: Mapping[str, Any]) -> Any:
+                try:
+                    return variables[name]
+                except KeyError:
+                    raise ExpressionError(
+                        f"{text!r}: unknown variable {name!r}", expression=text
+                    ) from None
+
+            return load_name
+        if isinstance(node, ast.Attribute):
+            inner = self._lower(node.value)
+            accessor = self._make_accessor(node.attr)
+            return lambda variables: accessor(inner(variables))
+        if isinstance(node, ast.Subscript):
+            inner = self._lower(node.value)
+            if isinstance(node.slice, ast.Constant):
+                accessor = self._make_accessor(node.slice.value)
+                return lambda variables: accessor(inner(variables))
+            access = self._access
+            key_fn = self._lower(node.slice)
+            return lambda variables: access(inner(variables), key_fn(variables))
+        if isinstance(node, ast.UnaryOp):
+            operand = self._lower(node.operand)
+            if isinstance(node.op, ast.Not):
+                return lambda variables: not operand(variables)
+            if isinstance(node.op, ast.USub):
+                return lambda variables: -operand(variables)
+            return lambda variables: +operand(variables)
+        if isinstance(node, ast.BinOp):
+            operator = _BIN_OPS[type(node.op)]
+            if isinstance(node.right, ast.Constant):
+                left = self._lower(node.left)
+                right_value = node.right.value
+                return lambda variables: operator(left(variables), right_value)
+            if isinstance(node.left, ast.Constant):
+                left_value = node.left.value
+                right = self._lower(node.right)
+                return lambda variables: operator(left_value, right(variables))
+            left = self._lower(node.left)
+            right = self._lower(node.right)
+            return lambda variables: operator(left(variables), right(variables))
+        if isinstance(node, ast.BoolOp):
+            parts = tuple(self._lower(value) for value in node.values)
+            if isinstance(node.op, ast.And):
+
+                def all_of(variables: Mapping[str, Any]) -> Any:
+                    result: Any = True
+                    for part in parts:
+                        result = part(variables)
+                        if not result:
+                            return result
+                    return result
+
+                return all_of
+
+            def any_of(variables: Mapping[str, Any]) -> Any:
+                result: Any = False
+                for part in parts:
+                    result = part(variables)
+                    if result:
+                        return result
+                return result
+
+            return any_of
+        if isinstance(node, ast.Compare):
+            first = self._lower(node.left)
+            pairs = tuple(
+                (_COMPARE_OPS[type(op)], self._lower(comparator))
+                for op, comparator in zip(node.ops, node.comparators)
+            )
+            if len(pairs) == 1:
+                operator, second = pairs[0]
+                if isinstance(node.comparators[0], ast.Constant):
+                    constant = node.comparators[0].value
+                    return lambda variables: bool(operator(first(variables), constant))
+                return lambda variables: bool(
+                    operator(first(variables), second(variables))
+                )
+
+            def chain(variables: Mapping[str, Any]) -> bool:
+                left_value = first(variables)
+                for operator, comparator in pairs:
+                    right_value = comparator(variables)
+                    if not operator(left_value, right_value):
+                        return False
+                    left_value = right_value
+                return True
+
+            return chain
+        if isinstance(node, ast.Call):
+            function = _ALLOWED_FUNCTIONS[node.func.id]  # type: ignore[attr-defined]
+            arguments = tuple(self._lower(argument) for argument in node.args)
+            return lambda variables: function(
+                *(argument(variables) for argument in arguments)
+            )
+        if isinstance(node, (ast.Tuple, ast.List)):
+            elements = tuple(self._lower(element) for element in node.elts)
+            if isinstance(node, ast.Tuple):
+                return lambda variables: tuple(
+                    element(variables) for element in elements
+                )
+            return lambda variables: [element(variables) for element in elements]
+        raise ExpressionError(  # pragma: no cover - compile check prevents this
+            f"{self.text!r}: construct {type(node).__name__} not allowed",
+            expression=self.text,
+        )
+
+    def _make_accessor(self, key: Any) -> Callable[[Any], Any]:
+        """Build a specialized accessor for a key known at compile time.
+
+        For string keys the document paths (``key``, ``header.key`` and the
+        ``amount`` convention) are pre-compiled, so evaluating against a
+        :class:`Document` performs no path parsing.  Semantics — including
+        every error message — match :meth:`_access` exactly; anything not
+        fast-pathed delegates to it.
+        """
+        text = self.text
+        access = self._access
+        if not isinstance(key, str):
+            return lambda value: access(value, key)
+        try:
+            direct = DocumentPath(key)
+            header = DocumentPath(f"header.{key}")
+        except DocumentPathError:
+            # Not a valid path segment (odd constant string subscript):
+            # the generic accessor reproduces the interpreted behaviour.
+            return lambda value: access(value, key)
+        amount_paths = _AMOUNT_PATHS if key == "amount" else None
+
+        def access_str(value: Any) -> Any:
+            if isinstance(value, Document):
+                if amount_paths is not None:
+                    for candidate in amount_paths:
+                        found = value.get(candidate, default=_MARKER)
+                        if found is not _MARKER:
+                            return found
+                found = value.get(direct, default=_MARKER)
+                if found is not _MARKER:
+                    return found
+                found = value.get(header, default=_MARKER)
+                if found is not _MARKER:
+                    return found
+                raise ExpressionError(
+                    f"{text!r}: document has no field {key!r}",
+                    expression=text,
+                )
+            if isinstance(value, Mapping):
+                if key in value:
+                    return value[key]
+                raise ExpressionError(
+                    f"{text!r}: no key {key!r}", expression=text
+                )
+            return access(value, key)
+
+        return access_str
+
     def _eval(self, node: ast.AST, variables: Mapping[str, Any]) -> Any:
         if isinstance(node, ast.Constant):
             return node.value
@@ -191,7 +435,10 @@ class Expression:
             return self._access(value, node.attr)
         if isinstance(node, ast.Subscript):
             value = self._eval(node.value, variables)
-            key = node.slice.value  # type: ignore[attr-defined]
+            if isinstance(node.slice, ast.Constant):
+                key = node.slice.value
+            else:
+                key = self._eval(node.slice, variables)
             return self._access(value, key)
         if isinstance(node, ast.UnaryOp):
             operand = self._eval(node.operand, variables)

@@ -1,0 +1,116 @@
+"""Tests for the hot-path benchmark driver and the ``repro bench`` CLI.
+
+Timings here use tiny ``min_time`` values — the tests verify the driver's
+mechanics (selection, JSON shape, the regression gate's verdicts), not the
+performance numbers themselves; the enforced speedup floors live in the
+benchmark suite and CI gate.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BENCHMARKS,
+    TRACKED,
+    check_against_baseline,
+    run_benchmarks,
+)
+from repro.cli import main
+
+
+def _payload(**overrides):
+    payload = run_benchmarks(
+        ["expression_eval_interpreted", "expression_eval_compiled"],
+        min_time=0.02,
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestDriver:
+    def test_tracked_benchmarks_exist(self):
+        assert set(TRACKED) <= set(BENCHMARKS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            run_benchmarks(["warp_drive"], min_time=0.01)
+
+    def test_payload_shape(self):
+        payload = _payload()
+        assert payload["schema"] == "repro-bench/1"
+        for entry in payload["benchmarks"].values():
+            assert entry["ops_per_sec"] > 0
+            assert entry["normalized"] > 0
+            assert entry["runs"] > 0
+        assert "expression_compile_speedup" in payload["derived"]
+
+    def test_every_benchmark_builds_and_runs(self):
+        # fig14_roundtrip excluded: ~26ms/op is too slow for a unit test
+        names = [name for name in BENCHMARKS if name != "fig14_roundtrip"]
+        payload = run_benchmarks(names, min_time=0.01)
+        assert set(payload["benchmarks"]) == set(names)
+
+
+class TestRegressionGate:
+    def test_identical_run_passes(self):
+        payload = _payload()
+        assert check_against_baseline(payload, payload) == []
+
+    def test_large_drop_fails(self):
+        baseline = _payload()
+        current = json.loads(json.dumps(baseline))
+        name = "expression_eval_compiled"
+        current["benchmarks"][name]["normalized"] = (
+            baseline["benchmarks"][name]["normalized"] * 0.5
+        )
+        problems = check_against_baseline(current, baseline)
+        assert any(name in problem for problem in problems)
+
+    def test_small_drift_tolerated(self):
+        baseline = _payload()
+        current = json.loads(json.dumps(baseline))
+        for entry in current["benchmarks"].values():
+            entry["normalized"] *= 0.9  # within the 25% tolerance
+        assert check_against_baseline(current, baseline) == []
+
+    def test_speedup_floor_enforced(self):
+        payload = _payload()
+        payload["derived"]["expression_compile_speedup"] = 1.1
+        problems = check_against_baseline(payload, payload)
+        assert any("expression_compile_speedup" in problem for problem in problems)
+
+    def test_missing_benchmarks_ignored(self):
+        # a baseline predating a new benchmark must not crash the gate
+        payload = _payload()
+        assert check_against_baseline(payload, {"benchmarks": {}}) == []
+
+
+class TestCli:
+    def test_bench_filter_and_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--filter", "expression", "--min-time", "0.02",
+            "--json", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["benchmarks"]) == {
+            "expression_eval_interpreted", "expression_eval_compiled",
+        }
+        assert "expression_eval_compiled" in capsys.readouterr().out
+
+    def test_bench_bad_filter_exits_nonzero(self, capsys):
+        assert main(["bench", "--filter", "warp_drive"]) == 2
+
+    def test_bench_check_passes_against_own_output(self, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        assert main([
+            "bench", "--filter", "expression_eval_compiled",
+            "--min-time", "0.05", "--json", str(out),
+        ]) == 0
+        assert main([
+            "bench", "--filter", "expression_eval_compiled",
+            "--min-time", "0.05", "--check", str(out),
+        ]) == 0
+        assert "regression gate OK" in capsys.readouterr().out

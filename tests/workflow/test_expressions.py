@@ -16,6 +16,8 @@ class TestCompilation:
             "amount > 10000",
             "PO.amount >= 55000 and source == 'TP1'",
             "a.b.c[0]['k']",
+            "items[i]",
+            "matrix[row][col + 1]",
             "not done",
             "x in (1, 2, 3)",
             "len(items) > 0",
@@ -41,7 +43,9 @@ class TestCompilation:
             "x.y()",
             "exec('1')",
             "f'{x}'",
-            "x[y]",          # non-constant subscript
+            "x[1:2]",        # slice subscript
+            "x[y():]",       # slice with a call inside
+            "x[lambda: 1]",  # unsupported subscript expression
             "x ** 2",        # power not whitelisted
             "{1: 2}",        # dict literal
             "len(x, key=1)",  # keyword args
@@ -82,6 +86,25 @@ class TestEvaluation:
 
     def test_string_subscript(self):
         assert Expression("d['k']").evaluate({"d": {"k": 7}}) == 7
+
+    def test_variable_subscript(self):
+        # The satellite fix: ``items[i]`` must evaluate, not AttributeError.
+        expr = Expression("items[i]")
+        assert expr.evaluate({"items": [10, 20, 30], "i": 2}) == 30
+        assert Expression("d[key]").evaluate({"d": {"k": 7}, "key": "k"}) == 7
+
+    def test_computed_subscript(self):
+        assert Expression("items[i + 1]").evaluate({"items": [1, 2], "i": 0}) == 2
+
+    def test_unsupported_subscript_key_raises_expression_error(self):
+        # A key type the access rules cannot use raises ExpressionError,
+        # never a raw AttributeError/TypeError.
+        with pytest.raises(ExpressionError):
+            Expression("items[x]").evaluate({"items": [1, 2], "x": 1.5})
+
+    def test_variable_subscript_out_of_range(self):
+        with pytest.raises(ExpressionError):
+            Expression("items[i]").evaluate({"items": [1], "i": 5})
 
     def test_membership(self):
         assert Expression("x in ('a', 'b')").evaluate_bool({"x": "a"})
