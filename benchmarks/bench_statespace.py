@@ -1,0 +1,90 @@
+"""Conversation model checker: product-state-space explorer throughput.
+
+``repro lint --deep`` explores every protocol's buyer/seller product
+automaton at deployment time, so its cost is a modeling-loop latency.
+These benchmarks measure explored states per second on the shipped
+protocols and on a synthetic bursty pair whose interleaving space is
+orders of magnitude larger than any real exchange.
+"""
+
+from conftest import table
+
+from repro.b2b.protocol import extended_protocols
+from repro.core.public_process import PublicProcessDefinition, PublicStep
+from repro.verify.statespace import explore_pair
+
+
+def _bursty_pair(burst: int):
+    """Two sides that each fire ``burst`` sends before draining the other's
+    burst — the worst interleaving blow-up a queue bound of ``burst`` allows."""
+    buyer = PublicProcessDefinition(
+        "bench/bursty-buyer", "bench-bursty", "buyer", "fmt",
+        [PublicStep(f"send_{index}", "send", f"doc_{index}")
+         for index in range(burst)]
+        + [PublicStep(f"recv_{index}", "receive", f"ret_{index}")
+           for index in range(burst)],
+    )
+    seller = PublicProcessDefinition(
+        "bench/bursty-seller", "bench-bursty", "seller", "fmt",
+        [PublicStep(f"send_{index}", "send", f"ret_{index}")
+         for index in range(burst)]
+        + [PublicStep(f"recv_{index}", "receive", f"doc_{index}")
+           for index in range(burst)],
+    )
+    return buyer, seller
+
+
+def bench_shipped_protocol_exploration(benchmark, report):
+    """Explore every shipped protocol pair once per run; report the spaces."""
+    pairs = {
+        name: (protocol.buyer_process(), protocol.seller_process())
+        for name, protocol in extended_protocols().items()
+    }
+
+    def explore_all():
+        rows = []
+        for name, (buyer, seller) in sorted(pairs.items()):
+            result = explore_pair(buyer, seller)
+            assert result.clean, name
+            rows.append({"protocol": name, "states": result.states_explored})
+        return rows
+
+    rows = benchmark(explore_all)
+    report(table(rows, ["protocol", "states"],
+                 "Deep lint: conversation state spaces per shipped protocol"))
+
+
+def bench_bursty_exploration_states_per_sec(benchmark, report):
+    """Explorer throughput on a synthetic burst-heavy conversation."""
+    burst = 6
+    buyer, seller = _bursty_pair(burst)
+    baseline = explore_pair(buyer, seller, queue_bound=burst)
+    assert baseline.clean
+
+    def explore():
+        return explore_pair(buyer, seller, queue_bound=burst).states_explored
+
+    states = benchmark(explore)
+    stats = getattr(benchmark.stats, "stats", None)  # absent when disabled
+    rate = f"{states / stats.mean:,.0f}" if stats else "n/a (--benchmark-disable)"
+    report(table(
+        [{"burst": burst, "states": states, "states_per_sec": rate}],
+        ["burst", "states", "states_per_sec"],
+        "Deep lint: explorer throughput (bursty synthetic pair)",
+    ))
+
+
+def bench_deadlock_counterexample(benchmark):
+    """Finding the minimal deadlock trace must stay interactive-fast."""
+    from repro.verify.targets import build_deadlock_model
+
+    model = build_deadlock_model()
+    buyer = model.public_processes["deadlock-buyer"]
+    seller = model.public_processes["deadlock-seller"]
+
+    def find():
+        (diagnostic,) = explore_pair(buyer, seller).diagnostics
+        assert diagnostic.code == "B2B501"
+        return diagnostic
+
+    benchmark(find)

@@ -14,6 +14,10 @@ protocols and back ends grow, §4 Figures 11-15):
 * ``add_partner_*`` — onboarding a trading partner: the advanced model adds
   a partner, an agreement and three rules (then offboards); the naive
   baseline must regenerate the whole monolithic workflow type.
+* ``statespace_explore`` — the deployment-time conversation model check
+  (``repro lint --deep``): the product-state-space exploration of the
+  receipt-acknowledged RosettaNet pair, the largest shipped conversation.
+  The derived ``statespace_states_per_sec`` tracks explorer throughput.
 
 Results are machine-readable (``BENCH_PR3.json``).  Because absolute ops/sec
 are machine-bound, every run also times a fixed pure-Python calibration loop
@@ -46,6 +50,7 @@ TRACKED = (
     "mapping_apply_compiled",
     "fig14_roundtrip",
     "add_partner_advanced",
+    "statespace_explore",
 )
 
 # Acceptance floors for compiled-vs-interpreted speedups (dimensionless,
@@ -183,6 +188,32 @@ def _bench_add_partner_advanced() -> Callable[[], Any]:
     return add_partner
 
 
+def _statespace_pair():
+    from repro.b2b.protocol import get_protocol
+
+    protocol = get_protocol("rosettanet-ra")
+    return protocol.buyer_process(), protocol.seller_process()
+
+
+def _statespace_states_per_run() -> int:
+    from repro.verify.statespace import explore_pair
+
+    buyer, seller = _statespace_pair()
+    return explore_pair(buyer, seller).states_explored
+
+
+def _bench_statespace_explore() -> Callable[[], Any]:
+    from repro.verify.statespace import explore_pair
+
+    buyer, seller = _statespace_pair()
+
+    def explore() -> None:
+        if not explore_pair(buyer, seller).clean:
+            raise RuntimeError("rosettanet-ra conversation is not clean")
+
+    return explore
+
+
 BENCHMARKS: dict[str, Callable[[], Callable[[], Any]]] = {
     "expression_eval_interpreted": _bench_expression_interpreted,
     "expression_eval_compiled": _bench_expression_compiled,
@@ -191,6 +222,7 @@ BENCHMARKS: dict[str, Callable[[], Callable[[], Any]]] = {
     "fig14_roundtrip": _bench_fig14_roundtrip,
     "add_partner_naive": _bench_add_partner_naive,
     "add_partner_advanced": _bench_add_partner_advanced,
+    "statespace_explore": _bench_statespace_explore,
 }
 
 
@@ -296,6 +328,12 @@ def run_benchmarks(
             / results["add_partner_naive"]["ops_per_sec"],
             2,
         )
+    if "statespace_explore" in results:
+        derived["statespace_states_per_sec"] = round(
+            results["statespace_explore"]["ops_per_sec"]
+            * _statespace_states_per_run(),
+            1,
+        )
     return payload
 
 
@@ -388,7 +426,8 @@ def run(args: argparse.Namespace) -> int:
     ]
     print("\n".join(rows))
     for metric, value in payload["derived"].items():
-        print(f"{metric:32s} {value:>10.2f}x")
+        unit = "" if metric.endswith("_per_sec") else "x"
+        print(f"{metric:32s} {value:>10.2f}{unit}")
 
     if args.json:
         text = json.dumps(payload, indent=2, sort_keys=True)

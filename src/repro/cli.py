@@ -192,18 +192,40 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     return 0
 
 
+LINT_SCHEMA_VERSION = 2
+"""Version of the ``repro lint --format json`` payload shape.
+
+Version 2 wrapped the per-label results under a ``"models"`` key and
+added this marker so downstream consumers can detect shape changes.
+"""
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from repro.verify import at_or_above, count_by_severity, render_text
-    from repro.verify.targets import build_broken_model, lint_all
+    from repro.verify.targets import (
+        build_broken_model,
+        build_deadlock_model,
+        lint_all,
+    )
 
+    verify_options = {
+        "deep": args.deep,
+        "queue_bound": args.queue_bound,
+        "max_states": args.max_states,
+        "time_budget": args.time_budget,
+    }
     if args.demo_broken:
-        model = build_broken_model()
-        results = {"broken-demo": model.verify()}
+        results = {"broken-demo": build_broken_model().verify(**verify_options)}
+        if args.deep:
+            # the conversation defects only exist in the deadlock demo
+            results["deadlock-demo"] = build_deadlock_model().verify(
+                **verify_options
+            )
     else:
         try:
-            results = lint_all(only=args.model)
+            results = lint_all(only=args.model, **verify_options)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
@@ -214,11 +236,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         payload = {
-            label: {
-                "counts": count_by_severity(diagnostics),
-                "diagnostics": [d.to_dict() for d in diagnostics],
-            }
-            for label, diagnostics in sorted(results.items())
+            "schema_version": LINT_SCHEMA_VERSION,
+            "models": {
+                label: {
+                    "counts": count_by_severity(diagnostics),
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                }
+                for label, diagnostics in sorted(results.items())
+            },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -297,7 +322,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--demo-broken", action="store_true",
         help="lint a deliberately broken model instead (demonstrates the "
-        "diagnostic families)",
+        "diagnostic families; with --deep also lints a deadlocking "
+        "agreement to demonstrate B2B5xx counterexamples)",
+    )
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="also explore every protocol's buyer/seller conversation "
+        "product automaton (B2B5xx: deadlock, unspecified reception, "
+        "queue overflow, orphan messages) and run the AND-parallel race "
+        "analysis (B2B6xx) over every private process",
+    )
+    lint.add_argument(
+        "--queue-bound", type=int, default=None, metavar="N",
+        help="bound on each direction's in-flight message queue during "
+        "--deep exploration (default: 2); sends beyond the bound block, "
+        "and a globally blocked full queue reports B2B503",
+    )
+    lint.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="state budget for --deep exploration (default: 4096); when "
+        "exhausted the exploration stops and reports B2B505 (truncated, "
+        "results incomplete)",
+    )
+    lint.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for --deep exploration per conversation "
+        "pair (default: none); exceeding it reports B2B505",
     )
     lint.set_defaults(handler=_cmd_lint)
 

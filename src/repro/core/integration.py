@@ -257,17 +257,35 @@ class IntegrationModel:
             index[f"application:{name}"] = native_format
         return index
 
-    def verify(self, strict: bool = False) -> list:
+    def verify(
+        self,
+        strict: bool = False,
+        deep: bool = False,
+        queue_bound: int | None = None,
+        max_states: int | None = None,
+        time_budget: float | None = None,
+    ) -> list:
         """Statically lint this model (see :mod:`repro.verify`).
 
         Returns the list of :class:`~repro.verify.Diagnostic` records.
         With ``strict=True``, raises :class:`VerificationError` if any
         error-severity diagnostic is present — the deployment-time gate.
+        With ``deep=True``, additionally explores every protocol's
+        buyer/seller conversation product automaton (B2B5xx) and runs the
+        AND-parallel race analysis over every private process (B2B6xx);
+        ``queue_bound``, ``max_states`` and ``time_budget`` bound that
+        exploration (``None`` keeps the statespace defaults).
         """
         from repro.errors import VerificationError
         from repro.verify import SEVERITY_ERROR, at_or_above, verify_model
 
-        diagnostics = verify_model(self)
+        diagnostics = verify_model(
+            self,
+            deep=deep,
+            queue_bound=queue_bound,
+            max_states=max_states,
+            time_budget=time_budget,
+        )
         if strict:
             errors = at_or_above(diagnostics, SEVERITY_ERROR)
             if errors:

@@ -17,9 +17,17 @@ Code families::
                                    uncovered schema fields)
     B2B4xx  whole model           (unrouted protocols, orphaned processes,
                                    agreement integrity)
+    B2B5xx  conversations         (deadlock, unspecified reception, queue
+                                   overflow, orphan messages, no terminal
+                                   state — see :mod:`repro.verify.statespace`)
+    B2B6xx  parallel races        (write/write and read/write conflicts in
+                                   AND-parallel branches — see
+                                   :mod:`repro.verify.race_checks`)
 
-Entry points: ``repro lint`` on the CLI, ``IntegrationModel.verify()``
-programmatically, and the scenario builders' ``verify=True`` opt-in.
+Entry points: ``repro lint`` on the CLI (``--deep`` enables the B2B5xx
+conversation exploration and B2B6xx race analysis),
+``IntegrationModel.verify()`` programmatically, and the scenario builders'
+``verify=True`` opt-in.
 """
 
 from repro.verify.binding_checks import (
@@ -38,6 +46,15 @@ from repro.verify.diagnostics import (
     worst_severity,
 )
 from repro.verify.model_checks import verify_model
+from repro.verify.race_checks import concurrent_step_pairs, verify_workflow_races
+from repro.verify.statespace import (
+    DEFAULT_MAX_STATES,
+    DEFAULT_QUEUE_BOUND,
+    ExplorationResult,
+    explore_pair,
+    render_msc,
+    verify_conversations,
+)
 from repro.verify.workflow_checks import verify_workflow
 
 __all__ = [
@@ -54,4 +71,12 @@ __all__ = [
     "verify_mapping",
     "verify_public_process",
     "verify_model",
+    "DEFAULT_MAX_STATES",
+    "DEFAULT_QUEUE_BOUND",
+    "ExplorationResult",
+    "explore_pair",
+    "render_msc",
+    "verify_conversations",
+    "concurrent_step_pairs",
+    "verify_workflow_races",
 ]

@@ -22,6 +22,7 @@ from repro.core.binding import (
 )
 from repro.core.public_process import (
     KIND_FROM_BINDING,
+    KIND_PRODUCE,
     KIND_RECEIVE,
     KIND_SEND,
     KIND_TO_BINDING,
@@ -282,7 +283,7 @@ def _check_target_coverage(
 
 # ---------------------------------------------------------------------------
 # Public processes: B2B305 (connection step without doc_type),
-# B2B306 (no wire steps)
+# B2B306 (no wire steps), B2B506 (no clean terminal state)
 # ---------------------------------------------------------------------------
 
 
@@ -290,6 +291,7 @@ def verify_public_process(definition: PublicProcessDefinition) -> list[Diagnosti
     """Lint one public process definition in isolation."""
     prefix = f"public:{definition.name}"
     diagnostics: list[Diagnostic] = []
+    _check_terminal_state(definition, prefix, diagnostics)
     for step in definition.steps:
         if step.kind in (KIND_TO_BINDING, KIND_FROM_BINDING) and not step.doc_type:
             diagnostics.append(
@@ -314,3 +316,46 @@ def verify_public_process(definition: PublicProcessDefinition) -> list[Diagnosti
             )
         )
     return diagnostics
+
+
+def _check_terminal_state(
+    definition: PublicProcessDefinition,
+    prefix: str,
+    diagnostics: list[Diagnostic],
+) -> None:
+    """B2B506: the step graph must end in a receive-less, send-less state.
+
+    A public process is a strict step sequence, so its only terminal state
+    is "after the last step".  That terminal is only quiescent if the last
+    step neither consumes a document that nothing then hands over (a
+    business ``receive`` or a ``from_binding``/``produce`` whose output is
+    dropped on the floor) — otherwise the conversation's final document
+    silently disappears at the very step that obtained it.  Protocol-level
+    acknowledgements are exempt: a trailing ``receive`` marked with
+    ``params={"ack": True}`` closes the exchange by design.
+    """
+    if not definition.steps:
+        return
+    last = definition.steps[-1]
+    dropped: str | None = None
+    if last.kind == KIND_RECEIVE and not (last.params or {}).get("ack"):
+        dropped = "received from the wire"
+    elif last.kind == KIND_FROM_BINDING:
+        dropped = "fetched from the binding"
+    elif last.kind == KIND_PRODUCE:
+        dropped = "produced"
+    if dropped is None:
+        return
+    diagnostics.append(
+        Diagnostic(
+            "B2B506",
+            SEVERITY_WARNING,
+            f"{prefix}/step:{last.step_id}",
+            f"no terminal (receive-less, send-less) end state: the final "
+            f"step {last.step_id!r} leaves the document it {dropped} "
+            "unconsumed, so the conversation ends with work in flight",
+            hint="forward the document (to_binding/send) after the final "
+            "consuming step, or mark a trailing acknowledgement receive "
+            "with params={'ack': True}",
+        )
+    )

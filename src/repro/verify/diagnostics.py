@@ -2,10 +2,11 @@
 
 Every check in :mod:`repro.verify` reports through a :class:`Diagnostic`:
 a stable code (``B2B1xx`` graph, ``B2B2xx`` expressions, ``B2B3xx``
-bindings/mappings, ``B2B4xx`` model), a severity, a location path into the
-model, a human message and an optional fix hint.  Codes are part of the
-public contract — CI gates and suppression lists key on them — so existing
-codes must never be renumbered.
+bindings/mappings, ``B2B4xx`` model, ``B2B5xx`` conversations, ``B2B6xx``
+parallel races), a severity, a location path into the model, a human
+message, an optional fix hint and an optional counterexample trace.
+Codes are part of the public contract — CI gates and suppression lists
+key on them — so existing codes must never be renumbered.
 """
 
 from __future__ import annotations
@@ -41,6 +42,9 @@ class Diagnostic:
         ``"workflow:private-po-seller/step:approve_po"``).
     :param message: human-readable description of the problem.
     :param hint: optional suggestion for fixing it.
+    :param trace: optional counterexample trace (one rendered line per
+        entry) leading to the reported state — the conversation checks of
+        :mod:`repro.verify.statespace` attach a message-sequence chart.
     """
 
     code: str
@@ -48,6 +52,7 @@ class Diagnostic:
     location: str
     message: str
     hint: str = ""
+    trace: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.severity not in _RANK:
@@ -63,6 +68,8 @@ class Diagnostic:
         }
         if self.hint:
             payload["hint"] = self.hint
+        if self.trace:
+            payload["trace"] = list(self.trace)
         return payload
 
     def render(self) -> str:
@@ -97,7 +104,13 @@ def at_or_above(diagnostics: Iterable[Diagnostic], threshold: str) -> list[Diagn
 
 
 def render_text(diagnostics: list[Diagnostic], title: str = "") -> str:
-    """Render a diagnostic list the way ``repro lint`` prints it."""
+    """Render a diagnostic list the way ``repro lint`` prints it.
+
+    Ordering is a total stable sort on (severity desc, code, location,
+    message) so output — and the golden tests over it — is deterministic
+    regardless of check execution order.  Counterexample traces are
+    rendered indented under their diagnostic.
+    """
     lines: list[str] = []
     if title:
         lines.append(title)
@@ -105,9 +118,12 @@ def render_text(diagnostics: list[Diagnostic], title: str = "") -> str:
         lines.append("  clean — no diagnostics")
         return "\n".join(lines)
     ordered = sorted(
-        diagnostics, key=lambda d: (-_RANK[d.severity], d.code, d.location)
+        diagnostics,
+        key=lambda d: (-_RANK[d.severity], d.code, d.location, d.message),
     )
-    lines.extend(f"  {diagnostic.render()}" for diagnostic in ordered)
+    for diagnostic in ordered:
+        lines.append(f"  {diagnostic.render()}")
+        lines.extend(f"      {entry}" for entry in diagnostic.trace)
     counts = count_by_severity(diagnostics)
     lines.append(
         f"  {counts[SEVERITY_ERROR]} error(s), "

@@ -11,6 +11,7 @@ routes, orphaned private processes, agreements over undeployed protocols.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.verify.binding_checks import (
@@ -31,13 +32,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["verify_model"]
 
 
-def verify_model(model: "IntegrationModel") -> list[Diagnostic]:
-    """Statically lint every element of ``model``."""
+def verify_model(
+    model: "IntegrationModel",
+    deep: bool = False,
+    queue_bound: int | None = None,
+    max_states: int | None = None,
+    time_budget: float | None = None,
+) -> list[Diagnostic]:
+    """Statically lint every element of ``model``.
+
+    With ``deep=True`` the conversation model checker (B2B5xx, see
+    :mod:`repro.verify.statespace`) explores every protocol's
+    buyer/seller product automaton, and the AND-parallel race analysis
+    (B2B6xx, :mod:`repro.verify.race_checks`) runs over every private
+    process.  ``queue_bound``/``max_states``/``time_budget`` tune the
+    exploration (``None`` = the statespace defaults).
+    """
     prefix = f"model:{model.name}"
     diagnostics: list[Diagnostic] = []
     for name, workflow in model.private_processes.items():
         diagnostics.extend(
-            verify_workflow(workflow, location_prefix=f"{prefix}/private:{name}")
+            verify_workflow(
+                workflow, location_prefix=f"{prefix}/private:{name}", deep=deep
+            )
         )
     for definition in model.public_processes.values():
         diagnostics.extend(_prefixed(verify_public_process(definition), prefix))
@@ -48,16 +65,26 @@ def verify_model(model: "IntegrationModel") -> list[Diagnostic]:
     _check_routes(model, prefix, diagnostics)
     _check_orphans(model, prefix, diagnostics)
     _check_agreements(model, prefix, diagnostics)
+    if deep:
+        from repro.verify.statespace import (
+            DEFAULT_MAX_STATES,
+            DEFAULT_QUEUE_BOUND,
+            verify_conversations,
+        )
+
+        diagnostics.extend(
+            verify_conversations(
+                model,
+                queue_bound=queue_bound or DEFAULT_QUEUE_BOUND,
+                max_states=max_states or DEFAULT_MAX_STATES,
+                time_budget=time_budget,
+            )
+        )
     return diagnostics
 
 
 def _prefixed(diagnostics: list[Diagnostic], prefix: str) -> list[Diagnostic]:
-    return [
-        Diagnostic(
-            d.code, d.severity, f"{prefix}/{d.location}", d.message, d.hint
-        )
-        for d in diagnostics
-    ]
+    return [replace(d, location=f"{prefix}/{d.location}") for d in diagnostics]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,437 @@
+"""Conversation model checking: bounded product-state-space exploration.
+
+:func:`~repro.core.public_process.check_complementary` (Section 3) only
+accepts strictly mirrored exchanges; anything more asynchronous — receipt
+windows, one-way multi-step dispatches, hand-negotiated ebXML
+collaborations — needs a real interaction-protocol check.  This module is
+that check: it composes two roles' :class:`PublicProcessDefinition`s into
+a **product automaton** with one bounded FIFO message queue per direction
+and enumerates every reachable joint state breadth-first, so each defect
+is reported with a *minimal* counterexample trace (BFS reaches shortest
+paths first), rendered as a textual message-sequence chart.
+
+Detected conversation defects (the ``B2B5xx`` family)::
+
+    B2B501  deadlock              nobody can move and every queue is empty:
+                                  each side waits for a message the other
+                                  will never send
+    B2B502  unspecified reception the message at a queue head is not the one
+                                  the receiving state expects; a sequential
+                                  public process can never consume it
+    B2B503  queue overflow        a send is blocked on a full queue in a
+                                  state with no other progress — a diverging
+                                  or unmatched send sequence at this bound
+    B2B504  orphan message        a side finished with messages still queued
+                                  for it: sent but never consumable
+    B2B505  exploration truncated the state or time budget ran out before
+                                  the space was exhausted; findings so far
+                                  are sound, absence of findings is not
+
+Model assumptions: connection steps (``to_binding`` / ``from_binding``)
+and ``produce`` steps are internal moves that are always enabled — the
+binding and the private process behind it are assumed to eventually
+respond.  The exploration therefore verifies the *wire* conversation
+between the partners, not liveness of either private side.  Definitions
+are finite and strictly sequential, so with a queue bound the product
+space is finite; ``max_states``/``time_budget`` keep worst cases cheap
+enough for CI.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.public_process import (
+    KIND_RECEIVE,
+    KIND_SEND,
+    PublicProcessDefinition,
+)
+from repro.verify.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    Diagnostic,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.integration import IntegrationModel
+
+__all__ = [
+    "DEFAULT_QUEUE_BOUND",
+    "DEFAULT_MAX_STATES",
+    "ExplorationResult",
+    "explore_pair",
+    "render_msc",
+    "verify_conversations",
+]
+
+DEFAULT_QUEUE_BOUND = 2
+DEFAULT_MAX_STATES = 4096
+
+# Joint state: (position of side 0, position of side 1,
+#               queue side0 -> side1, queue side1 -> side0).
+_State = tuple[int, int, tuple[str, ...], tuple[str, ...]]
+
+# Trace event: (side index, step kind, doc_type, step_id).
+_Event = tuple[int, str, str, str]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of exploring one public-process pair.
+
+    :param diagnostics: B2B5xx findings, at most one per code (each with
+        the minimal counterexample trace).
+    :param states_explored: number of distinct joint states visited.
+    :param truncated: the state or time budget ran out before exhaustion.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    states_explored: int = 0
+    truncated: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when the full space was explored and nothing was found."""
+        return not self.diagnostics and not self.truncated
+
+
+def explore_pair(
+    first: PublicProcessDefinition,
+    second: PublicProcessDefinition,
+    queue_bound: int = DEFAULT_QUEUE_BOUND,
+    max_states: int = DEFAULT_MAX_STATES,
+    time_budget: float | None = None,
+    location: str = "",
+) -> ExplorationResult:
+    """Exhaustively explore the joint conversation of two public processes.
+
+    :param queue_bound: capacity of each per-direction FIFO; a send onto a
+        full queue blocks (and is reported as B2B503 when nothing else can
+        progress).
+    :param max_states: hard cap on distinct joint states; exploration never
+        visits more, and reports B2B505 when the cap stopped it early.
+    :param time_budget: optional wall-clock cap in seconds, same truncation
+        semantics as ``max_states``.
+    :param location: diagnostic location (defaults to the two process names).
+    """
+    if queue_bound < 1:
+        raise ValueError("queue_bound must be >= 1")
+    if max_states < 1:
+        raise ValueError("max_states must be >= 1")
+    defs = (first, second)
+    where = location or f"conversation:{first.name}+{second.name}"
+    started = time.monotonic()
+    initial: _State = (0, 0, (), ())
+    traces: dict[_State, tuple[_Event, ...]] = {initial: ()}
+    frontier: deque[_State] = deque([initial])
+    found: dict[str, Diagnostic] = {}
+    truncated = False
+    while frontier:
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            truncated = True
+            break
+        state = frontier.popleft()
+        trace = traces[state]
+        moves = _moves(defs, state, queue_bound)
+        _classify(defs, state, trace, bool(moves), queue_bound, where, found)
+        for event, successor in moves:
+            if successor in traces:
+                continue
+            if len(traces) >= max_states:
+                truncated = True
+                continue
+            traces[successor] = trace + (event,)
+            frontier.append(successor)
+    diagnostics = [found[code] for code in sorted(found)]
+    if truncated:
+        diagnostics.append(
+            Diagnostic(
+                "B2B505",
+                SEVERITY_INFO,
+                where,
+                f"exploration truncated after {len(traces)} state(s) "
+                f"(max_states={max_states}"
+                + (f", time_budget={time_budget}s" if time_budget else "")
+                + "): defects found so far are real, but absence of "
+                "defects is not proven",
+                hint="raise --max-states (or the time budget) to finish "
+                "the exploration",
+            )
+        )
+    return ExplorationResult(
+        diagnostics=diagnostics,
+        states_explored=len(traces),
+        truncated=truncated,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Product-automaton moves
+# ---------------------------------------------------------------------------
+
+
+def _moves(
+    defs: tuple[PublicProcessDefinition, PublicProcessDefinition],
+    state: _State,
+    queue_bound: int,
+) -> list[tuple[_Event, _State]]:
+    """Enabled transitions of ``state``, in a fixed deterministic order."""
+    moves: list[tuple[_Event, _State]] = []
+    positions = (state[0], state[1])
+    queues = (state[2], state[3])  # queues[i] carries side i -> side 1-i
+    for side in (0, 1):
+        steps = defs[side].steps
+        position = positions[side]
+        if position >= len(steps):
+            continue
+        step = steps[position]
+        out_queue, in_queue = queues[side], queues[1 - side]
+        event: _Event = (side, step.kind, step.doc_type, step.step_id)
+        if step.kind == KIND_SEND:
+            if len(out_queue) >= queue_bound:
+                continue  # blocked on the full queue
+            out_queue = out_queue + (step.doc_type,)
+        elif step.kind == KIND_RECEIVE:
+            if not in_queue or in_queue[0] != step.doc_type:
+                continue  # blocked waiting (or forever, on a mismatch)
+            in_queue = in_queue[1:]
+        # connection/produce steps are internal: always enabled, no queue
+        # effect — the binding side is assumed to respond eventually.
+        new_positions = [positions[0], positions[1]]
+        new_positions[side] = position + 1
+        new_queues = [out_queue, in_queue] if side == 0 else [in_queue, out_queue]
+        moves.append(
+            (event, (new_positions[0], new_positions[1],
+                     tuple(new_queues[0]), tuple(new_queues[1])))
+        )
+    return moves
+
+
+# ---------------------------------------------------------------------------
+# State classification (the defect detectors)
+# ---------------------------------------------------------------------------
+
+
+def _classify(
+    defs: tuple[PublicProcessDefinition, PublicProcessDefinition],
+    state: _State,
+    trace: tuple[_Event, ...],
+    has_moves: bool,
+    queue_bound: int,
+    where: str,
+    found: dict[str, Diagnostic],
+) -> None:
+    """Inspect one reached state and record first-seen (minimal) defects."""
+    positions = (state[0], state[1])
+    queues = (state[2], state[3])
+
+    def completed(side: int) -> bool:
+        return positions[side] >= len(defs[side].steps)
+
+    def current(side: int):
+        return defs[side].steps[positions[side]]
+
+    def in_queue(side: int) -> tuple[str, ...]:
+        return queues[1 - side]
+
+    def record(code: str, severity: str, message: str, hint: str) -> None:
+        if code in found:
+            return
+        found[code] = Diagnostic(
+            code, severity, where, message, hint,
+            trace=_render_trace(defs, state, trace),
+        )
+
+    # Eager checks: these states are already doomed even if the partner can
+    # still move — a sequential process has no alternative receive to try.
+    for side in (0, 1):
+        if completed(side):
+            if in_queue(side):
+                record(
+                    "B2B504",
+                    SEVERITY_WARNING,
+                    f"orphan message(s) {list(in_queue(side))} queued for "
+                    f"{_who(defs, side)}, which has already completed: sent "
+                    "but never consumable",
+                    "remove the unmatched send or extend the receiving "
+                    "process to consume the document",
+                )
+            continue
+        step = current(side)
+        if (
+            step.kind == KIND_RECEIVE
+            and in_queue(side)
+            and in_queue(side)[0] != step.doc_type
+        ):
+            record(
+                "B2B502",
+                SEVERITY_ERROR,
+                f"unspecified reception: {_who(defs, side)} at step "
+                f"{step.step_id!r} expects {step.doc_type!r} but the queue "
+                f"head is {in_queue(side)[0]!r}; the sequential process can "
+                "never consume it",
+                "reorder the exchange or add a receive step for the "
+                "queued document",
+            )
+    if has_moves:
+        return
+    # The conversation is globally stuck.  A clean terminal state — both
+    # sides completed, both queues drained — is the success case.
+    if completed(0) and completed(1) and not queues[0] and not queues[1]:
+        return
+    for side in (0, 1):
+        if completed(side):
+            continue
+        step = current(side)
+        if step.kind == KIND_SEND and len(queues[side]) >= queue_bound:
+            record(
+                "B2B503",
+                SEVERITY_ERROR,
+                f"queue-bound overflow: {_who(defs, side)} is blocked "
+                f"sending {step.doc_type!r} at step {step.step_id!r} — the "
+                f"queue toward its partner holds {list(queues[side])} at "
+                f"bound {queue_bound} and nothing can drain it (diverging "
+                "or unmatched send sequence)",
+                "match the sends with receives on the partner side, or "
+                "raise --queue-bound if the protocol legitimately bursts",
+            )
+    if not queues[0] and not queues[1]:
+        blocked = "; ".join(_side_status(defs, state, side) for side in (0, 1))
+        record(
+            "B2B501",
+            SEVERITY_ERROR,
+            f"conversation deadlock: {blocked}; both queues are empty, so "
+            "neither side can ever proceed",
+            "make one side send the document the other is waiting for "
+            "(the processes are not complementary)",
+        )
+
+
+def _who(
+    defs: tuple[PublicProcessDefinition, PublicProcessDefinition], side: int
+) -> str:
+    """Short actor label: the role when the two differ, else the name."""
+    if defs[0].role != defs[1].role:
+        return defs[side].role
+    return defs[side].name
+
+
+def _side_status(
+    defs: tuple[PublicProcessDefinition, PublicProcessDefinition],
+    state: _State,
+    side: int,
+) -> str:
+    position = state[side]
+    if position >= len(defs[side].steps):
+        return f"{_who(defs, side)} has completed"
+    step = defs[side].steps[position]
+    waiting = f" {step.doc_type!r}" if step.doc_type else ""
+    return (
+        f"{_who(defs, side)} is blocked at step {step.step_id!r} "
+        f"({step.kind}{waiting})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Message-sequence-chart rendering
+# ---------------------------------------------------------------------------
+
+
+def render_msc(
+    events: Iterable[tuple[int, str, str, str]],
+    left_label: str,
+    right_label: str,
+) -> list[str]:
+    """Render trace events as a two-column message-sequence chart.
+
+    Wire events carry a direction arrow (``-->`` left-to-right, ``<--``
+    right-to-left); internal steps sit in their actor's column with no
+    arrow.  The output is deterministic and golden-test friendly.
+    """
+    rows: list[tuple[str, str, str]] = []
+    for side, kind, doc_type, step_id in events:
+        text = f"{kind} {doc_type}".strip() + f"  [{step_id}]"
+        if kind == KIND_SEND:
+            arrow = "-->" if side == 0 else "<--"
+        elif kind == KIND_RECEIVE:
+            arrow = "-->" if side == 1 else "<--"
+        else:
+            arrow = ""
+        rows.append((text, arrow, "") if side == 0 else ("", arrow, text))
+    width = max([len(left_label)] + [len(row[0]) for row in rows])
+    lines = [f"{left_label:<{width}}  {'':3}  {right_label}".rstrip()]
+    lines.extend(
+        f"{left:<{width}}  {arrow:^3}  {right}".rstrip()
+        for left, arrow, right in rows
+    )
+    return lines
+
+
+def _render_trace(
+    defs: tuple[PublicProcessDefinition, PublicProcessDefinition],
+    state: _State,
+    trace: tuple[_Event, ...],
+) -> tuple[str, ...]:
+    """The MSC plus a summary of the reached state, for Diagnostic.trace."""
+    lines = render_msc(trace, _who(defs, 0), _who(defs, 1))
+    lines.append(f"state: {_side_status(defs, state, 0)}; "
+                 f"{_side_status(defs, state, 1)}")
+    queue_ab, queue_ba = state[2], state[3]
+    lines.append(
+        f"queues: {_who(defs, 0)}->{_who(defs, 1)} "
+        f"{list(queue_ab) if queue_ab else 'empty'} | "
+        f"{_who(defs, 1)}->{_who(defs, 0)} "
+        f"{list(queue_ba) if queue_ba else 'empty'}"
+    )
+    return tuple(lines)
+
+
+# ---------------------------------------------------------------------------
+# Model-level orchestration
+# ---------------------------------------------------------------------------
+
+
+def verify_conversations(
+    model: "IntegrationModel",
+    queue_bound: int = DEFAULT_QUEUE_BOUND,
+    max_states: int = DEFAULT_MAX_STATES,
+    time_budget: float | None = None,
+) -> list[Diagnostic]:
+    """Model-check every conversation the model can hold.
+
+    Public processes are grouped by their declared protocol; every
+    buyer/seller pairing within a protocol is explored (deployed protocols
+    register exactly one of each, so this is normally one exploration per
+    protocol, shared by all trading-partner agreements over it).  Budgets
+    apply per pair.
+    """
+    prefix = f"model:{model.name}"
+    by_protocol: dict[str, dict[str, list[PublicProcessDefinition]]] = {}
+    for name in sorted(model.public_processes):
+        definition = model.public_processes[name]
+        by_protocol.setdefault(definition.protocol, {}).setdefault(
+            definition.role, []
+        ).append(definition)
+    diagnostics: list[Diagnostic] = []
+    for protocol in sorted(by_protocol):
+        roles = by_protocol[protocol]
+        for buyer in roles.get("buyer", []):
+            for seller in roles.get("seller", []):
+                location = (
+                    f"{prefix}/conversation:{protocol}/"
+                    f"{buyer.name}+{seller.name}"
+                )
+                result = explore_pair(
+                    buyer,
+                    seller,
+                    queue_bound=queue_bound,
+                    max_states=max_states,
+                    time_budget=time_budget,
+                    location=location,
+                )
+                diagnostics.extend(result.diagnostics)
+    return diagnostics

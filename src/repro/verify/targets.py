@@ -3,88 +3,104 @@
 ``repro lint`` and the CI model-lint job iterate these so a regression in
 any scenario builder, the mapping catalog, or the standard protocol
 registry surfaces as a diagnostic instead of a runtime failure three
-layers deep.  Each builder returns ``{label: diagnostics}``.
+layers deep.  Each builder returns ``{label: diagnostics}``; keyword
+arguments (``deep=``, ``queue_bound=``, ...) are forwarded verbatim to
+``IntegrationModel.verify`` so ``repro lint --deep`` can switch every
+target to the conversation/race analysis in one place.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from repro.verify.diagnostics import Diagnostic
 from repro.verify.workflow_checks import verify_workflow
 
-__all__ = ["lint_targets", "lint_all", "build_broken_model"]
+__all__ = [
+    "lint_targets",
+    "lint_all",
+    "build_broken_model",
+    "build_deadlock_model",
+]
+
+Builder = Callable[..., dict[str, list[Diagnostic]]]
 
 
-def _lint_pair(protocol: str) -> dict[str, list[Diagnostic]]:
+def _lint_pair(protocol: str, **verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.analysis.scenarios import build_two_enterprise_pair
 
     pair = build_two_enterprise_pair(protocol)
     return {
-        f"pair-{protocol}/{enterprise.name}": enterprise.model.verify()
+        f"pair-{protocol}/{enterprise.name}": enterprise.model.verify(**verify_options)
         for enterprise in pair.enterprises()
     }
 
 
-def _lint_order_to_cash() -> dict[str, list[Diagnostic]]:
+def _lint_order_to_cash(**verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.analysis.scenarios import build_order_to_cash_pair
 
     pair = build_order_to_cash_pair()
     return {
-        f"order-to-cash/{enterprise.name}": enterprise.model.verify()
+        f"order-to-cash/{enterprise.name}": enterprise.model.verify(**verify_options)
         for enterprise in pair.enterprises()
     }
 
 
-def _lint_sourcing() -> dict[str, list[Diagnostic]]:
+def _lint_sourcing(**verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.analysis.scenarios import build_sourcing_community
 
     community = build_sourcing_community(
         {"S1": {"widget": 5.0}, "S2": {"widget": 4.5}}
     )
     return {
-        f"sourcing/{enterprise.name}": enterprise.model.verify()
+        f"sourcing/{enterprise.name}": enterprise.model.verify(**verify_options)
         for enterprise in community.enterprises()
     }
 
 
-def _lint_fig15() -> dict[str, list[Diagnostic]]:
+def _lint_fig15(**verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.analysis.scenarios import build_fig15_community
 
     community = build_fig15_community()
     return {
-        f"fig15/{enterprise.name}": enterprise.model.verify()
+        f"fig15/{enterprise.name}": enterprise.model.verify(**verify_options)
         for enterprise in community.enterprises()
     }
 
 
-def _lint_fig14() -> dict[str, list[Diagnostic]]:
+def _lint_fig14(**verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.analysis.change_impact import build_fig14_model
 
-    return {"fig14": build_fig14_model().verify()}
+    return {"fig14": build_fig14_model().verify(**verify_options)}
 
 
-def _lint_sweep() -> dict[str, list[Diagnostic]]:
+def _lint_sweep(**verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.analysis.scenarios import advanced_synthetic_model
 
     model = advanced_synthetic_model(4, 4, 3)
-    return {f"sweep/{model.name}": model.verify()}
+    return {f"sweep/{model.name}": model.verify(**verify_options)}
 
 
-def _lint_naive_seller() -> dict[str, list[Diagnostic]]:
+def _lint_naive_seller(**verify_options: Any) -> dict[str, list[Diagnostic]]:
     from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
 
     workflow = build_naive_seller_type(NaiveTopology.figure9())
-    return {"naive-seller": verify_workflow(workflow)}
+    # A bare workflow has no conversations to explore; only the deep flag
+    # is meaningful here (it enables the B2B6xx race analysis).
+    return {"naive-seller": verify_workflow(
+        workflow, deep=bool(verify_options.get("deep"))
+    )}
 
 
-def lint_targets() -> dict[str, Callable[[], dict[str, list[Diagnostic]]]]:
+def lint_targets() -> dict[str, Builder]:
     """The registry of named lint targets."""
     return {
-        "pair-edi-van": lambda: _lint_pair("edi-van"),
-        "pair-rosettanet": lambda: _lint_pair("rosettanet"),
-        "pair-oagis-http": lambda: _lint_pair("oagis-http"),
-        "pair-rosettanet-ra": lambda: _lint_pair("rosettanet-ra"),
+        "pair-edi-van": lambda **options: _lint_pair("edi-van", **options),
+        "pair-rosettanet": lambda **options: _lint_pair("rosettanet", **options),
+        "pair-oagis-http": lambda **options: _lint_pair("oagis-http", **options),
+        "pair-rosettanet-ra": lambda **options: _lint_pair(
+            "rosettanet-ra", **options
+        ),
         "order-to-cash": _lint_order_to_cash,
         "sourcing": _lint_sourcing,
         "fig15": _lint_fig15,
@@ -94,10 +110,15 @@ def lint_targets() -> dict[str, Callable[[], dict[str, list[Diagnostic]]]]:
     }
 
 
-def lint_all(only: str | None = None) -> dict[str, list[Diagnostic]]:
+def lint_all(
+    only: str | None = None, **verify_options: Any
+) -> dict[str, list[Diagnostic]]:
     """Run all (or one) named lint targets; returns ``{label: diagnostics}``.
 
     :param only: restrict to the target with this name.
+    :param verify_options: forwarded to every model's ``verify()`` —
+        ``deep=True`` plus the ``queue_bound``/``max_states``/
+        ``time_budget`` exploration bounds.
     """
     targets = lint_targets()
     if only is not None:
@@ -108,7 +129,7 @@ def lint_all(only: str | None = None) -> dict[str, list[Diagnostic]]:
         targets = {only: targets[only]}
     results: dict[str, list[Diagnostic]] = {}
     for builder in targets.values():
-        results.update(builder())
+        results.update(builder(**verify_options))
     return results
 
 
@@ -158,4 +179,51 @@ def build_broken_model():
         outbound=[BindingStep("to_wire", "transform", target_format="rosettanet-xml")],
     )
     model.bindings[binding.name] = binding
+    return model
+
+
+def build_deadlock_model():
+    """A deliberately deadlocking agreement for demonstrating ``--deep``.
+
+    The buyer sends the purchase order and then waits for the invoice;
+    the seller holds the invoice back until it also receives shipping
+    terms the buyer never sends.  ``add_protocol`` would reject the pair
+    as non-complementary (that mirror check is exactly why deployed
+    protocols cannot do this), so the definitions are inserted into the
+    model directly — the situation the conversation checker exists for:
+    two *independently authored* public processes that each look fine
+    alone but cannot finish a conversation together.
+
+    Deep verification reports B2B501 (deadlock) with the message-sequence
+    chart of the shortest run into the stuck state.
+    """
+    from repro.core.integration import IntegrationModel
+    from repro.core.public_process import PublicProcessDefinition, PublicStep
+
+    buyer = PublicProcessDefinition(
+        name="deadlock-buyer",
+        protocol="deadlock-handshake",
+        role="buyer",
+        wire_format="rosettanet-xml",
+        steps=[
+            PublicStep("send_po", "send", doc_type="purchase_order"),
+            PublicStep("receive_invoice", "receive", doc_type="invoice"),
+            PublicStep("store_invoice", "to_binding", doc_type="invoice"),
+        ],
+    )
+    seller = PublicProcessDefinition(
+        name="deadlock-seller",
+        protocol="deadlock-handshake",
+        role="seller",
+        wire_format="rosettanet-xml",
+        steps=[
+            PublicStep("receive_po", "receive", doc_type="purchase_order"),
+            PublicStep("receive_terms", "receive", doc_type="shipping_terms"),
+            PublicStep("fetch_invoice", "from_binding", doc_type="invoice"),
+            PublicStep("send_invoice", "send", doc_type="invoice"),
+        ],
+    )
+    model = IntegrationModel("deadlock-demo")
+    model.public_processes[buyer.name] = buyer
+    model.public_processes[seller.name] = seller
     return model

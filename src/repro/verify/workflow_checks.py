@@ -30,6 +30,7 @@ def verify_workflow(
     workflow: WorkflowType,
     schemas: dict[str, DocumentSchema] | None = None,
     location_prefix: str = "",
+    deep: bool = False,
 ) -> list[Diagnostic]:
     """Statically lint ``workflow``; returns the diagnostics found.
 
@@ -40,6 +41,8 @@ def verify_workflow(
         the conventional document variables (``document``, ``ack``, ...).
     :param location_prefix: prepended to every diagnostic location (used
         by :func:`repro.verify.verify_model` to point into the model).
+    :param deep: also run the AND-parallel race analysis (B2B6xx, see
+        :mod:`repro.verify.race_checks`).
     """
     prefix = location_prefix or f"workflow:{workflow.name}"
     diagnostics: list[Diagnostic] = []
@@ -47,6 +50,10 @@ def verify_workflow(
     _check_reachability(workflow, dead, prefix, diagnostics)
     _check_fanouts(workflow, dead, always_true, prefix, diagnostics)
     _check_expressions(workflow, schemas, prefix, diagnostics)
+    if deep:
+        from repro.verify.race_checks import verify_workflow_races
+
+        diagnostics.extend(verify_workflow_races(workflow, location_prefix=prefix))
     return diagnostics
 
 

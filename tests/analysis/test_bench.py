@@ -50,6 +50,7 @@ class TestDriver:
         names = [name for name in BENCHMARKS if name != "fig14_roundtrip"]
         payload = run_benchmarks(names, min_time=0.01)
         assert set(payload["benchmarks"]) == set(names)
+        assert payload["derived"]["statespace_states_per_sec"] > 0
 
 
 class TestRegressionGate:

@@ -194,3 +194,40 @@ def test_standard_public_processes_are_clean():
         "pub", protocol="rosettanet", wire_format="rosettanet-xml"
     )
     assert verify_public_process(definition) == []
+
+
+def test_b2b506_trailing_business_receive_is_flagged():
+    definition = PublicProcessDefinition(
+        "pub", protocol="p", role="buyer", wire_format="w",
+        steps=[
+            PublicStep("s", "send", doc_type="purchase_order"),
+            PublicStep("r", "receive", doc_type="po_ack"),
+        ],
+    )
+    diagnostics = verify_public_process(definition)
+    assert codes(diagnostics) == ["B2B506"]
+    assert diagnostics[0].severity == "warning"
+    assert "step:r" in diagnostics[0].location
+
+
+def test_b2b506_trailing_from_binding_is_flagged():
+    definition = PublicProcessDefinition(
+        "pub", protocol="p", role="seller", wire_format="w",
+        steps=[
+            PublicStep("r", "receive", doc_type="purchase_order"),
+            PublicStep("fb", "from_binding", doc_type="po_ack"),
+        ],
+    )
+    assert codes(verify_public_process(definition)) == ["B2B506"]
+
+
+def test_b2b506_exempts_trailing_ack_receive():
+    definition = PublicProcessDefinition(
+        "pub", protocol="p", role="buyer", wire_format="w",
+        steps=[
+            PublicStep("s", "send", doc_type="purchase_order"),
+            PublicStep("r", "receive", doc_type="receipt_ack",
+                       params={"ack": True}),
+        ],
+    )
+    assert verify_public_process(definition) == []

@@ -23,11 +23,28 @@ def test_lint_demo_broken_exits_nonzero_with_three_codes(capsys):
 def test_lint_json_format(capsys):
     assert main(["lint", "--demo-broken", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert "broken-demo" in payload
-    entry = payload["broken-demo"]
+    assert payload["schema_version"] == 2
+    assert "broken-demo" in payload["models"]
+    entry = payload["models"]["broken-demo"]
     assert entry["counts"]["error"] >= 2
     codes = {d["code"] for d in entry["diagnostics"]}
     assert {"B2B201", "B2B301", "B2B103"} <= codes
+
+
+def test_lint_json_deep_includes_deadlock_demo_with_trace(capsys):
+    assert main(["lint", "--demo-broken", "--deep", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    entry = payload["models"]["deadlock-demo"]
+    codes = {d["code"] for d in entry["diagnostics"]}
+    assert "B2B501" in codes
+    deadlock = next(d for d in entry["diagnostics"] if d["code"] == "B2B501")
+    assert any("purchase_order" in line for line in deadlock["trace"])
+
+
+def test_lint_deep_all_examples_pass_on_error_threshold(capsys):
+    assert main(["lint", "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
 
 
 def test_lint_fail_on_warning_catches_naive_baseline(capsys):

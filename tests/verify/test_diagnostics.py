@@ -70,3 +70,30 @@ def test_render_text_sorts_errors_first():
     assert "B2B101" in lines[1]
     assert "1 error(s), 1 warning(s), 1 info" in lines[-1]
     assert "clean" in render_text([], title="empty")
+
+
+def test_render_text_sort_is_total_and_input_order_independent():
+    diagnostics = [
+        Diagnostic("B2B502", SEVERITY_ERROR, "conv/b", "later location"),
+        Diagnostic("B2B101", SEVERITY_ERROR, "wf/a", "graph"),
+        Diagnostic("B2B502", SEVERITY_ERROR, "conv/a", "earlier location"),
+        Diagnostic("B2B601", SEVERITY_WARNING, "wf/p", "race"),
+    ]
+    forward = render_text(diagnostics)
+    assert render_text(list(reversed(diagnostics))) == forward
+    codes = [line.split()[1] for line in forward.splitlines()[:-1]]
+    assert codes == ["B2B101", "B2B502", "B2B502", "B2B601"]
+    assert forward.index("earlier location") < forward.index("later location")
+
+
+def test_trace_renders_indented_and_serializes():
+    diagnostic = Diagnostic(
+        "B2B501", SEVERITY_ERROR, "conv", "deadlock",
+        trace=("buyer  seller", "send po  -->"),
+    )
+    assert diagnostic.to_dict()["trace"] == ["buyer  seller", "send po  -->"]
+    lines = render_text([diagnostic]).splitlines()
+    assert "      buyer  seller" in lines
+    assert "      send po  -->" in lines
+    # a trace-less diagnostic keeps the compact payload
+    assert "trace" not in Diagnostic("B2B101", SEVERITY_ERROR, "l", "m").to_dict()

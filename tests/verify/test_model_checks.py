@@ -134,3 +134,48 @@ def test_scenario_builders_verify_opt_in():
     assert pair.buyer.model.name == "TP1"
 
     assert build_fig14_model(verify=True).name == "ACME"
+
+
+def test_verify_model_deep_finds_conversation_deadlock():
+    from repro.verify.targets import build_deadlock_model
+
+    model = build_deadlock_model()
+    assert verify_model(model) == []  # shallow lint cannot see it
+    diagnostics = verify_model(model, deep=True)
+    assert [d.code for d in diagnostics] == ["B2B501"]
+    (deadlock,) = diagnostics
+    assert deadlock.location == (
+        "model:deadlock-demo/conversation:deadlock-handshake/"
+        "deadlock-buyer+deadlock-seller"
+    )
+    assert deadlock.trace  # the MSC counterexample rides along
+
+
+def test_verify_model_deep_forwards_exploration_bounds():
+    from repro.verify.targets import build_deadlock_model
+
+    diagnostics = verify_model(build_deadlock_model(), deep=True, max_states=1)
+    assert "B2B505" in {d.code for d in diagnostics}
+
+
+def test_integration_model_verify_deep_runs_race_analysis():
+    model = IntegrationModel("race-demo")
+    model.transforms = build_standard_registry()
+    workflow = (
+        WorkflowBuilder("racy")
+        .variable("total", 0)
+        .activity("fork", "start")
+        .activity("left", "work", outputs={"total": "result"})
+        .activity("right", "work", outputs={"total": "result"})
+        .activity("join", "merge")
+        .link("fork", "left")
+        .link("fork", "right")
+        .link("left", "join")
+        .link("right", "join")
+        .build()
+    )
+    model.add_private_process(workflow)
+    assert "B2B601" not in {d.code for d in model.verify()}
+    deep = model.verify(deep=True)
+    race = next(d for d in deep if d.code == "B2B601")
+    assert race.location == "model:race-demo/private:racy/parallel:fork"

@@ -1,0 +1,119 @@
+"""AND-parallel race detection over workflow types (B2B6xx)."""
+
+from repro.verify.race_checks import concurrent_step_pairs, verify_workflow_races
+from repro.workflow.definitions import WorkflowBuilder
+
+
+def _parallel_workflow(
+    left_outputs=None, right_outputs=None, left_inputs=None, right_inputs=None
+):
+    return (
+        WorkflowBuilder("parallel-demo")
+        .variable("total", 0)
+        .variable("doc", None)
+        .activity("fork", "start")
+        .activity("left", "work_left",
+                  inputs=left_inputs, outputs=left_outputs)
+        .activity("right", "work_right",
+                  inputs=right_inputs, outputs=right_outputs)
+        .activity("join", "merge")
+        .link("fork", "left")
+        .link("fork", "right")
+        .link("left", "join")
+        .link("right", "join")
+        .build()
+    )
+
+
+def test_concurrent_pairs_cover_branches_but_not_the_join():
+    workflow = _parallel_workflow()
+    pairs = concurrent_step_pairs(workflow)
+    assert pairs == [("fork", "left", "right")]
+
+
+def test_write_write_race_reports_b2b601():
+    workflow = _parallel_workflow(
+        left_outputs={"total": "result"}, right_outputs={"total": "result"}
+    )
+    diagnostics = verify_workflow_races(workflow)
+    assert [d.code for d in diagnostics] == ["B2B601"]
+    (race,) = diagnostics
+    assert race.severity == "warning"
+    assert "'total'" in race.message
+    assert race.location.endswith("/parallel:fork")
+
+
+def test_read_write_race_reports_b2b602_with_the_path():
+    workflow = _parallel_workflow(
+        left_outputs={"doc": "result"},
+        right_inputs={"amount": "doc.amount"},
+    )
+    diagnostics = verify_workflow_races(workflow)
+    assert [d.code for d in diagnostics] == ["B2B602"]
+    (race,) = diagnostics
+    assert "'doc'" in race.message
+    assert "'doc.amount'" in race.message
+
+
+def test_condition_reads_count_as_reads():
+    workflow = (
+        WorkflowBuilder("condition-race")
+        .variable("flag", False)
+        .activity("fork", "start")
+        .activity("writer", "set_flag", outputs={"flag": "result"})
+        .activity("reader", "check")
+        .activity("yes", "yes")
+        .activity("join", "merge")
+        .link("fork", "writer")
+        .link("fork", "reader")
+        .link("reader", "yes", condition="flag == True")
+        .link("reader", "yes", otherwise=True)
+        .link("writer", "join")
+        .link("yes", "join")
+        .build()
+    )
+    diagnostics = verify_workflow_races(workflow)
+    assert "B2B602" in {d.code for d in diagnostics}
+
+
+def test_xor_branches_are_not_flagged():
+    workflow = (
+        WorkflowBuilder("xor-demo")
+        .variable("total", 0)
+        .activity("decide", "decide")
+        .activity("high", "high_path", outputs={"total": "result"})
+        .activity("low", "low_path", outputs={"total": "result"})
+        .activity("done", "done")
+        .link("decide", "high", condition="total > 10")
+        .link("decide", "low", otherwise=True)
+        .link("high", "done")
+        .link("low", "done")
+        .build()
+    )
+    assert concurrent_step_pairs(workflow) == []
+    assert verify_workflow_races(workflow) == []
+
+
+def test_post_join_reader_is_not_flagged():
+    workflow = (
+        WorkflowBuilder("post-join")
+        .variable("total", 0)
+        .activity("fork", "start")
+        .activity("left", "work", outputs={"total": "result"})
+        .activity("right", "work")
+        .activity("join", "merge",
+                  inputs={"value": "total"})
+        .link("fork", "left")
+        .link("fork", "right")
+        .link("left", "join")
+        .link("right", "join")
+        .build()
+    )
+    assert verify_workflow_races(workflow) == []
+
+
+def test_disjoint_variables_are_clean():
+    workflow = _parallel_workflow(
+        left_outputs={"total": "result"}, right_outputs={"doc": "result"}
+    )
+    assert verify_workflow_races(workflow) == []

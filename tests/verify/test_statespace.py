@@ -1,0 +1,231 @@
+"""Conversation model checking: the bounded product-state-space explorer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.b2b.protocol import extended_protocols
+from repro.core.public_process import PublicProcessDefinition, PublicStep
+from repro.verify import render_text
+from repro.verify.statespace import explore_pair, render_msc
+from repro.verify.targets import build_deadlock_model
+
+
+def _definition(name, role, steps, protocol="test-proto"):
+    return PublicProcessDefinition(
+        name, protocol, role, "test-xml",
+        [PublicStep(f"s{index}_{kind}_{doc}", kind, doc)
+         for index, (kind, doc) in enumerate(steps)],
+    )
+
+
+def _deadlock_pair():
+    model = build_deadlock_model()
+    return (
+        model.public_processes["deadlock-buyer"],
+        model.public_processes["deadlock-seller"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Defect detection
+# ---------------------------------------------------------------------------
+
+
+def test_complementary_request_reply_is_clean():
+    buyer = _definition("b", "buyer", [("send", "po"), ("receive", "ack")])
+    seller = _definition("s", "seller", [("receive", "po"), ("send", "ack")])
+    result = explore_pair(buyer, seller)
+    assert result.clean
+    assert result.states_explored == 5  # the single interleaving, 4 moves
+
+
+def test_deadlock_reports_b2b501_with_minimal_trace():
+    buyer, seller = _deadlock_pair()
+    result = explore_pair(buyer, seller)
+    codes = [d.code for d in result.diagnostics]
+    assert codes == ["B2B501"]
+    (deadlock,) = result.diagnostics
+    assert deadlock.severity == "error"
+    # BFS guarantees the shortest run into the stuck state: exactly the
+    # PO handover, not any longer interleaving.
+    wire_lines = [line for line in deadlock.trace if "[" in line]
+    assert len(wire_lines) == 2
+
+
+def test_unspecified_reception_reports_b2b502():
+    buyer = _definition("b", "buyer", [("send", "po"), ("receive", "invoice")])
+    seller = _definition("s", "seller", [("receive", "po"), ("send", "ack")])
+    result = explore_pair(buyer, seller)
+    codes = {d.code for d in result.diagnostics}
+    assert "B2B502" in codes
+    reception = next(d for d in result.diagnostics if d.code == "B2B502")
+    assert "'invoice'" in reception.message
+    assert "'ack'" in reception.message
+
+
+def test_orphan_message_reports_b2b504():
+    buyer = _definition("b", "buyer", [("send", "po"), ("send", "note")])
+    seller = _definition("s", "seller", [("receive", "po")])
+    result = explore_pair(buyer, seller)
+    codes = {d.code for d in result.diagnostics}
+    assert "B2B504" in codes
+    orphan = next(d for d in result.diagnostics if d.code == "B2B504")
+    assert orphan.severity == "warning"
+    assert "'note'" in orphan.message
+
+
+def test_mutual_burst_overflows_at_bound_one_but_not_two():
+    buyer = _definition(
+        "b", "buyer",
+        [("send", "x"), ("send", "x2"), ("receive", "y"), ("receive", "y2")],
+    )
+    seller = _definition(
+        "s", "seller",
+        [("send", "y"), ("send", "y2"), ("receive", "x"), ("receive", "x2")],
+    )
+    tight = explore_pair(buyer, seller, queue_bound=1)
+    assert {d.code for d in tight.diagnostics} == {"B2B503"}
+    overflow = next(iter(tight.diagnostics))
+    assert "bound 1" in overflow.message
+    assert explore_pair(buyer, seller, queue_bound=2).clean
+
+
+def test_internal_steps_do_not_block_the_conversation():
+    buyer = _definition(
+        "b", "buyer",
+        [("from_binding", "po"), ("send", "po"),
+         ("receive", "ack"), ("to_binding", "ack")],
+    )
+    seller = _definition(
+        "s", "seller",
+        [("receive", "po"), ("to_binding", "po"),
+         ("produce", "ack"), ("send", "ack")],
+    )
+    assert explore_pair(buyer, seller).clean
+
+
+# ---------------------------------------------------------------------------
+# Budgets
+# ---------------------------------------------------------------------------
+
+
+def test_max_states_truncation_reports_b2b505():
+    buyer, seller = _deadlock_pair()
+    result = explore_pair(buyer, seller, max_states=2)
+    assert result.truncated
+    assert result.states_explored <= 2
+    assert not result.clean
+    assert result.diagnostics[-1].code == "B2B505"
+    assert result.diagnostics[-1].severity == "info"
+
+
+def test_time_budget_zero_truncates_immediately():
+    buyer, seller = _deadlock_pair()
+    result = explore_pair(buyer, seller, time_budget=0.0)
+    assert result.truncated
+    assert [d.code for d in result.diagnostics] == ["B2B505"]
+
+
+def test_invalid_bounds_are_rejected():
+    buyer, seller = _deadlock_pair()
+    with pytest.raises(ValueError):
+        explore_pair(buyer, seller, queue_bound=0)
+    with pytest.raises(ValueError):
+        explore_pair(buyer, seller, max_states=0)
+
+
+# ---------------------------------------------------------------------------
+# Golden renderings
+# ---------------------------------------------------------------------------
+
+GOLDEN_DEADLOCK_TRACE = (
+    "buyer                                seller",
+    "send purchase_order  [send_po]  -->",
+    "                                -->  receive purchase_order  [receive_po]",
+    "state: buyer is blocked at step 'receive_invoice' (receive 'invoice'); "
+    "seller is blocked at step 'receive_terms' (receive 'shipping_terms')",
+    "queues: buyer->seller empty | seller->buyer empty",
+)
+
+
+def test_deadlock_counterexample_msc_golden():
+    buyer, seller = _deadlock_pair()
+    (deadlock,) = explore_pair(buyer, seller).diagnostics
+    assert deadlock.trace == GOLDEN_DEADLOCK_TRACE
+
+
+def test_render_text_indents_the_counterexample_golden():
+    buyer, seller = _deadlock_pair()
+    text = render_text(explore_pair(buyer, seller).diagnostics, title="demo")
+    for line in GOLDEN_DEADLOCK_TRACE:
+        assert f"      {line}" in text.splitlines()
+
+
+def test_render_msc_arrow_directions():
+    lines = render_msc(
+        [
+            (0, "send", "po", "a"),
+            (1, "receive", "po", "b"),
+            (1, "to_binding", "po", "c"),
+            (1, "send", "ack", "d"),
+            (0, "receive", "ack", "e"),
+        ],
+        "left",
+        "right",
+    )
+    assert lines[0].startswith("left")
+    assert lines[0].endswith("right")
+    assert "-->" in lines[1] and lines[1].startswith("send po  [a]")
+    assert "-->" in lines[2] and lines[2].endswith("receive po  [b]")
+    assert "<--" not in lines[3]  # internal step: no arrow
+    assert "<--" in lines[4] and lines[4].endswith("send ack  [d]")
+    assert "<--" in lines[5] and lines[5].startswith("receive ack  [e]")
+
+
+# ---------------------------------------------------------------------------
+# The shipped protocols are conversation-clean
+# ---------------------------------------------------------------------------
+
+
+def test_every_shipped_protocol_pair_is_clean():
+    for name, protocol in extended_protocols().items():
+        result = explore_pair(protocol.buyer_process(), protocol.seller_process())
+        assert result.clean, (name, [d.render() for d in result.diagnostics])
+
+
+# ---------------------------------------------------------------------------
+# Properties: termination within budget, determinism
+# ---------------------------------------------------------------------------
+
+_WIRE_STEP = st.tuples(
+    st.sampled_from(["send", "receive"]),
+    st.sampled_from(["po", "ack", "invoice"]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    first=st.lists(_WIRE_STEP, min_size=1, max_size=5),
+    second=st.lists(_WIRE_STEP, min_size=1, max_size=5),
+    queue_bound=st.integers(min_value=1, max_value=3),
+    max_states=st.integers(min_value=1, max_value=200),
+)
+def test_exploration_terminates_within_budget_and_is_deterministic(
+    first, second, queue_bound, max_states
+):
+    buyer = _definition("b", "buyer", first)
+    seller = _definition("s", "seller", second)
+    runs = [
+        explore_pair(buyer, seller, queue_bound=queue_bound, max_states=max_states)
+        for _ in range(2)
+    ]
+    for result in runs:
+        assert result.states_explored <= max_states
+        if result.truncated:
+            assert result.diagnostics[-1].code == "B2B505"
+    assert runs[0].states_explored == runs[1].states_explored
+    assert runs[0].truncated == runs[1].truncated
+    assert [d.to_dict() for d in runs[0].diagnostics] == [
+        d.to_dict() for d in runs[1].diagnostics
+    ]
