@@ -1,0 +1,109 @@
+"""Sharded hub throughput: msgs/sec vs shard count (>=1M messages).
+
+The §4.6 hub claim, measured: the same partner workload is pushed
+through :class:`~repro.runtime.sharding.ShardedKernel` in parallel drain
+mode at shard counts {1, 2, 4, 8} — 250k messages per configuration, one
+million total — and aggregate msgs/sec is reported per count.  The run
+also verifies that deterministic mode produces an identical event trace
+at every shard count (the global-sequence merge makes partitioning
+unobservable) and that cross-shard traffic flows through the explicit
+inter-shard channel / SimulatedNetwork links.
+
+Gate: 4-shard parallel throughput must be >= 2x single-shard (the
+``sharded_hub_scaling_4x`` floor in ``repro.analysis.bench``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_hub.py [--messages N]
+
+or as part of the suite via ``repro bench --sharded-hub`` / pytest.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from conftest import table  # noqa: E402
+
+from repro.analysis.sharded_hub import run_hub_benchmark  # noqa: E402
+
+
+def _rows(result: dict) -> list[dict]:
+    return [
+        {
+            "shards": shards,
+            "msgs_per_sec": result["parallel"][str(shards)]["msgs_per_sec"],
+            "speedup": f"x{result['scaling'][str(shards)]:.2f}",
+            "cross_shard": result["parallel"][str(shards)]["cross_shard_tasks"],
+            "elapsed_sec": result["parallel"][str(shards)]["elapsed_sec"],
+        }
+        for shards in result["shard_counts"]
+    ]
+
+
+def bench_sharded_hub_scaling(benchmark, report):
+    result = benchmark.pedantic(run_hub_benchmark, rounds=1, iterations=1)
+    report(
+        table(
+            _rows(result),
+            ["shards", "msgs_per_sec", "speedup", "cross_shard", "elapsed_sec"],
+            f"Sharded hub: {result['total_messages']:,} messages "
+            f"(commit wait {result['commit_wait_sec'] * 1000:.2f} ms / "
+            f"{result['commit_interval']} msgs)",
+        ),
+        f"deterministic trace invariant: {result['deterministic_trace_invariant']}",
+    )
+    assert result["total_messages"] >= 1_000_000
+    assert result["deterministic_trace_invariant"]
+    assert result["scaling_4x"] >= 2.0, (
+        f"4-shard parallel throughput only x{result['scaling_4x']:.2f} "
+        "of single-shard (floor: x2.0)"
+    )
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--messages", type=int, default=250_000, metavar="N",
+        help="messages per shard-count configuration (default: 250000)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the machine-readable result to PATH ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+    result = run_hub_benchmark(messages_per_config=args.messages)
+    print(
+        table(
+            _rows(result),
+            ["shards", "msgs_per_sec", "speedup", "cross_shard", "elapsed_sec"],
+            f"Sharded hub: {result['total_messages']:,} messages",
+        )
+    )
+    print(
+        f"deterministic trace invariant: {result['deterministic_trace_invariant']}"
+    )
+    if args.json:
+        text = json.dumps(result, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+    if not result["deterministic_trace_invariant"]:
+        return 1
+    if result["scaling_4x"] is not None and result["scaling_4x"] < 2.0:
+        print(
+            f"FAILED: 4-shard scaling x{result['scaling_4x']:.2f} below x2.0",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

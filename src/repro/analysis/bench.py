@@ -53,12 +53,16 @@ TRACKED = (
     "statespace_explore",
 )
 
-# Acceptance floors for compiled-vs-interpreted speedups (dimensionless,
-# machine-independent): compiled expressions must be >=2x, compiled
-# mappings >=1.5x.
+# Acceptance floors for dimensionless (machine-independent) derived
+# metrics: compiled expressions must be >=2x interpreted, compiled
+# mappings >=1.5x, and the sharded hub's 4-shard parallel throughput
+# >=2x its single-shard throughput.  Floors are only checked when the
+# metric is present in the payload, so runs without ``--sharded-hub``
+# are unaffected by the scaling gate.
 SPEEDUP_FLOORS = {
     "expression_compile_speedup": 2.0,
     "mapping_compile_speedup": 1.5,
+    "sharded_hub_scaling_4x": 2.0,
 }
 
 _LINES = [
@@ -285,6 +289,8 @@ def run_benchmarks(
     names: Iterable[str] | None = None,
     min_time: float = 0.2,
     label: str = "PR3",
+    sharded_hub: bool = False,
+    sharded_hub_messages: int = 250_000,
 ) -> dict[str, Any]:
     """Run the selected benchmarks and return the result payload."""
     selected = list(names) if names is not None else list(BENCHMARKS)
@@ -334,6 +340,17 @@ def run_benchmarks(
             * _statespace_states_per_run(),
             1,
         )
+    if sharded_hub:
+        from repro.analysis.sharded_hub import run_hub_benchmark
+
+        hub = run_hub_benchmark(messages_per_config=sharded_hub_messages)
+        payload["sharded_hub"] = hub
+        if hub["scaling_4x"] is not None:
+            derived["sharded_hub_scaling_4x"] = hub["scaling_4x"]
+        if not hub["deterministic_trace_invariant"]:
+            raise RuntimeError(
+                "sharded hub: deterministic traces differ across shard counts"
+            )
     return payload
 
 
@@ -407,6 +424,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--label", default="PR3", help="label recorded in the output payload"
     )
+    parser.add_argument(
+        "--sharded-hub", action="store_true",
+        help="also run the sharded-hub throughput benchmark "
+        "(msgs/sec at shard counts 1/2/4/8, ~1M messages)",
+    )
+    parser.add_argument(
+        "--sharded-hub-messages", type=int, default=250_000, metavar="N",
+        help="messages per shard-count configuration (default: 250000)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -414,10 +440,18 @@ def run(args: argparse.Namespace) -> int:
     names = list(BENCHMARKS)
     if args.filter:
         names = [name for name in names if args.filter in name]
-        if not names:
+        # With --sharded-hub an empty micro-benchmark selection is fine:
+        # e.g. ``--sharded-hub --filter sharded`` runs only the hub.
+        if not names and not args.sharded_hub:
             print(f"no benchmark matches filter {args.filter!r}", file=sys.stderr)
             return 2
-    payload = run_benchmarks(names, min_time=args.min_time, label=args.label)
+    payload = run_benchmarks(
+        names,
+        min_time=args.min_time,
+        label=args.label,
+        sharded_hub=args.sharded_hub,
+        sharded_hub_messages=args.sharded_hub_messages,
+    )
 
     rows = [
         f"{name:32s} {entry['ops_per_sec']:>14,.1f} ops/s   "
@@ -428,6 +462,20 @@ def run(args: argparse.Namespace) -> int:
     for metric, value in payload["derived"].items():
         unit = "" if metric.endswith("_per_sec") else "x"
         print(f"{metric:32s} {value:>10.2f}{unit}")
+    if "sharded_hub" in payload:
+        hub = payload["sharded_hub"]
+        print(f"\nsharded hub ({hub['total_messages']:,} messages total):")
+        for shards in hub["shard_counts"]:
+            entry = hub["parallel"][str(shards)]
+            print(
+                f"  {shards} shard(s) {entry['msgs_per_sec']:>12,.1f} msgs/s   "
+                f"(x{hub['scaling'][str(shards)]:.2f}, "
+                f"{entry['cross_shard_tasks']} cross-shard)"
+            )
+        print(
+            "  deterministic trace invariant: "
+            f"{hub['deterministic_trace_invariant']}"
+        )
 
     if args.json:
         text = json.dumps(payload, indent=2, sort_keys=True)

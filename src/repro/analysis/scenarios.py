@@ -76,6 +76,7 @@ def build_two_enterprise_pair(
     retry_policy: RetryPolicy | None = None,
     auto_approve: bool = True,
     verify: bool = False,
+    runtime=None,
 ) -> TwoEnterprisePair:
     """Assemble the paper's running example (Figure 1 / Figure 14).
 
@@ -87,9 +88,19 @@ def build_two_enterprise_pair(
     With ``verify=True``, both assembled models are statically verified
     (:mod:`repro.verify`) and :class:`~repro.errors.VerificationError` is
     raised on any error-severity diagnostic.
+
+    ``runtime`` swaps in an alternative kernel (e.g. a
+    :class:`~repro.runtime.sharding.ShardedKernel`): pass a ``Runtime``
+    instance, or a factory called with the scheduler clock.
     """
     scheduler = EventScheduler()
-    network = SimulatedNetwork(scheduler, conditions or NetworkConditions.perfect(), seed=seed)
+    # ``runtime`` may be a Runtime instance or a factory taking the
+    # scheduler clock — kernels must share the simulation clock.
+    if runtime is not None and not hasattr(runtime, "submit"):
+        runtime = runtime(scheduler.clock)
+    network = SimulatedNetwork(
+        scheduler, conditions or NetworkConditions.perfect(), seed=seed, runtime=runtime
+    )
     van = ValueAddedNetwork()
 
     buyer = Enterprise(buyer_name, network, van=van, retry_policy=retry_policy)

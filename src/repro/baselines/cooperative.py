@@ -376,6 +376,16 @@ class CooperativeCommunity:
             self.buyer.engine.complete_waiting_step(wait_key, {"wire_text": message.body})
 
     def _seller_receives(self, message: Message) -> None:
+        # Partner-keyed ingress: on a sharded runtime the seller handles
+        # each buyer's orders on that buyer's shard.
+        self.seller.engine.runtime.submit(
+            lambda: self._seller_handles(message),
+            label=f"{self.seller.name}:ingress:{message.message_id}",
+            partner_key=message.sender,
+        )
+        self.seller.engine.runtime.drain()
+
+    def _seller_handles(self, message: Message) -> None:
         instance_id = self.seller.engine.create_instance(
             self.seller_type.name,
             variables={

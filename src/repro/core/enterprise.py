@@ -153,7 +153,7 @@ class Enterprise:
             transports=transports,
             reply_timeout=reply_timeout,
         )
-        self.reliable.on_message(self.b2b.handle_message)
+        self.reliable.on_message(self.b2b.receive)
 
     # -- configuration ---------------------------------------------------------------
 
@@ -301,7 +301,7 @@ class Enterprise:
             return 0
         batch = self.van.pick_up(self.name)
         for message in batch:
-            self.b2b.handle_message(message)
+            self.b2b.receive(message)
         return len(batch)
 
     # -- inspection ----------------------------------------------------------------------

@@ -106,9 +106,18 @@ class SimulatedNetwork:
         self._link_conditions: dict[tuple[str, str], NetworkConditions] = {}
         self._partitioned: set[str] = set()
         self.stats = NetworkStats()
+        self.link_stats: dict[tuple[str, str], NetworkStats] = {}
+
+    def _link(self, message: Message) -> NetworkStats:
+        key = (message.sender, message.receiver)
+        stats = self.link_stats.get(key)
+        if stats is None:
+            stats = self.link_stats[key] = NetworkStats()
+        return stats
 
     def _emit_drop(self, message: Message, reason: str) -> None:
         self.stats.dropped += 1
+        self._link(message).dropped += 1
         self.runtime.emit(
             MessageDropped,
             "network",
@@ -152,9 +161,25 @@ class SimulatedNetwork:
 
     # -- traffic ----------------------------------------------------------------
 
+    def stats_for(self, sender: str, receiver: str) -> NetworkStats:
+        """Counters for the directed link ``sender -> receiver``.
+
+        Returns a zeroed (unattached) record for links that never carried
+        traffic, so callers can read without guards.
+        """
+        return self.link_stats.get((sender, receiver), NetworkStats())
+
+    def link_report(self) -> dict[str, dict[str, int]]:
+        """All per-link counters, keyed ``"<sender>-><receiver>"``."""
+        return {
+            f"{sender}->{receiver}": stats.as_dict()
+            for (sender, receiver), stats in sorted(self.link_stats.items())
+        }
+
     def send(self, message: Message) -> None:
         """Transmit ``message``; delivery (if any) happens via the scheduler."""
         self.stats.sent += 1
+        self._link(message).sent += 1
         self.runtime.emit(
             MessageSent,
             "network",
@@ -178,11 +203,13 @@ class SimulatedNetwork:
         if self._rng.random() < conditions.duplicate_rate:
             copies = 2
             self.stats.duplicated += 1
+            self._link(message).duplicated += 1
         for _ in range(copies):
             delivered = message
             if self._rng.random() < conditions.corrupt_rate:
                 delivered = self._corrupt(message)
                 self.stats.corrupted += 1
+                self._link(message).corrupted += 1
             latency = self._rng.uniform(conditions.min_latency, conditions.max_latency)
             self.scheduler.after(
                 latency,
@@ -210,6 +237,7 @@ class SimulatedNetwork:
             self._emit_drop(message, "unreachable")
             return
         self.stats.delivered += 1
+        self._link(message).delivered += 1
         self.runtime.emit(
             MessageDelivered,
             "network",

@@ -7,7 +7,7 @@ of what happened is this event stream.  Observers — trace recorders,
 metrics counters, test assertions — subscribe to the bus and receive the
 frozen dataclasses below.
 
-Events fall into three families:
+Events fall into four families:
 
 * **workflow** — instance/step lifecycle emitted by
   :class:`~repro.workflow.engine.WorkflowEngine`
@@ -16,6 +16,9 @@ Events fall into three families:
   :class:`~repro.messaging.reliable.ReliableEndpoint`
 * **conversation** — B2B-protocol-level document and conversation
   lifecycle emitted by :class:`~repro.core.integration.B2BEngine`
+* **kernel** — scheduler-level signals emitted by the kernel itself:
+  abandoned batches on drain failure and shard backpressure
+  (:class:`~repro.runtime.sharding.ShardedKernel` watermarks)
 
 Each event carries ``at`` (simulated clock time) and ``source`` (the name
 of the emitting component: an engine name, an endpoint address, or
@@ -52,9 +55,14 @@ __all__ = [
     "ConversationFailed",
     "DocumentSent",
     "DocumentReceived",
+    # kernel / scheduler
+    "BatchAbandoned",
+    "ShardSaturated",
+    "ShardDrained",
     "WORKFLOW_EVENTS",
     "MESSAGING_EVENTS",
     "CONVERSATION_EVENTS",
+    "KERNEL_EVENTS",
     "ALL_EVENT_TYPES",
 ]
 
@@ -325,6 +333,47 @@ class DocumentReceived(RuntimeEvent):
     type = "document_received"
 
 
+# --------------------------------------------------------------------------
+# kernel / scheduler
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchAbandoned(RuntimeEvent):
+    """A drain failed and the rest of the batch was dropped.
+
+    Emitted at the outermost drain level when a task raises: the queue is
+    cleared so the next stimulus starts clean, and this event is the
+    observers' only record of how many queued tasks never ran.
+    """
+
+    abandoned: int
+    error: str
+
+    type = "batch_abandoned"
+
+
+@dataclass(frozen=True)
+class ShardSaturated(RuntimeEvent):
+    """A shard's combined queue+inbox load crossed its saturation watermark."""
+
+    shard: int
+    pending: int
+    watermark: int
+
+    type = "shard_saturated"
+
+
+@dataclass(frozen=True)
+class ShardDrained(RuntimeEvent):
+    """A previously saturated shard's load fell back below the watermark."""
+
+    shard: int
+    pending: int
+
+    type = "shard_drained"
+
+
 WORKFLOW_EVENTS: tuple[type[RuntimeEvent], ...] = (
     InstanceCreated,
     InstanceStarted,
@@ -354,6 +403,18 @@ CONVERSATION_EVENTS: tuple[type[RuntimeEvent], ...] = (
     DocumentReceived,
 )
 
+KERNEL_EVENTS: tuple[type[RuntimeEvent], ...] = (
+    BatchAbandoned,
+    ShardSaturated,
+    ShardDrained,
+)
+
 ALL_EVENT_TYPES: frozenset[str] = frozenset(
-    cls.type for cls in (*WORKFLOW_EVENTS, *MESSAGING_EVENTS, *CONVERSATION_EVENTS)
+    cls.type
+    for cls in (
+        *WORKFLOW_EVENTS,
+        *MESSAGING_EVENTS,
+        *CONVERSATION_EVENTS,
+        *KERNEL_EVENTS,
+    )
 )

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.runtime.bus import EventBus, Subscription
-from repro.runtime.events import RuntimeEvent
+from repro.runtime.events import BatchAbandoned, RuntimeEvent
 from repro.runtime.observers import MetricsObserver, TraceRecorder
 from repro.sim import Clock
 
@@ -47,12 +47,18 @@ class RunQueue:
         accidental infinite submit loop into a loud error.
     """
 
-    def __init__(self, max_tasks_per_batch: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        max_tasks_per_batch: int = 1_000_000,
+        on_abandoned: Callable[[int, BaseException], None] | None = None,
+    ) -> None:
         self._queue: deque[Task] = deque()
         self.max_tasks_per_batch = max_tasks_per_batch
         self.depth = 0
         self.batches = 0
         self.tasks_executed = 0
+        self.abandoned = 0
+        self.on_abandoned = on_abandoned
         self._batch_budget = 0
 
     def submit(self, action: Callable[[], None], label: str = "") -> None:
@@ -68,8 +74,9 @@ class RunQueue:
         Reentrant: a nested call keeps consuming the shared queue, so work
         submitted by a running task executes before the outer drain
         resumes.  If a task raises at the outermost level, the remaining
-        queue is cleared (the batch is abandoned) and the exception
-        propagates to the caller.
+        queue is abandoned: it is cleared, ``abandoned`` counts the dropped
+        tasks, the ``on_abandoned`` hook (if set) fires with the count and
+        the error, and the exception propagates to the caller.
         """
         if self.depth == 0:
             self.batches += 1
@@ -88,9 +95,14 @@ class RunQueue:
                 self.tasks_executed += 1
                 executed += 1
                 task.action()
-        except BaseException:
+        except BaseException as error:
             if self.depth == 1:
+                dropped = len(self._queue)
                 self._queue.clear()
+                if dropped:
+                    self.abandoned += dropped
+                    if self.on_abandoned is not None:
+                        self.on_abandoned(dropped, error)
             raise
         finally:
             self.depth -= 1
@@ -110,8 +122,18 @@ class Runtime(Protocol):
     bus: EventBus
     metrics: MetricsObserver
 
-    def submit(self, action: Callable[[], None], label: str = "") -> None:
-        """Queue an advance task for the next drain."""
+    def submit(
+        self,
+        action: Callable[[], None],
+        label: str = "",
+        partner_key: str | None = None,
+    ) -> None:
+        """Queue an advance task for the next drain.
+
+        ``partner_key`` is a routing hint for sharded runtimes: tasks with
+        the same key land on the same shard.  Single-queue runtimes ignore
+        it.
+        """
         ...
 
     def drain(self) -> int:
@@ -153,10 +175,22 @@ class Kernel:
         self.metrics = MetricsObserver()
         self.bus.subscribe(self.metrics)
         self.trace: TraceRecorder | None = None
+        if self.run_queue.on_abandoned is None:
+            self.run_queue.on_abandoned = self._on_batch_abandoned
+
+    def _on_batch_abandoned(self, dropped: int, error: BaseException) -> None:
+        self.emit(BatchAbandoned, "kernel", abandoned=dropped, error=str(error))
 
     # -- scheduling --------------------------------------------------------
 
-    def submit(self, action: Callable[[], None], label: str = "") -> None:
+    def submit(
+        self,
+        action: Callable[[], None],
+        label: str = "",
+        partner_key: str | None = None,
+    ) -> None:
+        # partner_key is a sharding hint; the single-queue kernel has one
+        # shard, so every key routes to the same place.
         self.run_queue.submit(action, label)
 
     def drain(self) -> int:
@@ -178,8 +212,18 @@ class Kernel:
         self.publish(event_cls(at=self.clock.now(), source=source, **fields))
 
     def enable_trace(self, capacity: int = 10_000) -> TraceRecorder:
-        """Attach (or return the already-attached) ring-buffered trace."""
+        """Attach (or return the already-attached) ring-buffered trace.
+
+        Raises ``ValueError`` if a trace is already attached with a
+        different capacity — silently returning the old recorder would
+        make the caller's capacity request a no-op.
+        """
         if self.trace is None:
             self.trace = TraceRecorder(capacity)
             self.bus.subscribe(self.trace)
+        elif self.trace.capacity != capacity:
+            raise ValueError(
+                f"trace already attached with capacity={self.trace.capacity}; "
+                f"cannot re-enable with capacity={capacity}"
+            )
         return self.trace

@@ -1,0 +1,39 @@
+"""Structure tests for the sharded-hub benchmark harness (small scale)."""
+
+from repro.analysis.bench import run_benchmarks
+from repro.analysis.sharded_hub import deterministic_trace, run_hub_benchmark
+
+
+class TestRunHubBenchmark:
+    def test_payload_shape_and_invariance(self):
+        result = run_hub_benchmark(
+            messages_per_config=2_000,
+            shard_counts=(1, 2),
+            partners=8,
+            commit_wait=0.0,
+            chunk=500,
+        )
+        assert result["total_messages"] >= 4_000
+        assert set(result["parallel"]) == {"1", "2"}
+        for entry in result["parallel"].values():
+            assert entry["processed"] >= entry["messages"]
+            assert entry["msgs_per_sec"] > 0
+        assert result["scaling"]["1"] == 1.0
+        assert result["scaling_4x"] is None  # 4 not in shard_counts
+        assert result["deterministic_trace_invariant"] is True
+        links = result["inter_shard_network"]["links"]
+        assert any(key.startswith("shard:") for key in links)
+
+    def test_deterministic_trace_ignores_shard_count(self):
+        assert deterministic_trace(1) == deterministic_trace(3)
+        assert deterministic_trace(1) != ""
+
+
+class TestBenchIntegration:
+    def test_sharded_hub_rides_the_bench_payload(self):
+        payload = run_benchmarks(
+            [], min_time=0.05, sharded_hub=True, sharded_hub_messages=2_000
+        )
+        assert "sharded_hub" in payload
+        assert "sharded_hub_scaling_4x" in payload["derived"]
+        assert payload["sharded_hub"]["deterministic_trace_invariant"] is True

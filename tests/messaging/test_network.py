@@ -170,3 +170,52 @@ class TestTopologyControls:
         scheduler.run_until_idle()
         assert received_b == []
         assert len(received_c) == 1
+
+
+class TestPerLinkStats:
+    def test_each_link_gets_its_own_counters(self, net, scheduler):
+        net.register("b", lambda m: None)
+        net.register("c", lambda m: None)
+        net.send(_message(1, "a", "b"))
+        net.send(_message(2, "a", "c"))
+        net.send(_message(3, "a", "c"))
+        scheduler.run_until_idle()
+        assert net.stats_for("a", "b").sent == 1
+        assert net.stats_for("a", "b").delivered == 1
+        assert net.stats_for("a", "c").sent == 2
+        assert net.stats_for("a", "c").delivered == 2
+
+    def test_unknown_link_reports_zeroes(self, net):
+        stats = net.stats_for("nobody", "nowhere")
+        assert stats.sent == 0 and stats.delivered == 0
+        assert net.link_report() == {}
+
+    def test_drops_and_duplicates_counted_per_link(self, scheduler):
+        net = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=1)
+        net.set_link_conditions("a", "b", NetworkConditions(loss_rate=1.0))
+        net.set_link_conditions(
+            "a", "c", NetworkConditions(duplicate_rate=1.0)
+        )
+        net.register("b", lambda m: None)
+        net.register("c", lambda m: None)
+        net.send(_message(1, "a", "b"))
+        net.send(_message(2, "a", "c"))
+        scheduler.run_until_idle()
+        assert net.stats_for("a", "b").dropped == 1
+        assert net.stats_for("a", "b").delivered == 0
+        assert net.stats_for("a", "c").duplicated == 1
+        assert net.stats_for("a", "c").delivered == 2
+
+    def test_link_report_aggregates_to_global_stats(self, net, scheduler):
+        net.register("b", lambda m: None)
+        net.register("c", lambda m: None)
+        for index in range(4):
+            net.send(_message(index, "a", "b" if index % 2 else "c"))
+        scheduler.run_until_idle()
+        report = net.link_report()
+        assert set(report) == {"a->b", "a->c"}
+        assert sum(entry["sent"] for entry in report.values()) == net.stats.sent
+        assert (
+            sum(entry["delivered"] for entry in report.values())
+            == net.stats.delivered
+        )

@@ -26,8 +26,8 @@ from repro.core.enterprise import run_community
 from repro.documents import edi
 from repro.documents.normalized import make_purchase_order
 from repro.messaging.network import NetworkConditions, SimulatedNetwork
-from repro.runtime import ALL_EVENT_TYPES, Kernel
-from repro.sim import EventScheduler
+from repro.runtime import ALL_EVENT_TYPES, Kernel, Runtime, ShardedKernel
+from repro.sim import Clock, EventScheduler
 from repro.transform.catalog import build_standard_registry
 
 LINES = [{"sku": "X", "quantity": 2, "unit_price": 100.0}]
@@ -45,9 +45,12 @@ CORE_WORKFLOW_EVENTS = {
 CORE_NETWORK_EVENTS = {"message_sent", "message_delivered"}
 
 
-def _run_monolithic():
+def _run_monolithic(runtime_factory=None):
     scheduler = EventScheduler()
-    network = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=3)
+    runtime = runtime_factory(scheduler.clock) if runtime_factory else None
+    network = SimulatedNetwork(
+        scheduler, NetworkConditions.perfect(), seed=3, runtime=runtime
+    )
     kernel = network.runtime
     trace = kernel.enable_trace()
     runtime = NaiveSellerRuntime(
@@ -66,9 +69,12 @@ def _run_monolithic():
     return kernel, trace
 
 
-def _run_cooperative():
+def _run_cooperative(runtime_factory=None):
     scheduler = EventScheduler()
-    network = SimulatedNetwork(scheduler, NetworkConditions.perfect(), seed=11)
+    runtime = runtime_factory(scheduler.clock) if runtime_factory else None
+    network = SimulatedNetwork(
+        scheduler, NetworkConditions.perfect(), seed=11, runtime=runtime
+    )
     kernel = network.runtime
     trace = kernel.enable_trace()
     community = CooperativeCommunity(
@@ -87,8 +93,8 @@ def _run_cooperative():
     return kernel, trace
 
 
-def _run_distributed():
-    kernel = Kernel()
+def _run_distributed(runtime_factory=None):
+    kernel = runtime_factory(Clock()) if runtime_factory else Kernel()
     trace = kernel.enable_trace()
     left_erp = SapSimulator("SAP")
     right_erp = OracleSimulator("Oracle")
@@ -108,8 +114,10 @@ def _run_distributed():
     return kernel, trace
 
 
-def _run_advanced():
-    pair = build_two_enterprise_pair("rosettanet", seller_delay=0.0)
+def _run_advanced(runtime_factory=None):
+    pair = build_two_enterprise_pair(
+        "rosettanet", seller_delay=0.0, runtime=runtime_factory
+    )
     kernel = pair.runtime
     trace = kernel.enable_trace()
     instance_id = pair.buyer.submit_order("SAP", "ACME", "PO-X1", LINES)
@@ -177,3 +185,40 @@ class TestSharedKernelAcrossArchitectures:
                     assert types.index("instance_started") < types.index(
                         "step_started"
                     ), (name, instance_id)
+
+
+class TestShardedKernelParity:
+    """A single-shard ShardedKernel is a drop-in Kernel replacement.
+
+    Every architecture runs unmodified on ``ShardedKernel(shards=1)``
+    (deterministic mode) and must produce **byte-identical** metrics and
+    an identical rendered event trace versus the plain ``Kernel`` run —
+    the acceptance bar for the sharded hub refactor.
+    """
+
+    @staticmethod
+    def _sharded_factory(clock):
+        return ShardedKernel(shards=1, clock=clock)
+
+    def test_sharded_kernel_satisfies_runtime_protocol(self):
+        assert isinstance(ShardedKernel(), Runtime)
+
+    def test_single_shard_metrics_and_trace_match_kernel(self):
+        import json
+
+        for name, (runner, _networked) in ARCHITECTURES.items():
+            baseline_kernel, baseline_trace = runner()
+            sharded_kernel, sharded_trace = runner(self._sharded_factory)
+            assert isinstance(sharded_kernel, ShardedKernel), name
+            baseline_metrics = json.dumps(
+                baseline_kernel.metrics.as_dict(), sort_keys=True
+            )
+            sharded_metrics = json.dumps(
+                sharded_kernel.metrics.as_dict(), sort_keys=True
+            )
+            assert baseline_metrics == sharded_metrics, name
+            assert baseline_trace.render() == sharded_trace.render(), name
+            assert (
+                baseline_kernel.run_queue.tasks_executed
+                == sharded_kernel.run_queue.tasks_executed
+            ), name

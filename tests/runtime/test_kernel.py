@@ -93,6 +93,87 @@ class TestRunQueue:
         with pytest.raises(RuntimeError, match="max_tasks_per_batch"):
             queue.drain()
 
+    def test_reentrant_drain_shares_one_batch_budget(self):
+        """A nested drain consumes the *outer* batch's budget, so the
+        runaway guard cannot be dodged by splitting the loop over
+        nested drains."""
+        queue = RunQueue(max_tasks_per_batch=10)
+
+        def resubmit_nested():
+            queue.submit(resubmit_nested)
+            queue.drain()
+
+        queue.submit(resubmit_nested)
+        with pytest.raises(RuntimeError, match="max_tasks_per_batch"):
+            queue.drain()
+        assert queue.tasks_executed == 10
+        assert queue.batches == 1
+
+    def test_depth_resets_after_nested_failure(self):
+        queue = RunQueue()
+
+        def parent():
+            queue.submit(boom)
+            queue.drain()  # nested drain raises through the parent frame
+
+        def boom():
+            raise ValueError("nested boom")
+
+        queue.submit(parent)
+        with pytest.raises(ValueError, match="nested boom"):
+            queue.drain()
+        assert queue.depth == 0
+        assert queue.pending() == 0
+        # And the queue is immediately usable again.
+        ran = []
+        queue.submit(lambda: ran.append("ok"))
+        queue.drain()
+        assert ran == ["ok"]
+
+    def test_budget_exhaustion_inside_nested_drain(self):
+        """Hitting max_tasks_per_batch inside a nested drain abandons the
+        whole batch at the outermost level, not just the subtree."""
+        queue = RunQueue(max_tasks_per_batch=3)
+        ran = []
+
+        def parent():
+            ran.append("parent")
+            for index in range(5):
+                queue.submit(lambda index=index: ran.append(f"child-{index}"))
+            queue.drain()
+
+        queue.submit(parent)
+        with pytest.raises(RuntimeError, match="max_tasks_per_batch"):
+            queue.drain()
+        # Budget 3 covers parent + two children; the rest are abandoned.
+        assert ran == ["parent", "child-0", "child-1"]
+        assert queue.depth == 0
+        assert queue.pending() == 0
+        assert queue.abandoned == 3
+
+    def test_abandoned_tasks_are_counted_and_hook_fires(self):
+        observed = []
+        queue = RunQueue(
+            on_abandoned=lambda dropped, error: observed.append((dropped, str(error)))
+        )
+
+        def boom():
+            raise ValueError("boom")
+
+        queue.submit(boom)
+        queue.submit(lambda: None)
+        queue.submit(lambda: None)
+        with pytest.raises(ValueError):
+            queue.drain()
+        assert queue.abandoned == 2
+        assert observed == [(2, "boom")]
+        # A clean failure with nothing queued behind it abandons nothing.
+        queue.submit(boom)
+        with pytest.raises(ValueError):
+            queue.drain()
+        assert queue.abandoned == 2
+        assert len(observed) == 1
+
 
 class TestEventBus:
     def test_subscribe_receives_all_events(self):
@@ -220,8 +301,36 @@ class TestKernel:
         kernel.emit(StepStarted, "engine", instance_id="I-1", step_id="a")
         assert len(trace.events()) == 1
 
+    def test_enable_trace_rejects_capacity_mismatch(self):
+        kernel = Kernel()
+        trace = kernel.enable_trace(capacity=100)
+        assert kernel.enable_trace(capacity=100) is trace
+        with pytest.raises(ValueError, match="capacity=100"):
+            kernel.enable_trace(capacity=5)
+
+    def test_drain_failure_emits_batch_abandoned_event(self):
+        kernel = Kernel()
+        trace = kernel.enable_trace()
+
+        def boom():
+            raise ValueError("boom")
+
+        kernel.submit(boom)
+        kernel.submit(lambda: None)
+        with pytest.raises(ValueError):
+            kernel.drain()
+        assert kernel.run_queue.abandoned == 1
+        event = trace.last(type="batch_abandoned")
+        assert event is not None
+        assert event.abandoned == 1
+        assert event.error == "boom"
+        assert kernel.metrics.count("batch_abandoned") == 1
+
     def test_event_type_taxonomy_is_consistent(self):
         assert "instance_started" in ALL_EVENT_TYPES
         assert "message_delivered" in ALL_EVENT_TYPES
         assert "conversation_completed" in ALL_EVENT_TYPES
-        assert len(ALL_EVENT_TYPES) == 20
+        assert "batch_abandoned" in ALL_EVENT_TYPES
+        assert "shard_saturated" in ALL_EVENT_TYPES
+        assert "shard_drained" in ALL_EVENT_TYPES
+        assert len(ALL_EVENT_TYPES) == 23
