@@ -17,7 +17,13 @@ protocols and back ends grow, §4 Figures 11-15):
 * ``statespace_explore`` — the deployment-time conversation model check
   (``repro lint --deep``): the product-state-space exploration of the
   receipt-acknowledged RosettaNet pair, the largest shipped conversation.
-  The derived ``statespace_states_per_sec`` tracks explorer throughput.
+  The derived ``statespace_states_per_sec`` tracks explorer throughput,
+  and ``statespace_reduction_ratio`` tracks how many states partial-order
+  reduction prunes on a burst-heavy synthetic pair (gated >= 5x).
+* ``registry_sweep`` — registry-scale lint: one cold deep sweep over a
+  synthetic 250-agreement partner registry (shared per-protocol
+  explorations).  The derived ``registry_lint_cache_hit_rate`` re-sweeps
+  with a warm digest cache and must stay >= 0.9.
 
 Results are machine-readable (``BENCH_PR3.json``).  Because absolute ops/sec
 are machine-bound, every run also times a fixed pure-Python calibration loop
@@ -51,18 +57,23 @@ TRACKED = (
     "fig14_roundtrip",
     "add_partner_advanced",
     "statespace_explore",
+    "registry_sweep",
 )
 
 # Acceptance floors for dimensionless (machine-independent) derived
 # metrics: compiled expressions must be >=2x interpreted, compiled
-# mappings >=1.5x, and the sharded hub's 4-shard parallel throughput
-# >=2x its single-shard throughput.  Floors are only checked when the
-# metric is present in the payload, so runs without ``--sharded-hub``
-# are unaffected by the scaling gate.
+# mappings >=1.5x, the sharded hub's 4-shard parallel throughput >=2x
+# its single-shard throughput, partial-order reduction must prune the
+# bursty pair's interleaving space >=5x, and a warm registry re-sweep
+# must serve >=90% of agreements from the digest cache.  Floors are
+# only checked when the metric is present in the payload, so partial
+# runs (e.g. without ``--sharded-hub``) skip the absent gates.
 SPEEDUP_FLOORS = {
     "expression_compile_speedup": 2.0,
     "mapping_compile_speedup": 1.5,
     "sharded_hub_scaling_4x": 2.0,
+    "statespace_reduction_ratio": 5.0,
+    "registry_lint_cache_hit_rate": 0.9,
 }
 
 _LINES = [
@@ -218,6 +229,72 @@ def _bench_statespace_explore() -> Callable[[], Any]:
     return explore
 
 
+def _bursty_pair(burst: int):
+    """Two public processes that each fire ``burst`` sends before draining
+    the other side's burst — the worst interleaving blow-up a queue bound
+    of ``burst`` allows, and the shape partial-order reduction targets."""
+    from repro.core.public_process import PublicProcessDefinition, PublicStep
+
+    buyer = PublicProcessDefinition(
+        "bench/bursty-buyer", "bench-bursty", "buyer", "fmt",
+        [PublicStep(f"send_{index}", "send", f"doc_{index}")
+         for index in range(burst)]
+        + [PublicStep(f"recv_{index}", "receive", f"ret_{index}")
+           for index in range(burst)],
+    )
+    seller = PublicProcessDefinition(
+        "bench/bursty-seller", "bench-bursty", "seller", "fmt",
+        [PublicStep(f"send_{index}", "send", f"ret_{index}")
+         for index in range(burst)]
+        + [PublicStep(f"recv_{index}", "receive", f"doc_{index}")
+           for index in range(burst)],
+    )
+    return buyer, seller
+
+
+def _statespace_reduction_ratio(burst: int = 8) -> float:
+    """Full-BFS states over reduced states on the bursty pair (gated >=5x)."""
+    from repro.verify.statespace import explore_pair
+
+    buyer, seller = _bursty_pair(burst)
+    full = explore_pair(buyer, seller, queue_bound=burst, reduce=False)
+    reduced = explore_pair(buyer, seller, queue_bound=burst, reduce=True)
+    if not (full.clean and reduced.clean):
+        raise RuntimeError("bursty benchmark pair is not clean")
+    return round(full.states_explored / reduced.states_explored, 2)
+
+
+def _registry_model(agreements: int = 250):
+    from repro.analysis.scenarios import build_registry_model
+
+    return build_registry_model(agreements)
+
+
+def _bench_registry_sweep() -> Callable[[], Any]:
+    from repro.verify.registry import sweep_registry
+
+    model = _registry_model()
+
+    def sweep() -> None:
+        report = sweep_registry(model, deep=True)
+        if report.diagnostics:
+            raise RuntimeError("registry sweep reported diagnostics")
+
+    return sweep
+
+
+def _registry_cache_hit_rate(agreements: int = 250) -> float:
+    """Warm re-sweep hit rate with an in-memory digest cache (gated >=0.9)."""
+    from repro.verify.incremental import VerificationCache
+    from repro.verify.registry import sweep_registry
+
+    model = _registry_model(agreements)
+    cache = VerificationCache()
+    sweep_registry(model, deep=True, cache=cache)
+    warm = sweep_registry(model, deep=True, cache=cache)
+    return round(warm.cache_hit_rate, 4)
+
+
 BENCHMARKS: dict[str, Callable[[], Callable[[], Any]]] = {
     "expression_eval_interpreted": _bench_expression_interpreted,
     "expression_eval_compiled": _bench_expression_compiled,
@@ -227,6 +304,7 @@ BENCHMARKS: dict[str, Callable[[], Callable[[], Any]]] = {
     "add_partner_naive": _bench_add_partner_naive,
     "add_partner_advanced": _bench_add_partner_advanced,
     "statespace_explore": _bench_statespace_explore,
+    "registry_sweep": _bench_registry_sweep,
 }
 
 
@@ -340,6 +418,9 @@ def run_benchmarks(
             * _statespace_states_per_run(),
             1,
         )
+        derived["statespace_reduction_ratio"] = _statespace_reduction_ratio()
+    if "registry_sweep" in results:
+        derived["registry_lint_cache_hit_rate"] = _registry_cache_hit_rate()
     if sharded_hub:
         from repro.analysis.sharded_hub import run_hub_benchmark
 

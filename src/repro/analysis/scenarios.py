@@ -39,6 +39,7 @@ __all__ = [
     "build_two_enterprise_pair",
     "build_fig15_community",
     "advanced_synthetic_model",
+    "build_registry_model",
     "synthetic_protocol",
 ]
 
@@ -507,4 +508,47 @@ def advanced_synthetic_model(
             thresholds[(backend_name, partner_id)] = 10000.0 * index
     model.rules.register(approval_rule_set(thresholds))
     model.rules.register(routing_rule_set(routing))
+    return model
+
+
+def build_registry_model(agreements: int, seed: int = 7) -> IntegrationModel:
+    """A deployment-scale model: one hub, ``agreements`` partner agreements.
+
+    Every extended protocol is deployed once (the §4.6 advantage: adding a
+    partner reuses the deployed public processes); each trading partner
+    holds one agreement whose protocol, role and doc types are assigned
+    deterministically from ``seed`` — the substrate for registry-sweep
+    verification and its benchmarks.  Same ``(agreements, seed)`` always
+    builds a digest-identical model.
+    """
+    import random
+
+    from repro.b2b.protocol import extended_protocols
+
+    rng = random.Random(seed)
+    model = IntegrationModel(f"registry-{agreements}")
+    model.transforms = build_standard_registry()
+    model.add_private_process(seller_po_process(owner=model.name))
+    protocols = extended_protocols()
+    protocol_names = sorted(protocols)
+    doc_types: dict[str, tuple[str, ...]] = {}
+    for name in protocol_names:
+        protocol = protocols[name]
+        model.add_protocol(protocol, "private-po-seller")
+        doc_types[name] = tuple(sorted(
+            {step.doc_type for step in protocol.buyer_process().steps if step.doc_type}
+        ))
+    for index in range(1, agreements + 1):
+        partner_id = f"TP{index}"
+        protocol_name = rng.choice(protocol_names)
+        our_role = rng.choice(("buyer", "seller"))
+        model.partners.add_partner(
+            TradingPartner(partner_id, protocols=(protocol_name,))
+        )
+        model.partners.add_agreement(
+            TradingPartnerAgreement(
+                partner_id, protocol_name, our_role,
+                doc_types=doc_types[protocol_name],
+            )
+        )
     return model

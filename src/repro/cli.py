@@ -192,11 +192,14 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     return 0
 
 
-LINT_SCHEMA_VERSION = 2
+LINT_SCHEMA_VERSION = 3
 """Version of the ``repro lint --format json`` payload shape.
 
-Version 2 wrapped the per-label results under a ``"models"`` key and
-added this marker so downstream consumers can detect shape changes.
+Version 2 wrapped the per-label results under a ``"models"`` key.
+Version 3 added per-model ``cached``/``duration_ms``/``states`` (explored
+and pruned counts, so a statespace regression is attributable to the
+model that caused it), a ``totals`` summary with the cache hit/miss
+split, and the ``registry`` section emitted by ``--registry`` sweeps.
 """
 
 
@@ -204,6 +207,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from repro.verify import at_or_above, count_by_severity, render_text
+    from repro.verify.incremental import IncrementalVerifier, VerificationCache
     from repro.verify.targets import (
         build_broken_model,
         build_deadlock_model,
@@ -215,45 +219,174 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         "queue_bound": args.queue_bound,
         "max_states": args.max_states,
         "time_budget": args.time_budget,
+        "reduce": not args.no_reduce,
     }
+    cache = VerificationCache(args.cache) if args.incremental else None
+
+    if args.registry:
+        return _lint_registry(args, verify_options, cache)
+
+    reports: dict = {}
     if args.demo_broken:
-        results = {"broken-demo": build_broken_model().verify(**verify_options)}
+        from repro.verify.incremental import verify_unit
+
+        reports["broken-demo"] = verify_unit(
+            "broken-demo", build_broken_model(), verify_options
+        )
         if args.deep:
             # the conversation defects only exist in the deadlock demo
-            results["deadlock-demo"] = build_deadlock_model().verify(
-                **verify_options
+            reports["deadlock-demo"] = verify_unit(
+                "deadlock-demo", build_deadlock_model(), verify_options
             )
+        results = {label: r.diagnostics for label, r in reports.items()}
+        incremental = None
     else:
+        incremental = (
+            IncrementalVerifier(cache, **verify_options) if cache is not None else None
+        )
         try:
-            results = lint_all(only=args.model, **verify_options)
+            results = lint_all(
+                only=args.model,
+                incremental=incremental,
+                reports=reports,
+                **(verify_options if incremental is None else {}),
+            )
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
+        if incremental is not None:
+            incremental.flush()
 
     failing = 0
     for diagnostics in results.values():
         failing += len(at_or_above(diagnostics, args.fail_on))
 
+    hits = incremental.hits if incremental is not None else 0
+    misses = (
+        incremental.misses if incremental is not None else len(results)
+    )
     if args.format == "json":
         payload = {
             "schema_version": LINT_SCHEMA_VERSION,
             "models": {
                 label: {
-                    "counts": count_by_severity(diagnostics),
-                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "counts": count_by_severity(report.diagnostics),
+                    "diagnostics": [d.to_dict() for d in report.diagnostics],
+                    "cached": report.cached,
+                    "duration_ms": round(report.duration * 1000, 3),
+                    "states": {
+                        "explored": report.states_explored,
+                        "pruned": report.states_pruned,
+                    },
                 }
-                for label, diagnostics in sorted(results.items())
+                for label, report in sorted(reports.items())
+            },
+            "totals": {
+                "models": len(results),
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "duration_ms": round(
+                    sum(r.duration for r in reports.values()) * 1000, 3
+                ),
             },
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for label, diagnostics in sorted(results.items()):
             print(render_text(diagnostics, title=label))
+        if args.stats:
+            print()
+            print(_stats_table(reports))
+        if incremental is not None:
+            print()
+            print(
+                f"cache: {hits} hit(s), {misses} miss(es) "
+                f"({incremental.hit_rate:.0%} hit rate) at {args.cache}"
+            )
         print()
         verdict = "FAIL" if failing else "OK"
         print(
             f"{verdict}: {len(results)} model(s) linted, "
             f"{failing} diagnostic(s) at or above {args.fail_on!r}"
+        )
+    return 1 if failing else 0
+
+
+def _stats_table(reports: dict) -> str:
+    """Per-model timing and state-count table for ``lint --stats``."""
+    rows = [
+        {
+            "model": label,
+            "cached": "yes" if report.cached else "no",
+            "ms": f"{report.duration * 1000:.1f}",
+            "explored": report.states_explored,
+            "pruned": report.states_pruned,
+        }
+        for label, report in sorted(reports.items())
+    ]
+    return _table(
+        rows, ["model", "cached", "ms", "explored", "pruned"],
+        "Per-model verification stats",
+    )
+
+
+def _lint_registry(args: argparse.Namespace, verify_options: dict, cache) -> int:
+    """``repro lint --registry N``: sweep a generated agreement registry."""
+    import json
+
+    from repro.analysis.scenarios import build_registry_model
+    from repro.verify import at_or_above, count_by_severity, render_text
+    from repro.verify.registry import sweep_registry
+
+    model = build_registry_model(args.registry)
+    report = sweep_registry(model, cache=cache, **verify_options)
+    if cache is not None:
+        cache.save()
+    failing = len(at_or_above(report.diagnostics, args.fail_on))
+    if args.format == "json":
+        payload = {
+            "schema_version": LINT_SCHEMA_VERSION,
+            "models": {},
+            "registry": {
+                "model": model.name,
+                "agreements": report.agreements,
+                "verified": report.verified,
+                "cache_hits": report.cache_hits,
+                "cache_hit_rate": round(report.cache_hit_rate, 4),
+                "explorations": report.explorations,
+                "states": {
+                    "explored": report.states_explored,
+                    "pruned": report.states_pruned,
+                },
+                "duration_ms": round(report.duration * 1000, 3),
+                "fabric_cached": report.fabric_cached,
+                "counts": count_by_severity(report.diagnostics),
+                "fabric_diagnostics": [
+                    d.to_dict() for d in report.fabric_diagnostics
+                ],
+                "dirty_agreements": {
+                    label: [d.to_dict() for d in diagnostics]
+                    for label, diagnostics in sorted(report.dirty.items())
+                },
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if report.fabric_diagnostics:
+            print(render_text(report.fabric_diagnostics, title=f"{model.name} (fabric)"))
+        for label, diagnostics in sorted(report.dirty.items()):
+            print(render_text(diagnostics, title=label))
+        print(
+            f"registry sweep: {report.agreements} agreement(s), "
+            f"{report.verified} verified, {report.cache_hits} cache hit(s) "
+            f"({report.cache_hit_rate:.0%}), {report.explorations} "
+            f"exploration(s), {report.states_explored} state(s) explored "
+            f"({report.states_pruned} pruned) in {report.duration * 1000:.1f} ms"
+        )
+        print()
+        verdict = "FAIL" if failing else "OK"
+        print(
+            f"{verdict}: {failing} diagnostic(s) at or above {args.fail_on!r}"
         )
     return 1 if failing else 0
 
@@ -348,6 +481,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget for --deep exploration per conversation "
         "pair (default: none); exceeding it reports B2B505",
+    )
+    lint.add_argument(
+        "--incremental", action="store_true",
+        help="reuse cached verdicts for models whose verification digest "
+        "(content fingerprints + verify options) is unchanged; verdicts "
+        "are persisted in the --cache file",
+    )
+    lint.add_argument(
+        "--cache", default=".repro-lint-cache.json", metavar="PATH",
+        help="verification cache file for --incremental "
+        "(default: .repro-lint-cache.json)",
+    )
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print per-model timing and explored/pruned state counts "
+        "(text format; the json format always includes them)",
+    )
+    lint.add_argument(
+        "--registry", type=int, default=None, metavar="N",
+        help="instead of the example models, sweep a generated registry "
+        "of N trading-partner agreements (explorations are shared per "
+        "protocol; combine with --incremental for warm re-sweeps)",
+    )
+    lint.add_argument(
+        "--no-reduce", action="store_true",
+        help="disable partial-order reduction in --deep exploration "
+        "(debugging aid; verdicts are identical, exploration is slower)",
     )
     lint.set_defaults(handler=_cmd_lint)
 

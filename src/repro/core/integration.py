@@ -257,6 +257,16 @@ class IntegrationModel:
             index[f"application:{name}"] = native_format
         return index
 
+    def verification_digest(self, **verify_options) -> str:
+        """Content digest of everything verification of this model depends
+        on — element fingerprints plus the verify options (see
+        :mod:`repro.verify.incremental`).  Equal digests mean a previously
+        cached verification verdict may be reused verbatim.
+        """
+        from repro.verify.incremental import verification_digest
+
+        return verification_digest(self, verify_options)[0]
+
     def verify(
         self,
         strict: bool = False,
@@ -264,6 +274,8 @@ class IntegrationModel:
         queue_bound: int | None = None,
         max_states: int | None = None,
         time_budget: float | None = None,
+        reduce: bool = True,
+        stats: dict | None = None,
     ) -> list:
         """Statically lint this model (see :mod:`repro.verify`).
 
@@ -274,7 +286,9 @@ class IntegrationModel:
         buyer/seller conversation product automaton (B2B5xx) and runs the
         AND-parallel race analysis over every private process (B2B6xx);
         ``queue_bound``, ``max_states`` and ``time_budget`` bound that
-        exploration (``None`` keeps the statespace defaults).
+        exploration (``None`` keeps the statespace defaults),
+        ``reduce=False`` disables partial-order reduction, and a ``stats``
+        dict is filled with timing and explored/pruned state counts.
         """
         from repro.errors import VerificationError
         from repro.verify import SEVERITY_ERROR, at_or_above, verify_model
@@ -285,6 +299,8 @@ class IntegrationModel:
             queue_bound=queue_bound,
             max_states=max_states,
             time_budget=time_budget,
+            reduce=reduce,
+            stats=stats,
         )
         if strict:
             errors = at_or_above(diagnostics, SEVERITY_ERROR)

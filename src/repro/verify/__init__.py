@@ -28,6 +28,11 @@ Entry points: ``repro lint`` on the CLI (``--deep`` enables the B2B5xx
 conversation exploration and B2B6xx race analysis),
 ``IntegrationModel.verify()`` programmatically, and the scenario builders'
 ``verify=True`` opt-in.
+
+Verification is *incremental*: every unit's verdict is keyed by a content
+digest of exactly the elements it depends on (see
+:mod:`repro.verify.incremental`), so ``repro lint --incremental`` and the
+registry sweep (:mod:`repro.verify.registry`) re-verify only what changed.
 """
 
 from repro.verify.binding_checks import (
@@ -45,8 +50,18 @@ from repro.verify.diagnostics import (
     render_text,
     worst_severity,
 )
+from repro.verify.incremental import (
+    IncrementalVerifier,
+    ModelReport,
+    VerificationCache,
+    component_digests,
+    content_digest,
+    verification_digest,
+    verify_unit,
+)
 from repro.verify.model_checks import verify_model
 from repro.verify.race_checks import concurrent_step_pairs, verify_workflow_races
+from repro.verify.registry import SweepReport, sweep_registry
 from repro.verify.statespace import (
     DEFAULT_MAX_STATES,
     DEFAULT_QUEUE_BOUND,
@@ -79,4 +94,13 @@ __all__ = [
     "verify_conversations",
     "concurrent_step_pairs",
     "verify_workflow_races",
+    "IncrementalVerifier",
+    "ModelReport",
+    "VerificationCache",
+    "component_digests",
+    "content_digest",
+    "verification_digest",
+    "verify_unit",
+    "SweepReport",
+    "sweep_registry",
 ]

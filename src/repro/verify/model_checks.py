@@ -10,6 +10,7 @@ routes, orphaned private processes, agreements over undeployed protocols.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import replace
 from typing import TYPE_CHECKING
@@ -38,6 +39,8 @@ def verify_model(
     queue_bound: int | None = None,
     max_states: int | None = None,
     time_budget: float | None = None,
+    reduce: bool = True,
+    stats: dict | None = None,
 ) -> list[Diagnostic]:
     """Statically lint every element of ``model``.
 
@@ -46,8 +49,14 @@ def verify_model(
     buyer/seller product automaton, and the AND-parallel race analysis
     (B2B6xx, :mod:`repro.verify.race_checks`) runs over every private
     process.  ``queue_bound``/``max_states``/``time_budget`` tune the
-    exploration (``None`` = the statespace defaults).
+    exploration (``None`` = the statespace defaults); ``reduce=False``
+    switches the exploration back to plain unreduced BFS.
+
+    When ``stats`` is a dict it is filled in place with verification
+    metrics: ``duration`` (seconds), ``states_explored``/``states_pruned``
+    totals, and a per-pair ``conversations`` list.
     """
+    started = time.monotonic()
     prefix = f"model:{model.name}"
     diagnostics: list[Diagnostic] = []
     for name, workflow in model.private_processes.items():
@@ -65,6 +74,7 @@ def verify_model(
     _check_routes(model, prefix, diagnostics)
     _check_orphans(model, prefix, diagnostics)
     _check_agreements(model, prefix, diagnostics)
+    explorations: list = []
     if deep:
         from repro.verify.statespace import (
             DEFAULT_MAX_STATES,
@@ -78,8 +88,28 @@ def verify_model(
                 queue_bound=queue_bound or DEFAULT_QUEUE_BOUND,
                 max_states=max_states or DEFAULT_MAX_STATES,
                 time_budget=time_budget,
+                reduce=reduce,
+                results=explorations,
             )
         )
+    if stats is not None:
+        stats["duration"] = time.monotonic() - started
+        stats["states_explored"] = sum(
+            result.states_explored for _loc, result in explorations
+        )
+        stats["states_pruned"] = sum(
+            result.states_pruned for _loc, result in explorations
+        )
+        stats["conversations"] = [
+            {
+                "location": location,
+                "states_explored": result.states_explored,
+                "states_pruned": result.states_pruned,
+                "replay_states": result.replay_states,
+                "truncated": result.truncated,
+            }
+            for location, result in explorations
+        ]
     return diagnostics
 
 

@@ -1,0 +1,231 @@
+"""Registry-scale verification: lint every trading-partner agreement.
+
+The paper's deployment story (§4.5–4.6) requires every pairwise agreement
+to be statically checked before it goes live — not just the shipped
+example models.  A naive loop calling ``verify(deep=True)`` once per
+agreement would re-explore the same protocol product automata thousands
+of times; this sweep is built around two observations:
+
+* **Explorations are shared.**  All agreements over one protocol verify
+  against the same buyer/seller public-process pair, so each protocol is
+  explored at most once per sweep regardless of how many thousands of
+  agreements reference it.
+
+* **Verdicts are cacheable.**  Each agreement's verdict depends only on
+  its protocol descriptor, the protocol's public processes, the partner
+  profile, the agreement terms and the verify options — digested exactly
+  like :mod:`repro.verify.incremental` digests whole models.  With a
+  warm :class:`~repro.verify.incremental.VerificationCache`, a re-sweep
+  after a single-agreement edit re-verifies only that agreement (plus
+  the whole-model fabric pass, whose own digest covers every component).
+
+The fabric pass runs the ordinary static checks once for the shared
+infrastructure (workflows, mappings, bindings, routes, agreement
+integrity — everything ``verify_model(deep=False)`` covers); the
+per-agreement pass attaches the protocol's conversation diagnostics
+(B2B5xx) under each agreement's location.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.verify.diagnostics import Diagnostic
+from repro.verify.model_checks import verify_model
+from repro.verify.statespace import (
+    DEFAULT_MAX_STATES,
+    DEFAULT_QUEUE_BOUND,
+    ExplorationResult,
+    explore_pair,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.integration import IntegrationModel
+    from repro.verify.incremental import VerificationCache
+
+__all__ = ["SweepReport", "sweep_registry"]
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one registry sweep.
+
+    ``verified``/``cache_hits`` count agreements; ``explorations`` counts
+    the conversation explorations actually run (shared per protocol, so
+    it is bounded by the protocol count, not the agreement count).
+    """
+
+    agreements: int = 0
+    verified: int = 0
+    cache_hits: int = 0
+    explorations: int = 0
+    states_explored: int = 0
+    states_pruned: int = 0
+    duration: float = 0.0
+    fabric_cached: bool = False
+    fabric_diagnostics: list[Diagnostic] = field(default_factory=list)
+    agreement_diagnostics: dict[str, list[Diagnostic]] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of agreements served from cache (0.0 for an empty sweep)."""
+        return self.cache_hits / self.agreements if self.agreements else 0.0
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        """Fabric diagnostics plus every agreement's, flattened."""
+        merged = list(self.fabric_diagnostics)
+        for label in sorted(self.agreement_diagnostics):
+            merged.extend(self.agreement_diagnostics[label])
+        return merged
+
+    @property
+    def dirty(self) -> dict[str, list[Diagnostic]]:
+        """Only the agreements that reported diagnostics."""
+        return {
+            label: diagnostics
+            for label, diagnostics in self.agreement_diagnostics.items()
+            if diagnostics
+        }
+
+
+def sweep_registry(
+    model: "IntegrationModel",
+    deep: bool = True,
+    queue_bound: int | None = None,
+    max_states: int | None = None,
+    time_budget: float | None = None,
+    reduce: bool = True,
+    cache: "VerificationCache | None" = None,
+) -> SweepReport:
+    """Verify every agreement in ``model``'s partner directory.
+
+    :param cache: optional digest-keyed verdict cache (in-memory or
+        persisted); pass the same cache across sweeps to make unchanged
+        agreements hits.  ``None`` verifies everything cold.
+    """
+    from repro.verify.incremental import (
+        VerificationCache,
+        component_digests,
+        content_digest,
+        options_digest,
+    )
+
+    started = time.monotonic()
+    if cache is None:
+        cache = VerificationCache()
+    options = {
+        "deep": deep,
+        "queue_bound": queue_bound,
+        "max_states": max_states,
+        "time_budget": time_budget,
+        "reduce": reduce,
+    }
+    opts_digest = options_digest(options)
+    report = SweepReport()
+
+    # --- fabric pass: every non-conversation check, once for the model
+    fabric_components = component_digests(model)
+    fabric_digest = content_digest(
+        {"options": opts_digest, "components": fabric_components}
+    )
+    fabric_label = f"registry-fabric:{model.name}"
+    entry = cache.lookup(fabric_label, fabric_digest)
+    if entry is not None:
+        report.fabric_cached = True
+        report.fabric_diagnostics = [
+            Diagnostic.from_dict(d) for d in entry.get("diagnostics", [])
+        ]
+    else:
+        report.fabric_diagnostics = verify_model(model, deep=False)
+        cache.store(
+            fabric_label,
+            fabric_digest,
+            fabric_components,
+            report.fabric_diagnostics,
+            {},
+        )
+
+    # --- per-agreement pass: shared explorations, digest-gated verdicts
+    public_by_protocol: dict[str, list[str]] = {}
+    for name in sorted(model.public_processes):
+        definition = model.public_processes[name]
+        public_by_protocol.setdefault(definition.protocol, []).append(name)
+    explored: dict[str, list[Diagnostic]] = {}
+    for agreement in model.partners.agreements():
+        key = ":".join(agreement.key())
+        label = f"agreement:{key}"
+        report.agreements += 1
+        components = {
+            name: fabric_components[name]
+            for name in (
+                f"protocol:{agreement.protocol}",
+                f"partner:{agreement.partner_id}",
+                f"agreement:{key}",
+            )
+            if name in fabric_components
+        }
+        for public_name in public_by_protocol.get(agreement.protocol, ()):
+            components[f"public:{public_name}"] = fabric_components[
+                f"public:{public_name}"
+            ]
+        digest = content_digest({"options": opts_digest, "components": components})
+        entry = cache.lookup(label, digest)
+        if entry is not None:
+            report.cache_hits += 1
+            diagnostics = [
+                Diagnostic.from_dict(d) for d in entry.get("diagnostics", [])
+            ]
+        else:
+            report.verified += 1
+            diagnostics = []
+            if deep:
+                if agreement.protocol not in explored:
+                    explored[agreement.protocol] = _explore_protocol(
+                        model, agreement.protocol, options, report
+                    )
+                diagnostics = [
+                    replace(d, location=f"{label}/{d.location}")
+                    for d in explored[agreement.protocol]
+                ]
+            cache.store(label, digest, components, diagnostics, {})
+        report.agreement_diagnostics[label] = diagnostics
+    report.duration = time.monotonic() - started
+    return report
+
+
+def _explore_protocol(
+    model: "IntegrationModel",
+    protocol: str,
+    options: dict[str, Any],
+    report: SweepReport,
+) -> list[Diagnostic]:
+    """Explore one protocol's buyer/seller conversations, tallying stats."""
+    by_role: dict[str, list[Any]] = {}
+    for name in sorted(model.public_processes):
+        definition = model.public_processes[name]
+        if definition.protocol == protocol:
+            by_role.setdefault(definition.role, []).append(definition)
+    diagnostics: list[Diagnostic] = []
+    for buyer in by_role.get("buyer", []):
+        for seller in by_role.get("seller", []):
+            location = (
+                f"model:{model.name}/conversation:{protocol}/"
+                f"{buyer.name}+{seller.name}"
+            )
+            result: ExplorationResult = explore_pair(
+                buyer,
+                seller,
+                queue_bound=options["queue_bound"] or DEFAULT_QUEUE_BOUND,
+                max_states=options["max_states"] or DEFAULT_MAX_STATES,
+                time_budget=options["time_budget"],
+                location=location,
+                reduce=options["reduce"],
+            )
+            report.explorations += 1
+            report.states_explored += result.states_explored
+            report.states_pruned += result.states_pruned
+            diagnostics.extend(result.diagnostics)
+    return diagnostics

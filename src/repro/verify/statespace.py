@@ -6,9 +6,9 @@ windows, one-way multi-step dispatches, hand-negotiated ebXML
 collaborations — needs a real interaction-protocol check.  This module is
 that check: it composes two roles' :class:`PublicProcessDefinition`s into
 a **product automaton** with one bounded FIFO message queue per direction
-and enumerates every reachable joint state breadth-first, so each defect
-is reported with a *minimal* counterexample trace (BFS reaches shortest
-paths first), rendered as a textual message-sequence chart.
+and enumerates reachable joint states, so each defect is reported with a
+*minimal* counterexample trace rendered as a textual message-sequence
+chart.
 
 Detected conversation defects (the ``B2B5xx`` family)::
 
@@ -35,6 +35,40 @@ between the partners, not liveness of either private side.  Definitions
 are finite and strictly sequential, so with a queue bound the product
 space is finite; ``max_states``/``time_budget`` keep worst cases cheap
 enough for CI.
+
+Partial-order reduction and canonical hashing (``reduce=True``)
+---------------------------------------------------------------
+
+Because both roles are strictly sequential, the product automaton has
+unusually strong structure that the explorer exploits:
+
+* **Canonical state hashing.** Side ``i`` has executed exactly the steps
+  before its position, each receive consumed exactly one message from the
+  FIFO head, and each send appended exactly one — so the contents of both
+  queues are a *function of the position pair*.  ``(pos0, pos1)`` is
+  therefore a perfect, collision-free key for the visited set: one small
+  int per state instead of a tuple-of-tuples, and deterministic across
+  runs.
+
+* **Ample-set reduction.** At most one move per side is enabled in any
+  state, two moves enabled together always belong to different sides, and
+  cross-side moves commute and never disable each other (a send can only
+  lengthen the partner's in-queue behind its head; a receive can only
+  unblock the partner's full out-queue).  Every move strictly increases
+  ``pos0 + pos1``, so the product graph is a DAG and the usual POR cycle
+  proviso is vacuous.  Together this gives strong confluence: the
+  reachable terminal (stuck) state is unique, and each defect predicate
+  is *persistent* — B2B502's mismatched head can never be consumed,
+  B2B504's orphan queue can never drain, and B2B501/B2B503 are only
+  decidable at the unique terminal state anyway.  A singleton ample set
+  (expand just the first enabled move) therefore detects exactly the
+  same diagnostic codes as full BFS while exploring one maximal path.
+
+* **Counterexample replay.** The reduced pass answers *whether* each
+  defect exists; when one does, an unreduced BFS pass re-derives the
+  *minimal* witness trace (BFS reaches shortest paths first).  Clean
+  models — the common case when sweeping a registry — never pay for the
+  replay.
 """
 
 from __future__ import annotations
@@ -42,7 +76,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 from repro.core.public_process import (
     KIND_RECEIVE,
@@ -78,6 +112,11 @@ _State = tuple[int, int, tuple[str, ...], tuple[str, ...]]
 # Trace event: (side index, step kind, doc_type, step_id).
 _Event = tuple[int, str, str, str]
 
+# Parent-linked trace cell: (event, parent cell) — materialized into a
+# flat event tuple only when a diagnostic is recorded, so the hot
+# exploration loop never copies path prefixes.
+_Tail = "tuple[_Event, _Tail] | None"
+
 
 @dataclass
 class ExplorationResult:
@@ -87,16 +126,33 @@ class ExplorationResult:
         the minimal counterexample trace).
     :param states_explored: number of distinct joint states visited.
     :param truncated: the state or time budget ran out before exhaustion.
+    :param states_pruned: enabled transitions skipped by partial-order
+        reduction (0 when the exploration ran unreduced).
+    :param replay_states: states visited by the unreduced counterexample
+        replay pass (0 when clean or when reduction was off).
+    :param reduced: partial-order reduction was active for this result.
     """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     states_explored: int = 0
     truncated: bool = False
+    states_pruned: int = 0
+    replay_states: int = 0
+    reduced: bool = False
 
     @property
     def clean(self) -> bool:
         """True when the full space was explored and nothing was found."""
         return not self.diagnostics and not self.truncated
+
+
+class _Exploration(NamedTuple):
+    """One exploration pass (reduced or full) before diagnostics assembly."""
+
+    found: dict[str, Diagnostic]
+    states: int
+    pruned: int
+    truncated: bool
 
 
 def explore_pair(
@@ -106,8 +162,9 @@ def explore_pair(
     max_states: int = DEFAULT_MAX_STATES,
     time_budget: float | None = None,
     location: str = "",
+    reduce: bool = True,
 ) -> ExplorationResult:
-    """Exhaustively explore the joint conversation of two public processes.
+    """Explore the joint conversation of two public processes.
 
     :param queue_bound: capacity of each per-direction FIFO; a send onto a
         full queue blocks (and is reported as B2B503 when nothing else can
@@ -117,6 +174,10 @@ def explore_pair(
     :param time_budget: optional wall-clock cap in seconds, same truncation
         semantics as ``max_states``.
     :param location: diagnostic location (defaults to the two process names).
+    :param reduce: apply partial-order reduction (see the module docstring
+        for the soundness argument).  Detected codes and reported
+        counterexamples are identical to the unreduced BFS; only the
+        number of states visited on clean models changes.
     """
     if queue_bound < 1:
         raise ValueError("queue_bound must be >= 1")
@@ -124,36 +185,29 @@ def explore_pair(
         raise ValueError("max_states must be >= 1")
     defs = (first, second)
     where = location or f"conversation:{first.name}+{second.name}"
-    started = time.monotonic()
-    initial: _State = (0, 0, (), ())
-    traces: dict[_State, tuple[_Event, ...]] = {initial: ()}
-    frontier: deque[_State] = deque([initial])
-    found: dict[str, Diagnostic] = {}
-    truncated = False
-    while frontier:
-        if time_budget is not None and time.monotonic() - started > time_budget:
-            truncated = True
-            break
-        state = frontier.popleft()
-        trace = traces[state]
-        moves = _moves(defs, state, queue_bound)
-        _classify(defs, state, trace, bool(moves), queue_bound, where, found)
-        for event, successor in moves:
-            if successor in traces:
-                continue
-            if len(traces) >= max_states:
-                truncated = True
-                continue
-            traces[successor] = trace + (event,)
-            frontier.append(successor)
+    detection = _explore(defs, queue_bound, max_states, time_budget, where, reduce)
+    found = detection.found
+    replay_states = 0
+    if reduce and found:
+        # Counterexample replay: re-derive each defect's minimal witness
+        # with the plain BFS under the same budgets.
+        replay = _explore(defs, queue_bound, max_states, time_budget, where, False)
+        replay_states = replay.states
+        merged = dict(replay.found)
+        for code, diagnostic in found.items():
+            # Only reachable when the replay truncated before re-reaching
+            # a defect the reduced pass proved: keep the reduced-pass
+            # witness rather than dropping the finding.
+            merged.setdefault(code, diagnostic)
+        found = merged
     diagnostics = [found[code] for code in sorted(found)]
-    if truncated:
+    if detection.truncated:
         diagnostics.append(
             Diagnostic(
                 "B2B505",
                 SEVERITY_INFO,
                 where,
-                f"exploration truncated after {len(traces)} state(s) "
+                f"exploration truncated after {detection.states} state(s) "
                 f"(max_states={max_states}"
                 + (f", time_budget={time_budget}s" if time_budget else "")
                 + "): defects found so far are real, but absence of "
@@ -164,9 +218,65 @@ def explore_pair(
         )
     return ExplorationResult(
         diagnostics=diagnostics,
-        states_explored=len(traces),
-        truncated=truncated,
+        states_explored=detection.states,
+        truncated=detection.truncated,
+        states_pruned=detection.pruned,
+        replay_states=replay_states,
+        reduced=reduce,
     )
+
+
+def _explore(
+    defs: tuple[PublicProcessDefinition, PublicProcessDefinition],
+    queue_bound: int,
+    max_states: int,
+    time_budget: float | None,
+    where: str,
+    reduce: bool,
+) -> _Exploration:
+    """One exploration pass: BFS, optionally with singleton ample sets."""
+    started = time.monotonic()
+    # (pos0, pos1) determines the queues for strictly sequential roles,
+    # so this packed pair is a collision-free canonical state key.
+    stride = len(defs[1].steps) + 1
+    visited = {0}
+    initial: _State = (0, 0, (), ())
+    frontier: deque[tuple[_State, tuple | None]] = deque([(initial, None)])
+    found: dict[str, Diagnostic] = {}
+    pruned = 0
+    truncated = False
+    while frontier:
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            truncated = True
+            break
+        state, tail = frontier.popleft()
+        moves = _moves(defs, state, queue_bound)
+        _classify(defs, state, tail, bool(moves), queue_bound, where, found)
+        if reduce and len(moves) > 1:
+            # Singleton ample set: any enabled move represents the whole
+            # state (commutation + persistence + acyclicity, see module
+            # docstring); take the first for determinism.
+            pruned += len(moves) - 1
+            moves = moves[:1]
+        for event, successor in moves:
+            key = successor[0] * stride + successor[1]
+            if key in visited:
+                continue
+            if len(visited) >= max_states:
+                truncated = True
+                continue
+            visited.add(key)
+            frontier.append((successor, (event, tail)))
+    return _Exploration(found, len(visited), pruned, truncated)
+
+
+def _tail_events(tail: tuple | None) -> tuple[_Event, ...]:
+    """Materialize a parent-linked trace cell chain into an event tuple."""
+    events: list[_Event] = []
+    while tail is not None:
+        event, tail = tail
+        events.append(event)
+    return tuple(reversed(events))
 
 
 # ---------------------------------------------------------------------------
@@ -219,7 +329,7 @@ def _moves(
 def _classify(
     defs: tuple[PublicProcessDefinition, PublicProcessDefinition],
     state: _State,
-    trace: tuple[_Event, ...],
+    tail: tuple | None,
     has_moves: bool,
     queue_bound: int,
     where: str,
@@ -243,7 +353,7 @@ def _classify(
             return
         found[code] = Diagnostic(
             code, severity, where, message, hint,
-            trace=_render_trace(defs, state, trace),
+            trace=_render_trace(defs, state, _tail_events(tail)),
         )
 
     # Eager checks: these states are already doomed even if the partner can
@@ -400,6 +510,8 @@ def verify_conversations(
     queue_bound: int = DEFAULT_QUEUE_BOUND,
     max_states: int = DEFAULT_MAX_STATES,
     time_budget: float | None = None,
+    reduce: bool = True,
+    results: list[tuple[str, ExplorationResult]] | None = None,
 ) -> list[Diagnostic]:
     """Model-check every conversation the model can hold.
 
@@ -407,7 +519,9 @@ def verify_conversations(
     buyer/seller pairing within a protocol is explored (deployed protocols
     register exactly one of each, so this is normally one exploration per
     protocol, shared by all trading-partner agreements over it).  Budgets
-    apply per pair.
+    apply per pair.  When ``results`` is given, each pair's
+    ``(location, ExplorationResult)`` is appended to it so callers can
+    report per-model explored/pruned state counts.
     """
     prefix = f"model:{model.name}"
     by_protocol: dict[str, dict[str, list[PublicProcessDefinition]]] = {}
@@ -432,6 +546,9 @@ def verify_conversations(
                     max_states=max_states,
                     time_budget=time_budget,
                     location=location,
+                    reduce=reduce,
                 )
+                if results is not None:
+                    results.append((location, result))
                 diagnostics.extend(result.diagnostics)
     return diagnostics

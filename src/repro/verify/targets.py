@@ -3,122 +3,114 @@
 ``repro lint`` and the CI model-lint job iterate these so a regression in
 any scenario builder, the mapping catalog, or the standard protocol
 registry surfaces as a diagnostic instead of a runtime failure three
-layers deep.  Each builder returns ``{label: diagnostics}``; keyword
-arguments (``deep=``, ``queue_bound=``, ...) are forwarded verbatim to
-``IntegrationModel.verify`` so ``repro lint --deep`` can switch every
-target to the conversation/race analysis in one place.
+layers deep.  Each builder returns ``{label: unit}`` where a unit is an
+``IntegrationModel`` (or, for the naive baseline, a bare workflow type);
+:func:`lint_all` verifies every unit — directly, or through an
+:class:`~repro.verify.incremental.IncrementalVerifier` so unchanged
+units are digest-matched cache hits.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.verify.diagnostics import Diagnostic
-from repro.verify.workflow_checks import verify_workflow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.incremental import IncrementalVerifier, ModelReport
 
 __all__ = [
     "lint_targets",
+    "lint_units",
     "lint_all",
     "build_broken_model",
     "build_deadlock_model",
 ]
 
-Builder = Callable[..., dict[str, list[Diagnostic]]]
+Builder = Callable[[], dict[str, Any]]
 
 
-def _lint_pair(protocol: str, **verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _pair_units(protocol: str) -> dict[str, Any]:
     from repro.analysis.scenarios import build_two_enterprise_pair
 
     pair = build_two_enterprise_pair(protocol)
     return {
-        f"pair-{protocol}/{enterprise.name}": enterprise.model.verify(**verify_options)
+        f"pair-{protocol}/{enterprise.name}": enterprise.model
         for enterprise in pair.enterprises()
     }
 
 
-def _lint_order_to_cash(**verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _order_to_cash_units() -> dict[str, Any]:
     from repro.analysis.scenarios import build_order_to_cash_pair
 
     pair = build_order_to_cash_pair()
     return {
-        f"order-to-cash/{enterprise.name}": enterprise.model.verify(**verify_options)
+        f"order-to-cash/{enterprise.name}": enterprise.model
         for enterprise in pair.enterprises()
     }
 
 
-def _lint_sourcing(**verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _sourcing_units() -> dict[str, Any]:
     from repro.analysis.scenarios import build_sourcing_community
 
     community = build_sourcing_community(
         {"S1": {"widget": 5.0}, "S2": {"widget": 4.5}}
     )
     return {
-        f"sourcing/{enterprise.name}": enterprise.model.verify(**verify_options)
+        f"sourcing/{enterprise.name}": enterprise.model
         for enterprise in community.enterprises()
     }
 
 
-def _lint_fig15(**verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _fig15_units() -> dict[str, Any]:
     from repro.analysis.scenarios import build_fig15_community
 
     community = build_fig15_community()
     return {
-        f"fig15/{enterprise.name}": enterprise.model.verify(**verify_options)
+        f"fig15/{enterprise.name}": enterprise.model
         for enterprise in community.enterprises()
     }
 
 
-def _lint_fig14(**verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _fig14_units() -> dict[str, Any]:
     from repro.analysis.change_impact import build_fig14_model
 
-    return {"fig14": build_fig14_model().verify(**verify_options)}
+    return {"fig14": build_fig14_model()}
 
 
-def _lint_sweep(**verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _sweep_units() -> dict[str, Any]:
     from repro.analysis.scenarios import advanced_synthetic_model
 
     model = advanced_synthetic_model(4, 4, 3)
-    return {f"sweep/{model.name}": model.verify(**verify_options)}
+    return {f"sweep/{model.name}": model}
 
 
-def _lint_naive_seller(**verify_options: Any) -> dict[str, list[Diagnostic]]:
+def _naive_seller_units() -> dict[str, Any]:
     from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
 
-    workflow = build_naive_seller_type(NaiveTopology.figure9())
-    # A bare workflow has no conversations to explore; only the deep flag
-    # is meaningful here (it enables the B2B6xx race analysis).
-    return {"naive-seller": verify_workflow(
-        workflow, deep=bool(verify_options.get("deep"))
-    )}
+    return {"naive-seller": build_naive_seller_type(NaiveTopology.figure9())}
 
 
 def lint_targets() -> dict[str, Builder]:
-    """The registry of named lint targets."""
+    """The registry of named lint targets (each builds ``{label: unit}``)."""
     return {
-        "pair-edi-van": lambda **options: _lint_pair("edi-van", **options),
-        "pair-rosettanet": lambda **options: _lint_pair("rosettanet", **options),
-        "pair-oagis-http": lambda **options: _lint_pair("oagis-http", **options),
-        "pair-rosettanet-ra": lambda **options: _lint_pair(
-            "rosettanet-ra", **options
-        ),
-        "order-to-cash": _lint_order_to_cash,
-        "sourcing": _lint_sourcing,
-        "fig15": _lint_fig15,
-        "fig14": _lint_fig14,
-        "sweep": _lint_sweep,
-        "naive-seller": _lint_naive_seller,
+        "pair-edi-van": lambda: _pair_units("edi-van"),
+        "pair-rosettanet": lambda: _pair_units("rosettanet"),
+        "pair-oagis-http": lambda: _pair_units("oagis-http"),
+        "pair-rosettanet-ra": lambda: _pair_units("rosettanet-ra"),
+        "order-to-cash": _order_to_cash_units,
+        "sourcing": _sourcing_units,
+        "fig15": _fig15_units,
+        "fig14": _fig14_units,
+        "sweep": _sweep_units,
+        "naive-seller": _naive_seller_units,
     }
 
 
-def lint_all(
-    only: str | None = None, **verify_options: Any
-) -> dict[str, list[Diagnostic]]:
-    """Run all (or one) named lint targets; returns ``{label: diagnostics}``.
+def lint_units(only: str | None = None) -> dict[str, Any]:
+    """Build all (or one) named targets' verification units.
 
     :param only: restrict to the target with this name.
-    :param verify_options: forwarded to every model's ``verify()`` —
-        ``deep=True`` plus the ``queue_bound``/``max_states``/
-        ``time_budget`` exploration bounds.
     """
     targets = lint_targets()
     if only is not None:
@@ -127,9 +119,43 @@ def lint_all(
                 f"unknown lint target {only!r}; known: {sorted(targets)}"
             )
         targets = {only: targets[only]}
-    results: dict[str, list[Diagnostic]] = {}
+    units: dict[str, Any] = {}
     for builder in targets.values():
-        results.update(builder(**verify_options))
+        units.update(builder())
+    return units
+
+
+def lint_all(
+    only: str | None = None,
+    incremental: "IncrementalVerifier | None" = None,
+    reports: "dict[str, ModelReport] | None" = None,
+    **verify_options: Any,
+) -> dict[str, list[Diagnostic]]:
+    """Verify all (or one) named lint targets; returns ``{label: diagnostics}``.
+
+    :param only: restrict to the target with this name.
+    :param incremental: when given, verification goes through the
+        digest-keyed cache — unchanged units are hits, and
+        ``verify_options`` must have been passed to the verifier instead.
+    :param reports: optional dict filled with each unit's
+        :class:`~repro.verify.incremental.ModelReport` (timing, cache
+        status, explored/pruned state counts).
+    :param verify_options: forwarded to every model's ``verify()`` —
+        ``deep=True`` plus the ``queue_bound``/``max_states``/
+        ``time_budget``/``reduce`` exploration controls.
+    """
+    from repro.verify.incremental import verify_unit
+
+    units = lint_units(only)
+    results: dict[str, list[Diagnostic]] = {}
+    for label, unit in units.items():
+        if incremental is not None:
+            report = incremental.verify(label, unit)
+        else:
+            report = verify_unit(label, unit, verify_options)
+        results[label] = report.diagnostics
+        if reports is not None:
+            reports[label] = report
     return results
 
 

@@ -23,12 +23,17 @@ def test_lint_demo_broken_exits_nonzero_with_three_codes(capsys):
 def test_lint_json_format(capsys):
     assert main(["lint", "--demo-broken", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema_version"] == 2
+    assert payload["schema_version"] == 3
     assert "broken-demo" in payload["models"]
     entry = payload["models"]["broken-demo"]
     assert entry["counts"]["error"] >= 2
     codes = {d["code"] for d in entry["diagnostics"]}
     assert {"B2B201", "B2B301", "B2B103"} <= codes
+    # schema v3: per-model timing and state counts, plus run totals
+    assert entry["cached"] is False
+    assert entry["duration_ms"] >= 0
+    assert entry["states"] == {"explored": 0, "pruned": 0}
+    assert payload["totals"]["models"] == 1
 
 
 def test_lint_json_deep_includes_deadlock_demo_with_trace(capsys):
@@ -61,3 +66,70 @@ def test_lint_unknown_target_exits_two(capsys):
     assert main(["lint", "--model", "no-such-target"]) == 2
     err = capsys.readouterr().err
     assert "unknown lint target" in err
+
+
+def test_lint_incremental_warm_run_is_all_cache_hits(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    argv = ["lint", "--model", "fig14", "--incremental", "--cache", cache,
+            "--format", "json"]
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["totals"]["cache_hits"] == 0
+    assert cold["totals"]["cache_misses"] == cold["totals"]["models"] == 1
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["totals"]["cache_hits"] == 1
+    assert warm["totals"]["cache_misses"] == 0
+    assert warm["models"]["fig14"]["cached"] is True
+    # a cached verdict reports the identical findings
+    assert (
+        warm["models"]["fig14"]["diagnostics"]
+        == cold["models"]["fig14"]["diagnostics"]
+    )
+
+
+def test_lint_incremental_text_reports_hit_rate(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    argv = ["lint", "--model", "fig14", "--incremental", "--cache", cache]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache: 1 hit(s), 0 miss(es) (100% hit rate)" in out
+
+
+def test_lint_stats_table_shows_state_counts(capsys):
+    assert main(["lint", "--model", "fig14", "--deep", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "Per-model verification stats" in out
+    assert "explored" in out and "pruned" in out
+
+
+def test_lint_registry_sweep_warm_json(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    argv = ["lint", "--registry", "40", "--deep", "--incremental",
+            "--cache", cache, "--format", "json"]
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)["registry"]
+    assert cold["agreements"] == cold["verified"] == 40
+    assert cold["explorations"] >= 1
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)["registry"]
+    assert warm["cache_hit_rate"] == 1.0
+    assert warm["fabric_cached"] is True
+    assert warm["dirty_agreements"] == {}
+
+
+def test_lint_registry_text_summary(capsys):
+    assert main(["lint", "--registry", "25", "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "registry sweep: 25 agreement(s)" in out
+    assert "OK" in out
+
+
+def test_lint_no_reduce_keeps_deep_verdicts(capsys):
+    assert main(["lint", "--demo-broken", "--deep", "--no-reduce",
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    codes = {d["code"] for d in payload["models"]["deadlock-demo"]["diagnostics"]}
+    assert "B2B501" in codes

@@ -1,0 +1,219 @@
+"""Incremental verification: digests, the persisted cache, invalidation."""
+
+import dataclasses
+import json
+
+from repro.analysis.change_impact import build_fig14_model
+from repro.verify.incremental import (
+    CACHE_SCHEMA,
+    IncrementalVerifier,
+    VerificationCache,
+    component_digests,
+    content_digest,
+    verification_digest,
+    verify_unit,
+)
+from repro.verify.targets import build_broken_model
+
+DEEP = {"deep": True}
+
+
+# ---------------------------------------------------------------------------
+# Digest composition
+# ---------------------------------------------------------------------------
+
+
+def test_digest_is_deterministic_across_independent_builds():
+    first, _ = verification_digest(build_fig14_model(), DEEP)
+    second, _ = verification_digest(build_fig14_model(), DEEP)
+    assert first == second
+
+
+def test_digest_depends_on_verify_options():
+    model = build_fig14_model()
+    deep, _ = verification_digest(model, DEEP)
+    shallow, _ = verification_digest(model, {"deep": False})
+    bounded, _ = verification_digest(model, {"deep": True, "queue_bound": 3})
+    unreduced, _ = verification_digest(model, {"deep": True, "reduce": False})
+    assert len({deep, shallow, bounded, unreduced}) == 4
+
+
+def test_in_place_rule_edit_changes_exactly_one_component():
+    model = build_fig14_model()
+    before = component_digests(model)
+    rule_set = model.rules.get("check_need_for_approval")
+    rule = rule_set.rules[0]
+    rule_set.rules[0] = dataclasses.replace(
+        rule, expression="document.amount >= 99999"
+    )
+    after = component_digests(model)
+    changed = {key for key in before if before[key] != after.get(key)}
+    assert changed == {f"rule:check_need_for_approval:{rule.name}"}
+
+
+def test_protocol_descriptor_edit_changes_exactly_its_component():
+    model = build_fig14_model()
+    before = component_digests(model)
+    name = sorted(model.protocols)[0]
+    model.protocols[name] = dataclasses.replace(
+        model.protocols[name], ack_timeout=99.0
+    )
+    after = component_digests(model)
+    changed = {key for key in before if before[key] != after.get(key)}
+    assert changed == {f"protocol:{name}"}
+
+
+def test_binding_edit_changes_exactly_its_component():
+    from repro.core.binding import BindingStep
+
+    model = build_fig14_model()
+    before = component_digests(model)
+    name = sorted(model.bindings)[0]
+    model.bindings[name].inbound.append(
+        BindingStep("extra", "transform", target_format="normalized")
+    )
+    after = component_digests(model)
+    changed = {key for key in before if before[key] != after.get(key)}
+    assert changed == {f"binding:{name}"}
+
+
+def test_callable_digests_use_qualified_names_not_addresses():
+    def converter(value):
+        return value
+
+    assert content_digest(converter) == content_digest(converter)
+    assert "fn:" not in content_digest(converter)  # digested, not embedded
+
+
+# ---------------------------------------------------------------------------
+# Cache round-trip and resilience
+# ---------------------------------------------------------------------------
+
+
+def test_cache_round_trips_verdicts_through_disk(tmp_path):
+    path = tmp_path / "cache.json"
+    model = build_broken_model()
+
+    cold = IncrementalVerifier(VerificationCache(path), deep=False)
+    first = cold.verify("broken", model)
+    assert not first.cached and first.diagnostics
+    cold.flush()
+
+    warm = IncrementalVerifier(VerificationCache(path), deep=False)
+    second = warm.verify("broken", model)
+    assert second.cached
+    assert warm.hit_rate == 1.0
+    assert [d.to_dict() for d in second.diagnostics] == [
+        d.to_dict() for d in first.diagnostics
+    ]
+
+
+def test_corrupt_cache_file_is_treated_as_cold(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json", encoding="utf-8")
+    cache = VerificationCache(path)
+    assert not cache.loaded
+    assert cache.entries == {}
+
+
+def test_wrong_schema_or_engine_is_treated_as_cold(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(
+        json.dumps({"schema": "other/9", "engine": "1", "entries": {"x": {}}}),
+        encoding="utf-8",
+    )
+    assert not VerificationCache(path).loaded
+    path.write_text(
+        json.dumps({"schema": CACHE_SCHEMA, "engine": "999", "entries": {"x": {}}}),
+        encoding="utf-8",
+    )
+    assert not VerificationCache(path).loaded
+
+
+def test_lookup_rejects_stale_digest():
+    cache = VerificationCache()
+    cache.store("m", "digest-a", {"mapping:x": "1"}, [], {})
+    assert cache.lookup("m", "digest-a") is not None
+    assert cache.lookup("m", "digest-b") is None
+    assert cache.lookup("other", "digest-a") is None
+
+
+# ---------------------------------------------------------------------------
+# Invalidation: a shared-component edit re-verifies exactly its dependents
+# ---------------------------------------------------------------------------
+
+
+def _shared_registry_trio():
+    """Two models sharing one transform registry object, one independent."""
+    sharer_a = build_fig14_model()
+    sharer_b = build_fig14_model()
+    sharer_b.transforms = sharer_a.transforms
+    independent = build_fig14_model()
+    return sharer_a, sharer_b, independent
+
+
+def test_shared_registry_edit_invalidates_exactly_its_dependents():
+    sharer_a, sharer_b, independent = _shared_registry_trio()
+    verifier = IncrementalVerifier(deep=False)
+    for label, model in (
+        ("a", sharer_a), ("b", sharer_b), ("solo", independent)
+    ):
+        assert not verifier.verify(label, model).cached
+
+    mapping = sharer_a.transforms.mappings()[0]
+    mapping.rules.append(mapping.rules[0])
+
+    rerun = IncrementalVerifier(verifier.cache, deep=False)
+    assert not rerun.verify("a", sharer_a).cached
+    assert not rerun.verify("b", sharer_b).cached
+    assert rerun.verify("solo", independent).cached
+    assert rerun.hits == 1 and rerun.misses == 2
+
+
+def test_invalidations_name_the_changed_component():
+    model = build_fig14_model()
+    verifier = IncrementalVerifier(deep=False)
+    verifier.verify("m", model)
+
+    mapping = model.transforms.mappings()[0]
+    mapping.rules.append(mapping.rules[0])
+    _, components = verification_digest(model, verifier.options)
+    assert verifier.cache.invalidations("m", components) == [
+        f"mapping:{mapping.name}"
+    ]
+
+
+def test_dependents_map_lists_every_unit_containing_a_component():
+    sharer_a, sharer_b, independent = _shared_registry_trio()
+    verifier = IncrementalVerifier(deep=False)
+    for label, model in (
+        ("a", sharer_a), ("b", sharer_b), ("solo", independent)
+    ):
+        verifier.verify(label, model)
+    mapping = sharer_a.transforms.mappings()[0]
+    # Same content digests everywhere, so all three depend on the key;
+    # the map answers "who must re-verify if this component changes".
+    assert verifier.cache.dependents(f"mapping:{mapping.name}") == [
+        "a", "b", "solo"
+    ]
+    assert verifier.cache.dependents("mapping:no-such") == []
+
+
+# ---------------------------------------------------------------------------
+# Bare workflow units (the naive baseline)
+# ---------------------------------------------------------------------------
+
+
+def test_bare_workflow_unit_is_digestable_and_verifiable():
+    from repro.baselines.monolithic import NaiveTopology, build_naive_seller_type
+
+    workflow = build_naive_seller_type(NaiveTopology.figure9())
+    digest, components = verification_digest(workflow, DEEP)
+    assert set(components) == {f"workflow:{workflow.name}"}
+    report = verify_unit("naive", workflow, DEEP)
+    assert {d.code for d in report.diagnostics} >= {"B2B103"}
+
+    verifier = IncrementalVerifier(deep=True)
+    assert not verifier.verify("naive", workflow).cached
+    assert verifier.verify("naive", workflow).cached
+    assert verifier.reports["naive"].digest == digest

@@ -195,6 +195,67 @@ def test_every_shipped_protocol_pair_is_clean():
 
 
 # ---------------------------------------------------------------------------
+# Partial-order reduction
+# ---------------------------------------------------------------------------
+
+
+def _bursty_pair(burst):
+    buyer = _definition(
+        "b", "buyer",
+        [("send", f"doc_{i}") for i in range(burst)]
+        + [("receive", f"ret_{i}") for i in range(burst)],
+    )
+    seller = _definition(
+        "s", "seller",
+        [("send", f"ret_{i}") for i in range(burst)]
+        + [("receive", f"doc_{i}") for i in range(burst)],
+    )
+    return buyer, seller
+
+
+def test_reduction_prunes_bursty_interleavings_at_least_5x():
+    buyer, seller = _bursty_pair(8)
+    full = explore_pair(buyer, seller, queue_bound=8, reduce=False)
+    reduced = explore_pair(buyer, seller, queue_bound=8)
+    assert full.clean and reduced.clean
+    assert reduced.reduced and not full.reduced
+    assert reduced.states_pruned > 0
+    assert full.states_explored >= 5 * reduced.states_explored
+
+
+def test_reduction_keeps_clean_models_replay_free():
+    buyer, seller = _bursty_pair(4)
+    reduced = explore_pair(buyer, seller, queue_bound=4)
+    assert reduced.clean
+    assert reduced.replay_states == 0  # no defect, no counterexample replay
+
+
+def test_reduction_preserves_deadlock_verdict_and_minimal_trace():
+    buyer, seller = _deadlock_pair()
+    full = explore_pair(buyer, seller, reduce=False)
+    reduced = explore_pair(buyer, seller)
+    assert [d.to_dict() for d in reduced.diagnostics] == [
+        d.to_dict() for d in full.diagnostics
+    ]
+    assert reduced.replay_states == full.states_explored
+
+
+def test_reduction_preserves_orphan_and_reception_verdicts():
+    buyer = _definition(
+        "b", "buyer", [("send", "po"), ("send", "note"), ("receive", "bill")]
+    )
+    seller = _definition("s", "seller", [("receive", "po"), ("send", "ack")])
+    full = explore_pair(buyer, seller, reduce=False)
+    reduced = explore_pair(buyer, seller)
+    assert {d.code for d in full.diagnostics} == {
+        d.code for d in reduced.diagnostics
+    }
+    assert [d.to_dict() for d in reduced.diagnostics] == [
+        d.to_dict() for d in full.diagnostics
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Properties: termination within budget, determinism
 # ---------------------------------------------------------------------------
 
@@ -228,4 +289,31 @@ def test_exploration_terminates_within_budget_and_is_deterministic(
     assert runs[0].truncated == runs[1].truncated
     assert [d.to_dict() for d in runs[0].diagnostics] == [
         d.to_dict() for d in runs[1].diagnostics
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    first=st.lists(_WIRE_STEP, min_size=1, max_size=6),
+    second=st.lists(_WIRE_STEP, min_size=1, max_size=6),
+    queue_bound=st.integers(min_value=1, max_value=3),
+)
+def test_reduced_exploration_matches_full_bfs_verdicts(
+    first, second, queue_bound
+):
+    """POR soundness, empirically: same codes, same minimal counterexamples.
+
+    Budgets are generous (the default 4096-state cap dwarfs any 6+6-step
+    product space), so neither pass truncates and the counterexample
+    replay regenerates full-BFS traces byte for byte.
+    """
+    buyer = _definition("b", "buyer", first)
+    seller = _definition("s", "seller", second)
+    full = explore_pair(buyer, seller, queue_bound=queue_bound, reduce=False)
+    reduced = explore_pair(buyer, seller, queue_bound=queue_bound)
+    assert not full.truncated and not reduced.truncated
+    assert reduced.states_explored <= full.states_explored
+    assert reduced.clean == full.clean
+    assert [d.to_dict() for d in reduced.diagnostics] == [
+        d.to_dict() for d in full.diagnostics
     ]
