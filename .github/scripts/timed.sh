@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run a command and append "<label>: <seconds>s" to step-times.txt, so the
+# job's final step can publish a per-step timing summary.  Preserves the
+# wrapped command's exit status.
+#
+#   .github/scripts/timed.sh "tier-1 tests" python -m pytest -x -q
+#   .github/scripts/timed.sh "deep lint" bash -c 'python -m repro lint --deep'
+set -uo pipefail
+label="$1"
+shift
+start=$(date +%s)
+"$@"
+status=$?
+echo "${label}: $(($(date +%s) - start))s" >> step-times.txt
+exit "$status"

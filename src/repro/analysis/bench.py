@@ -45,6 +45,7 @@ __all__ = [
     "BENCHMARKS",
     "TRACKED",
     "SPEEDUP_FLOORS",
+    "CEILINGS",
     "run_benchmarks",
     "check_against_baseline",
     "main",
@@ -74,6 +75,16 @@ SPEEDUP_FLOORS = {
     "sharded_hub_scaling_4x": 2.0,
     "statespace_reduction_ratio": 5.0,
     "registry_lint_cache_hit_rate": 0.9,
+    # Recovery must replay >=50k events/sec (mirrors RECOVERY_FLOOR in
+    # repro.analysis.journal_bench).
+    "recovery_events_per_sec": 50_000.0,
+}
+
+# Acceptance ceilings: derived metrics that must stay *below* a bound.
+# Write-ahead journaling may cost at most 15% of the sharded-hub path's
+# wall time (mirrors OVERHEAD_CEILING in repro.analysis.journal_bench).
+CEILINGS = {
+    "journal_write_overhead": 0.15,
 }
 
 _LINES = [
@@ -369,6 +380,8 @@ def run_benchmarks(
     label: str = "PR3",
     sharded_hub: bool = False,
     sharded_hub_messages: int = 250_000,
+    journal: bool = False,
+    journal_messages: int = 20_000,
 ) -> dict[str, Any]:
     """Run the selected benchmarks and return the result payload."""
     selected = list(names) if names is not None else list(BENCHMARKS)
@@ -432,6 +445,20 @@ def run_benchmarks(
             raise RuntimeError(
                 "sharded hub: deterministic traces differ across shard counts"
             )
+    if journal:
+        from repro.analysis.journal_bench import run_journal_benchmark
+
+        journal_payload = run_journal_benchmark(messages=journal_messages)
+        payload["journal"] = journal_payload
+        derived["journal_write_overhead"] = journal_payload[
+            "journal_write_overhead"
+        ]
+        derived["recovery_events_per_sec"] = journal_payload[
+            "recovery_events_per_sec"
+        ]
+        derived["recovery_time_per_1k_events_ms"] = journal_payload[
+            "recovery_time_per_1k_events_ms"
+        ]
     return payload
 
 
@@ -470,6 +497,12 @@ def check_against_baseline(
         value = current.get("derived", {}).get(metric)
         if value is not None and value < floor:
             problems.append(f"{metric}: {value:.2f}x is below the {floor:.1f}x floor")
+    for metric, ceiling in CEILINGS.items():
+        value = current.get("derived", {}).get(metric)
+        if value is not None and value > ceiling:
+            problems.append(
+                f"{metric}: {value:.4f} is above the {ceiling:.2f} ceiling"
+            )
     return problems
 
 
@@ -514,6 +547,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--sharded-hub-messages", type=int, default=250_000, metavar="N",
         help="messages per shard-count configuration (default: 250000)",
     )
+    parser.add_argument(
+        "--journal", action="store_true",
+        help="also run the durability benchmarks (journal write overhead "
+        "on the sharded-hub path and recovery replay throughput)",
+    )
+    parser.add_argument(
+        "--journal-messages", type=int, default=20_000, metavar="N",
+        help="hub messages per journal-overhead run (default: 20000)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -532,6 +574,8 @@ def run(args: argparse.Namespace) -> int:
         label=args.label,
         sharded_hub=args.sharded_hub,
         sharded_hub_messages=args.sharded_hub_messages,
+        journal=args.journal,
+        journal_messages=args.journal_messages,
     )
 
     rows = [
@@ -541,7 +585,7 @@ def run(args: argparse.Namespace) -> int:
     ]
     print("\n".join(rows))
     for metric, value in payload["derived"].items():
-        unit = "" if metric.endswith("_per_sec") else "x"
+        unit = "" if metric.endswith(("_per_sec", "_ms", "_overhead")) else "x"
         print(f"{metric:32s} {value:>10.2f}{unit}")
     if "sharded_hub" in payload:
         hub = payload["sharded_hub"]
@@ -556,6 +600,21 @@ def run(args: argparse.Namespace) -> int:
         print(
             "  deterministic trace invariant: "
             f"{hub['deterministic_trace_invariant']}"
+        )
+    if "journal" in payload:
+        entry = payload["journal"]
+        write = entry["write"]
+        recovery = entry["recovery"]
+        print("\ndurability (journal + recovery):")
+        print(
+            f"  write overhead {write['journal_write_overhead']:>8.2%} of the "
+            f"hub path ({write['journal_cost_per_event_us']:.2f}us/event, "
+            f"{write['records_journaled']} records)"
+        )
+        print(
+            f"  recovery       {recovery['recovery_events_per_sec']:>10,.0f} "
+            f"events/s ({recovery['recovery_time_per_1k_events_ms']:.1f} ms "
+            f"per 1k events)"
         )
 
     if args.json:

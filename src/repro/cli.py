@@ -397,6 +397,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench.run(args)
 
 
+def _cmd_crash(args: argparse.Namespace) -> int:
+    from repro.analysis import crash
+
+    architectures = tuple(args.arch) if args.arch else crash.ARCHITECTURES
+    crash_points = (
+        tuple(args.crash_point) if args.crash_point else crash.CRASH_POINTS
+    )
+    kernels = tuple(args.kernel) if args.kernel else crash.KERNELS
+    reports = crash.run_crash_matrix(
+        architectures=architectures,
+        kernels=kernels,
+        crash_points=crash_points,
+        orders=args.orders,
+        seed=args.seed,
+    )
+    if args.json:
+        print(crash.reports_json(reports))
+    else:
+        print(crash.render_reports(reports))
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -510,6 +532,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(debugging aid; verdicts are identical, exploration is slower)",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    crash = subparsers.add_parser(
+        "crash",
+        help="kill/recover the hub at journal offsets and prove exactly-once",
+    )
+    crash.add_argument(
+        "--arch",
+        action="append",
+        choices=["advanced", "monolithic", "cooperative", "distributed"],
+        help="architecture(s) to test (default: all four)",
+    )
+    crash.add_argument(
+        "--crash-point",
+        action="append",
+        choices=[
+            "pre-journal", "mid-append", "post-append", "mid-snapshot", "random",
+        ],
+        help="crash point(s) to simulate (default: all)",
+    )
+    crash.add_argument(
+        "--kernel",
+        action="append",
+        choices=["kernel", "sharded-4"],
+        help="kernel variant(s) (default: both)",
+    )
+    crash.add_argument(
+        "--orders", type=int, default=6,
+        help="purchase orders per scenario (default: 6)",
+    )
+    crash.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the randomized crash offsets (default: 0)",
+    )
+    crash.add_argument(
+        "--json", action="store_true", help="emit the report matrix as JSON"
+    )
+    crash.set_defaults(handler=_cmd_crash)
 
     bench = subparsers.add_parser(
         "bench", help="benchmark the per-message hot paths"

@@ -25,7 +25,7 @@ together: exactly-once delivery whenever any of the attempts gets through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import MessagingError, RetryExhaustedError
 from repro.messaging.envelope import KIND_ACK, KIND_BUSINESS, Message
@@ -178,6 +178,24 @@ class ReliableEndpoint:
     def in_flight(self) -> int:
         """Return the number of unacknowledged outbound messages."""
         return len(self._pending)
+
+    def restore_dedup(self, message_ids: Iterable[str]) -> int:
+        """Re-seed the duplicate-suppression window after a crash recovery.
+
+        The dedup window is the at-most-once half of the exactly-once
+        guarantee; a recovered endpoint that forgot it would re-deliver
+        any business message a partner retries across the crash.
+        Recovery feeds it the delivered message ids the journal proves
+        were already handed to the application
+        (:meth:`repro.runtime.recovery.Projector.dedup_ids`).  Returns
+        the number of ids newly remembered.
+        """
+        restored = 0
+        for message_id in message_ids:
+            if message_id not in self._seen:
+                self._remember(message_id)
+                restored += 1
+        return restored
 
     # -- internals ---------------------------------------------------------------
 

@@ -55,11 +55,19 @@ class Subscription:
 
 
 class EventBus:
-    """Synchronous pub/sub channel for :class:`RuntimeEvent` objects."""
+    """Synchronous pub/sub channel for :class:`RuntimeEvent` objects.
+
+    ``write_ahead`` is the durability seam: when set (by
+    :mod:`repro.runtime.journal`), it is invoked with each event *before*
+    any subscriber — the event is on stable storage before observers can
+    mutate state from it, which is what makes replay-based recovery
+    exact.
+    """
 
     def __init__(self) -> None:
         self._subscriptions: list[Subscription] = []
         self.published = 0
+        self.write_ahead: Observer | None = None
 
     def subscribe(
         self,
@@ -79,6 +87,8 @@ class EventBus:
 
     def publish(self, event: RuntimeEvent) -> None:
         """Deliver ``event`` to every matching subscriber, in order."""
+        if self.write_ahead is not None:
+            self.write_ahead(event)
         self.published += 1
         for subscription in list(self._subscriptions):
             if subscription.matches(event):

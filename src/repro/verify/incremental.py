@@ -48,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -291,8 +292,10 @@ class VerificationCache:
     With ``path=None`` the cache lives in memory only (tests, benchmark
     warm/cold comparisons); with a path it loads eagerly and persists on
     :meth:`save`.  A cache written by a different :data:`CACHE_SCHEMA` or
-    :data:`ENGINE_VERSION`, or an unreadable/corrupt file, is silently
-    treated as cold — a cache must never turn into a lint failure.
+    :data:`ENGINE_VERSION`, or an unreadable/corrupt file, is treated as
+    cold — a cache must never turn into a lint failure — but says so with
+    a one-line stderr warning that includes the reason, so a persistently
+    cold cache is diagnosable from the logs.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
@@ -306,18 +309,33 @@ class VerificationCache:
         assert self.path is not None
         try:
             payload = json.loads(self.path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except (OSError, ValueError) as error:
+            self._warn_cold(f"unreadable ({error})")
             return
         if not isinstance(payload, dict):
+            self._warn_cold(f"expected a JSON object, got {type(payload).__name__}")
             return
         if payload.get("schema") != CACHE_SCHEMA:
+            self._warn_cold(
+                f"schema {payload.get('schema')!r} != {CACHE_SCHEMA!r}"
+            )
             return
         if payload.get("engine") != ENGINE_VERSION:
+            self._warn_cold(
+                f"engine {payload.get('engine')!r} != {ENGINE_VERSION!r}"
+            )
             return
         entries = payload.get("entries")
         if isinstance(entries, dict):
             self.entries = entries
             self.loaded = True
+
+    def _warn_cold(self, reason: str) -> None:
+        """One-line stderr note before falling back to a cold cache."""
+        print(
+            f"warning: ignoring lint cache {self.path}: {reason}",
+            file=sys.stderr,
+        )
 
     def save(self) -> None:
         """Persist the cache; a no-op for in-memory caches."""

@@ -108,26 +108,40 @@ def test_cache_round_trips_verdicts_through_disk(tmp_path):
     ]
 
 
-def test_corrupt_cache_file_is_treated_as_cold(tmp_path):
+def test_corrupt_cache_file_is_treated_as_cold(tmp_path, capsys):
     path = tmp_path / "cache.json"
     path.write_text("{not json", encoding="utf-8")
     cache = VerificationCache(path)
     assert not cache.loaded
     assert cache.entries == {}
+    warning = capsys.readouterr().err
+    assert f"warning: ignoring lint cache {path}" in warning
+    # The parse error itself is part of the one-line warning.
+    assert "unreadable" in warning and "line 1" in warning
+    assert warning.count("\n") == 1
 
 
-def test_wrong_schema_or_engine_is_treated_as_cold(tmp_path):
+def test_non_object_cache_payload_warns_and_is_cold(tmp_path, capsys):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    assert not VerificationCache(path).loaded
+    assert "expected a JSON object, got list" in capsys.readouterr().err
+
+
+def test_wrong_schema_or_engine_is_treated_as_cold(tmp_path, capsys):
     path = tmp_path / "cache.json"
     path.write_text(
         json.dumps({"schema": "other/9", "engine": "1", "entries": {"x": {}}}),
         encoding="utf-8",
     )
     assert not VerificationCache(path).loaded
+    assert "schema 'other/9'" in capsys.readouterr().err
     path.write_text(
         json.dumps({"schema": CACHE_SCHEMA, "engine": "999", "entries": {"x": {}}}),
         encoding="utf-8",
     )
     assert not VerificationCache(path).loaded
+    assert "engine '999'" in capsys.readouterr().err
 
 
 def test_lookup_rejects_stale_digest():
