@@ -1,0 +1,313 @@
+"""Transformation cache + columnar batch benchmarks.
+
+Two dimensionless numbers gate the transformation engine in CI:
+
+* ``transform_cache_hit_rate`` — warm hit rate of the content-addressed
+  result cache (:meth:`TransformationRegistry.enable_cache`) under a
+  Zipf-distributed request stream, the canonical model of repetitive B2B
+  traffic: the same purchase orders and acks arrive over and over, with
+  a long tail of one-off documents.  The cache capacity covers the
+  document population, so after the cold pass the hot head is served
+  from memoized results.  Floor: 0.9.
+
+* ``transform_batch_speedup`` — columnar ``transform_batch`` over the
+  per-document ``transform`` loop on the cacheable inbound wire route
+  (EDI X12 -> normalized purchase orders) at 100-document batches, with
+  no cache attached so the number isolates the batch path itself (route
+  resolution, schema walk and rule dispatch hoisted out of the
+  per-document loop).  Floor: 3.0.
+
+A trace-parity check rides along, mirroring the sharded-hub benchmark's
+deterministic invariant: a transform hub draining batchable tasks
+(coalesced into ``transform_batch`` calls) must render the exact same
+event trace as the one-at-a-time hub, at every shard count.  Batching is
+a throughput optimisation, never an observable behaviour change.
+
+Timings interleave the two paths and take the best (minimum) of repeats,
+the same noise control the journal benchmarks use.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.documents.model import Document
+from repro.documents.normalized import NORMALIZED, make_purchase_order
+from repro.runtime.events import DocumentReceived
+from repro.runtime.sharding import DETERMINISTIC, ShardedKernel
+from repro.transform.catalog import build_standard_registry
+from repro.transform.transformer import TransformationRegistry
+
+__all__ = [
+    "run_transform_benchmark",
+    "measure_cache_hit_rate",
+    "measure_batch_speedup",
+    "transform_hub_trace",
+    "BATCH_SPEEDUP_FLOOR",
+    "CACHE_HIT_RATE_FLOOR",
+]
+
+# Mirrored by SPEEDUP_FLOORS in repro.analysis.bench.
+BATCH_SPEEDUP_FLOOR = 3.0
+CACHE_HIT_RATE_FLOOR = 0.9
+
+_CONTEXT = {"sender_id": "ACME", "receiver_id": "TP1", "now": 1.0}
+
+
+def _document_population(registry: TransformationRegistry, count: int) -> list[Document]:
+    """``count`` distinct EDI X12 purchase orders (the inbound wire docs)."""
+    population = []
+    for index in range(count):
+        po = make_purchase_order(
+            f"PO-{index:05d}",
+            "TP1",
+            "ACME",
+            [
+                {"sku": f"SKU-{index % 17}", "quantity": 1 + index % 9,
+                 "unit_price": 10.0 + index},
+                {"sku": "DOCK-1", "quantity": 5, "unit_price": 150.0},
+            ],
+        )
+        population.append(registry.transform(po, "edi-x12", _CONTEXT))
+    return population
+
+
+def _zipf_indexes(population: int, requests: int, exponent: float, seed: int) -> list[int]:
+    """A Zipf(``exponent``) sample over ``range(population)``: rank r is
+    drawn with probability proportional to 1/r^exponent — a hot head of
+    repeated documents with a long tail, i.e. real B2B traffic."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(population)]
+    return rng.choices(range(population), weights=weights, k=requests)
+
+
+def measure_cache_hit_rate(
+    population: int = 50,
+    requests: int = 5_000,
+    exponent: float = 1.1,
+    capacity: int = 4_096,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """Hit rate + cached-vs-uncached wall time on the Zipf stream.
+
+    The stream transforms inbound EDI purchase orders to the normalized
+    layout — a cacheable route (no context-reading computes) — so every
+    repeat of a population document after the cold pass is a cache hit.
+    """
+    base = build_standard_registry()
+    documents = _document_population(base, population)
+    indexes = _zipf_indexes(population, requests, exponent, seed)
+
+    uncached = build_standard_registry()
+    start = time.perf_counter()
+    for index in indexes:
+        uncached.transform(documents[index], NORMALIZED)
+    uncached_sec = time.perf_counter() - start
+
+    cached = build_standard_registry()
+    cache = cached.enable_cache(capacity)
+    start = time.perf_counter()
+    for index in indexes:
+        cached.transform(documents[index], NORMALIZED)
+    cached_sec = time.perf_counter() - start
+
+    snapshot = cache.snapshot()
+    return {
+        "population": population,
+        "requests": requests,
+        "zipf_exponent": exponent,
+        "capacity": capacity,
+        "hits": snapshot["hits"],
+        "misses": snapshot["misses"],
+        "evictions": snapshot["evictions"],
+        "bypasses": snapshot["bypasses"],
+        "transform_cache_hit_rate": round(snapshot["hit_rate"], 4),
+        "uncached_sec": round(uncached_sec, 4),
+        "cached_sec": round(cached_sec, 4),
+        "cache_speedup": round(uncached_sec / cached_sec, 2) if cached_sec else None,
+    }
+
+
+def measure_batch_speedup(
+    batch_size: int = 100,
+    batches: int = 20,
+    repeats: int = 5,
+) -> dict[str, Any]:
+    """Columnar vs per-document transformation on the inbound wire route.
+
+    Distinct documents, no cache: the ratio isolates the batch path.  The
+    outbound (normalized -> EDI X12) route is measured alongside for the
+    report; the gate reads the inbound number.
+    """
+    registry = build_standard_registry()
+    inbound = _document_population(registry, batch_size * batches)
+    normalized = [registry.transform(document, NORMALIZED) for document in inbound]
+
+    def run_route(documents: list[Document], target: str) -> dict[str, Any]:
+        groups = [
+            documents[start:start + batch_size]
+            for start in range(0, len(documents), batch_size)
+        ]
+        # warm both paths (compiles mappings and batch programs)
+        registry.transform_batch(groups[0], target, _CONTEXT)
+        [registry.transform(document, target, _CONTEXT) for document in groups[0]]
+        per_doc: list[float] = []
+        batched: list[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for group in groups:
+                for document in group:
+                    registry.transform(document, target, _CONTEXT)
+            per_doc.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            for group in groups:
+                registry.transform_batch(group, target, _CONTEXT)
+            batched.append(time.perf_counter() - start)
+        best_per_doc = min(per_doc)
+        best_batched = min(batched)
+        return {
+            "per_doc_sec": round(best_per_doc, 4),
+            "batch_sec": round(best_batched, 4),
+            "speedup": round(best_per_doc / best_batched, 2),
+        }
+
+    inbound_result = run_route(inbound, NORMALIZED)
+    outbound_result = run_route(normalized, "edi-x12")
+    return {
+        "batch_size": batch_size,
+        "batches": batches,
+        "documents": batch_size * batches,
+        "inbound": inbound_result,
+        "outbound": outbound_result,
+        "transform_batch_speedup": inbound_result["speedup"],
+    }
+
+
+class _TransformHubBatcher:
+    """The hub's batchable-task hook: coalesced payloads go through
+    ``transform_batch`` in one call, then each document's lifecycle event
+    is emitted in payload order — the trace-parity contract."""
+
+    def __init__(self, kernel: ShardedKernel, registry: TransformationRegistry) -> None:
+        self.kernel = kernel
+        self.registry = registry
+        self.batch_calls = 0
+        self.processed = 0
+
+    def run_batch(self, payloads: list[tuple[str, int, Document]]) -> None:
+        self.batch_calls += 1
+        documents = [document for _, _, document in payloads]
+        results = self.registry.transform_batch(documents, NORMALIZED)
+        for (partner, sequence, _), result in zip(payloads, results):
+            self.processed += 1
+            self.kernel.emit(
+                DocumentReceived,
+                "transform-hub",
+                conversation_id=f"C-{sequence}",
+                doc_type=result.doc_type,
+                partner_id=partner,
+            )
+
+
+def transform_hub_trace(
+    shards: int,
+    batched: bool,
+    messages: int = 600,
+    partners: int = 16,
+    population: int = 40,
+    chunk: int = 150,
+) -> tuple[str, dict[str, int]]:
+    """Rendered trace of a deterministic transform-hub run.
+
+    Inbound wire documents are routed to their partner's shard and
+    normalized there; ``batched`` switches between one plain task per
+    document and batchable tasks the drain coalesces into
+    ``transform_batch`` calls.  Returns ``(trace, stats)``.
+    """
+    registry = build_standard_registry()
+    registry.enable_cache()
+    documents = _document_population(registry, population)
+    kernel = ShardedKernel(shards=shards, mode=DETERMINISTIC)
+    trace = kernel.enable_trace(capacity=4 * messages)
+    batcher = _TransformHubBatcher(kernel, registry)
+    partner_ids = [f"partner-{index:03d}" for index in range(partners)]
+    fed = 0
+    while fed < messages:
+        batch = min(chunk, messages - fed)
+        for offset in range(batch):
+            sequence = fed + offset
+            partner = partner_ids[sequence % partners]
+            payload = (partner, sequence, documents[sequence % population])
+            if batched:
+                kernel.submit_batchable(
+                    batcher, payload, label=f"transform:{partner}",
+                    partner_key=partner,
+                )
+            else:
+                kernel.submit(
+                    lambda payload=payload: batcher.run_batch([payload]),
+                    label=f"transform:{payload[0]}",
+                    partner_key=payload[0],
+                )
+        kernel.drain()
+        fed += batch
+    # Surface the cache counters through the kernel's metrics observer.
+    registry.cache.publish(kernel)
+    stats = {
+        "processed": batcher.processed,
+        "batch_calls": batcher.batch_calls,
+        "cache_hits": registry.cache.hits,
+        "snapshot_events": kernel.metrics.count("transform_cache_snapshot"),
+    }
+    return trace.render(), stats
+
+
+def _hub_parity(shard_counts: tuple[int, ...] = (1, 2, 4)) -> dict[str, Any]:
+    """Batched and unbatched hub traces must agree at every shard count."""
+    traces: dict[str, str] = {}
+    stats: dict[str, dict[str, int]] = {}
+    for shards in shard_counts:
+        for batched in (False, True):
+            key = f"{shards}-{'batched' if batched else 'per-doc'}"
+            traces[key], stats[key] = transform_hub_trace(shards, batched)
+    reference = next(iter(traces.values()))
+    parity = all(trace == reference for trace in traces.values())
+    coalesced = {
+        key: entry["batch_calls"]
+        for key, entry in stats.items()
+        if key.endswith("batched")
+    }
+    return {
+        "shard_counts": list(shard_counts),
+        "trace_parity": parity,
+        "batch_calls": coalesced,
+        "snapshot_events_seen": all(
+            entry["snapshot_events"] == 1 for entry in stats.values()
+        ),
+    }
+
+
+def run_transform_benchmark(
+    batch_size: int = 100,
+    batches: int = 20,
+    population: int = 50,
+    requests: int = 5_000,
+) -> dict[str, Any]:
+    """All three transformation measurements in one payload (feeds the
+    BENCH envelope and the standalone CI gate)."""
+    cache = measure_cache_hit_rate(population=population, requests=requests)
+    batch = measure_batch_speedup(batch_size=batch_size, batches=batches)
+    hub = _hub_parity()
+    if not hub["trace_parity"]:
+        raise RuntimeError(
+            "transform hub: batched trace differs from per-document trace"
+        )
+    return {
+        "cache": cache,
+        "batch": batch,
+        "hub": hub,
+        "transform_cache_hit_rate": cache["transform_cache_hit_rate"],
+        "transform_batch_speedup": batch["transform_batch_speedup"],
+    }

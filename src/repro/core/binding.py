@@ -34,8 +34,7 @@ from typing import Any, Callable, Mapping
 
 from repro.documents.model import Document
 from repro.errors import BindingError
-from repro.transform.mapping import CompiledMapping
-from repro.transform.transformer import TransformationRegistry
+from repro.transform.transformer import RouteExecutor, TransformationRegistry
 
 __all__ = [
     "BindingStep",
@@ -51,6 +50,10 @@ KIND_PRODUCE = "produce"
 _KINDS = (KIND_TRANSFORM, KIND_CONSUME, KIND_PRODUCE)
 
 Producer = Callable[[Mapping[str, Any]], Document]
+
+#: distinguishes "route not memoized yet" from a memoized identity route
+#: (``None``) in a chain plan's route table.
+_UNSET: Any = object()
 
 
 @dataclass(frozen=True)
@@ -92,9 +95,10 @@ class _ChainPlan:
     """A cached execution plan for one binding chain.
 
     ``routes`` memoizes, per (step index, incoming format, doc type), the
-    compiled mapping sequence that transform step applies.  Route entries
-    are filled lazily because a ``produce`` step makes the mid-chain
-    document format a runtime property.
+    registry :class:`RouteExecutor` that transform step applies (``None``
+    for the identity route).  Route entries are filled lazily because a
+    ``produce`` step makes the mid-chain document format a runtime
+    property.
     """
 
     __slots__ = ("steps", "snapshot", "registry_id", "registry_version", "routes")
@@ -108,7 +112,7 @@ class _ChainPlan:
         self.snapshot = steps
         self.registry_id = id(registry)
         self.registry_version = registry.version
-        self.routes: dict[tuple[int, str, str], tuple[CompiledMapping, ...]] = {}
+        self.routes: dict[tuple[int, str, str], RouteExecutor | None] = {}
 
     def valid_for(
         self, chain: tuple["BindingStep", ...], registry: TransformationRegistry
@@ -219,7 +223,6 @@ class Binding:
     ) -> Document | None:
         plan = self._plan(direction, chain, registry)
         routes = plan.routes
-        stats = registry.stats
         for index, step in enumerate(plan.steps):
             if step.kind == KIND_CONSUME:
                 return None
@@ -233,19 +236,112 @@ class Binding:
                     "document to transform (consumed earlier in the chain?)"
                 )
             route_key = (index, document.format_name, document.doc_type)
-            mappings = routes.get(route_key)
-            if mappings is None:
-                mappings = tuple(
-                    mapping.compile()
-                    for mapping in registry.route(
-                        document.format_name, step.target_format, document.doc_type
-                    )
+            executor = routes.get(route_key, _UNSET)
+            if executor is _UNSET:
+                executor = registry.executor(
+                    document.format_name, step.target_format, document.doc_type
                 )
-                routes[route_key] = mappings
-            for compiled in mappings:
-                document = compiled.apply(document, context)
-                stats[compiled.name] += 1
+                routes[route_key] = executor
+            if executor is not None:
+                document = executor.apply(document, context)
         return document
+
+    def apply_inbound_batch(
+        self,
+        documents: list[Document],
+        registry: TransformationRegistry,
+        context: Mapping[str, Any] | None = None,
+    ) -> list[Document | None]:
+        """Run the inbound chain columnar over ``documents``.
+
+        Equivalent to ``[self.apply_inbound(d, ...) for d in documents]``
+        (``None`` per consumed document); on any failure the batch is
+        re-run per document so the surfaced error matches the sequential
+        path.
+        """
+        self.inbound_runs += len(documents)
+        return self._run_planned_batch(
+            "in", self.inbound, documents, registry, context or {}
+        )
+
+    def apply_outbound_batch(
+        self,
+        documents: list[Document],
+        registry: TransformationRegistry,
+        context: Mapping[str, Any] | None = None,
+    ) -> list[Document | None]:
+        """Run the outbound chain columnar over ``documents`` (see
+        :meth:`apply_inbound_batch`)."""
+        self.outbound_runs += len(documents)
+        return self._run_planned_batch(
+            "out", self.outbound, documents, registry, context or {}
+        )
+
+    def _run_planned_batch(
+        self,
+        direction: str,
+        chain: list[BindingStep],
+        documents: list[Document],
+        registry: TransformationRegistry,
+        context: Mapping[str, Any],
+    ) -> list[Document | None]:
+        if not documents:
+            return []
+        try:
+            return self._run_batch_grouped(direction, chain, documents, registry, context)
+        except Exception:
+            return [
+                self._run_planned(direction, chain, document, registry, context)
+                for document in documents
+            ]
+
+    def _run_batch_grouped(
+        self,
+        direction: str,
+        chain: list[BindingStep],
+        documents: list[Document],
+        registry: TransformationRegistry,
+        context: Mapping[str, Any],
+    ) -> list[Document | None]:
+        plan = self._plan(direction, chain, registry)
+        routes = plan.routes
+        vector: list[Document] = documents
+        for index, step in enumerate(plan.steps):
+            if step.kind == KIND_CONSUME:
+                return [None] * len(documents)
+            if step.kind == KIND_PRODUCE:
+                assert step.producer is not None
+                # one producer call per document, matching the sequential path
+                vector = [step.producer(context) for _ in vector]
+                continue
+            groups: dict[tuple[str, str], list[int]] = {}
+            for position, document in enumerate(vector):
+                if document is None:
+                    raise BindingError(
+                        f"binding {self.name!r}: step {step.step_id!r} has no "
+                        "document to transform (consumed earlier in the chain?)"
+                    )
+                groups.setdefault(
+                    (document.format_name, document.doc_type), []
+                ).append(position)
+            produced: list[Document] = list(vector)
+            for (format_name, doc_type), positions in groups.items():
+                route_key = (index, format_name, doc_type)
+                executor = routes.get(route_key, _UNSET)
+                if executor is _UNSET:
+                    executor = registry.executor(
+                        format_name, step.target_format, doc_type
+                    )
+                    routes[route_key] = executor
+                if executor is None:
+                    continue
+                outputs = executor.apply_batch(
+                    [vector[position] for position in positions], context
+                )
+                for position, output in zip(positions, outputs):
+                    produced[position] = output
+            vector = produced
+        return list(vector)
 
     def _run_chain(
         self,

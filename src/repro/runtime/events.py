@@ -59,6 +59,7 @@ __all__ = [
     "BatchAbandoned",
     "ShardSaturated",
     "ShardDrained",
+    "TransformCacheSnapshot",
     "WORKFLOW_EVENTS",
     "MESSAGING_EVENTS",
     "CONVERSATION_EVENTS",
@@ -374,6 +375,25 @@ class ShardDrained(RuntimeEvent):
     type = "shard_drained"
 
 
+@dataclass(frozen=True)
+class TransformCacheSnapshot(RuntimeEvent):
+    """Point-in-time counters of the content-addressed transformation cache.
+
+    Published by :meth:`repro.transform.cache.TransformCache.publish` so the
+    metrics observer sees cache effectiveness alongside the kernel's other
+    scheduler-level signals.  Counters are cumulative since cache creation;
+    ``entries`` is the current resident set size.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    bypasses: int
+    entries: int
+
+    type = "transform_cache_snapshot"
+
+
 WORKFLOW_EVENTS: tuple[type[RuntimeEvent], ...] = (
     InstanceCreated,
     InstanceStarted,
@@ -407,6 +427,7 @@ KERNEL_EVENTS: tuple[type[RuntimeEvent], ...] = (
     BatchAbandoned,
     ShardSaturated,
     ShardDrained,
+    TransformCacheSnapshot,
 )
 
 ALL_EVENT_TYPES: frozenset[str] = frozenset(

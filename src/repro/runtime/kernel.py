@@ -33,10 +33,30 @@ __all__ = ["Kernel", "RunQueue", "Runtime", "Task"]
 
 @dataclass
 class Task:
-    """A unit of work on the run queue (usually: advance one instance)."""
+    """A unit of work on the run queue (usually: advance one instance).
 
-    action: Callable[[], None]
+    A task is either a plain thunk (``action``) or **batchable**
+    (``batcher`` + ``payload``): when the scheduler pops a batchable task
+    whose queue head holds more tasks with the *same* ``batcher``, it
+    coalesces the run and hands every payload to
+    ``batcher.run_batch(payloads)`` in one call — the hook the columnar
+    transformation path plugs into.  A batcher's contract is that
+    ``run_batch([p])`` is observably identical to running each payload's
+    task alone (same documents, same events, same order), so coalescing is
+    a pure throughput optimisation.
+    """
+
+    action: Callable[[], None] | None
     label: str = ""
+    batcher: Any = None
+    payload: Any = None
+
+    def run(self) -> None:
+        if self.batcher is not None:
+            self.batcher.run_batch([self.payload])
+        else:
+            assert self.action is not None
+            self.action()
 
 
 class RunQueue:
@@ -64,6 +84,11 @@ class RunQueue:
     def submit(self, action: Callable[[], None], label: str = "") -> None:
         """Queue a task; it runs on the next (or the enclosing) ``drain()``."""
         self._queue.append(Task(action, label))
+
+    def submit_batchable(self, batcher: Any, payload: Any, label: str = "") -> None:
+        """Queue a coalescible task: adjacent queued tasks sharing
+        ``batcher`` run as one ``batcher.run_batch(payloads)`` call."""
+        self._queue.append(Task(None, label, batcher, payload))
 
     def pending(self) -> int:
         return len(self._queue)
@@ -94,7 +119,22 @@ class RunQueue:
                 task = self._queue.popleft()
                 self.tasks_executed += 1
                 executed += 1
-                task.action()
+                batcher = task.batcher
+                if batcher is None:
+                    task.action()
+                    continue
+                payloads = [task.payload]
+                queue = self._queue
+                while (
+                    queue
+                    and queue[0].batcher is batcher
+                    and self._batch_budget > 0
+                ):
+                    self._batch_budget -= 1
+                    self.tasks_executed += 1
+                    executed += 1
+                    payloads.append(queue.popleft().payload)
+                batcher.run_batch(payloads)
         except BaseException as error:
             if self.depth == 1:
                 dropped = len(self._queue)
@@ -134,6 +174,17 @@ class Runtime(Protocol):
         the same key land on the same shard.  Single-queue runtimes ignore
         it.
         """
+        ...
+
+    def submit_batchable(
+        self,
+        batcher: Any,
+        payload: Any,
+        label: str = "",
+        partner_key: str | None = None,
+    ) -> None:
+        """Queue a coalescible task (see :class:`Task`): adjacent tasks
+        with the same ``batcher`` run as one ``run_batch(payloads)`` call."""
         ...
 
     def drain(self) -> int:
@@ -192,6 +243,15 @@ class Kernel:
         # partner_key is a sharding hint; the single-queue kernel has one
         # shard, so every key routes to the same place.
         self.run_queue.submit(action, label)
+
+    def submit_batchable(
+        self,
+        batcher: Any,
+        payload: Any,
+        label: str = "",
+        partner_key: str | None = None,
+    ) -> None:
+        self.run_queue.submit_batchable(batcher, payload, label)
 
     def drain(self) -> int:
         return self.run_queue.drain()

@@ -1,0 +1,497 @@
+"""Columnar batch transformation: apply one compiled mapping to many documents.
+
+The per-document path (:meth:`CompiledMapping.apply`) pays generic costs per
+message: schema validation walks ``FieldSpec`` objects, every rule goes
+through ``Document.get``/``Document.set`` machinery, and every ``Each`` item
+allocates wrapper documents.  B2B traffic is vectors of near-identical
+documents, so this module hoists that dispatch out of the loop:
+
+* :func:`build_batch_program` lowers a compiled mapping ONCE into
+  *vector runners* — closures that run one rule across the whole document
+  vector with direct dict indexing — plus *clean checks*, boolean schema
+  validators specialized from the mapping's ``FieldSpec`` list.
+* :meth:`_BatchProgram.apply` runs the fast path and falls back to the
+  reference per-document path on **any** doubt: a clean check fails, a
+  vector runner raises, a document has an unexpected shape.  The fallback
+  re-runs the whole batch through ``CompiledMapping.apply`` in document
+  order, so outputs — and errors, and error *ordering* — are byte-identical
+  to ``[compiled.apply(d) for d in docs]`` (property-tested across the full
+  standard catalog).
+
+The fast path assumes what the rule language already promises: rules do not
+mutate sources and compute functions are pure (rule-major execution calls a
+rule on every document before the next rule runs; an impure compute would
+observe that reordering).  Mappings with ``post`` hooks, or with indexed
+(``[0]``/``[+]``) rule paths, are not vectorized at all — ``apply_batch``
+degrades to the per-document loop for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping as TypingMapping
+
+from repro.documents.model import Document, DocumentPath
+from repro.documents.schema import _TYPE_NAMES, DocumentSchema
+from repro.transform.mapping import MISSING, Compute, Const, Each, Field, Rule
+
+__all__ = ["build_batch_program"]
+
+Context = TypingMapping[str, Any]
+
+
+class _Fallback(Exception):
+    """Internal signal: the fast path cannot prove equivalence — rerun the
+    batch through the reference per-document path."""
+
+
+def _str_steps(path_text: str) -> tuple[str, ...] | None:
+    """The path's steps when they are all plain field names, else None.
+
+    Indexed paths (``lines[0]``, ``lines[+]``) keep their reference
+    semantics by punting the whole mapping to the per-document path.
+    """
+    steps = DocumentPath(path_text).steps
+    if any(not isinstance(step, str) for step in steps):
+        return None
+    return steps
+
+
+_MISS = object()
+
+
+def _read(root: Any, steps: tuple[str, ...]) -> Any:
+    """Descend ``steps`` through raw containers; ``_MISS`` when absent.
+
+    (KeyError, TypeError, IndexError) covers exactly the shapes
+    ``Document._descend`` maps to "path does not resolve": a missing dict
+    key, or indexing a scalar/list with a field name.
+    """
+    try:
+        for step in steps:
+            root = root[step]
+    except (KeyError, TypeError, IndexError):
+        return _MISS
+    return root
+
+
+def _make_reader(steps: tuple[str, ...]) -> Callable[[Any], Any]:
+    """A specialized ``_read``: every root handed to a reader is a dict
+    (document roots by :class:`Document` invariant, list items by the Each
+    runner's type check), so single- and double-step paths skip the
+    generic loop + exception machinery entirely."""
+    if len(steps) == 1:
+        step = steps[0]
+
+        def read_one(root: Any) -> Any:
+            return root.get(step, _MISS)
+
+        return read_one
+    if len(steps) == 2:
+        first, second = steps
+
+        def read_two(root: Any) -> Any:
+            node = root.get(first, _MISS)
+            if type(node) is dict:
+                return node.get(second, _MISS)
+            if node is _MISS:
+                return _MISS
+            return _read(node, (second,))
+
+        return read_two
+
+    def read_deep(root: Any) -> Any:
+        return _read(root, steps)
+
+    return read_deep
+
+
+def _write(target: dict, steps: tuple[str, ...], value: Any) -> None:
+    """Set ``value`` under ``steps``, creating dict levels like
+    ``Document.set`` — any conflicting intermediate raises and triggers
+    the fallback, which reproduces the reference error."""
+    for step in steps[:-1]:
+        target = target.setdefault(step, {})
+    target[steps[-1]] = value
+
+
+# ---------------------------------------------------------------------------
+# Schema clean checks
+# ---------------------------------------------------------------------------
+
+
+def _compile_spec_check(spec) -> Callable[[dict], bool] | None:
+    """A boolean predicate mirroring ``FieldSpec.violations_for``.
+
+    True means provably clean; False means *some* violation exists (the
+    fallback recomputes the exact message list).  None when the spec uses
+    a feature this compiler does not model — the whole program is then
+    unsupported.
+    """
+    steps = _str_steps(spec.path)
+    if steps is None:
+        return None
+    reader = _make_reader(steps)
+    required = spec.required
+    type_name = spec.type_name
+    choices = spec.choices
+    check = spec.check
+
+    if type_name == "list":
+        min_items = spec.min_items
+        item_checks: list[Callable[[dict], bool]] | None = None
+        if spec.items is not None:
+            item_checks = []
+            for item_spec in spec.items.fields:
+                compiled = _compile_spec_check(item_spec)
+                if compiled is None:
+                    return None
+                item_checks.append(compiled)
+
+        def check_list(root: dict) -> bool:
+            value = reader(root)
+            if value is _MISS:
+                return not required
+            if type(value) is not list or len(value) < min_items:
+                return False
+            if item_checks is not None:
+                for element in value:
+                    if type(element) is not dict:
+                        return False
+                    for item_check in item_checks:
+                        if not item_check(element):
+                            return False
+            return True
+
+        return check_list
+
+    if type_name == "dict":
+
+        def check_dict(root: dict) -> bool:
+            value = reader(root)
+            if value is _MISS:
+                return not required
+            return type(value) is dict
+
+        return check_dict
+
+    expected = _TYPE_NAMES[type_name]
+    numeric = type_name in ("int", "float", "number")
+
+    def check_scalar(root: dict) -> bool:
+        value = reader(root)
+        if value is _MISS:
+            return not required
+        if numeric:
+            if isinstance(value, bool) or not isinstance(value, expected):
+                return False
+        elif not isinstance(value, expected):
+            return False
+        if choices is not None and value not in choices:
+            return False
+        if check is not None:
+            try:
+                if not check(value):
+                    return False
+            except Exception:
+                return False
+        return True
+
+    return check_scalar
+
+
+def _compile_clean_check(
+    schema: DocumentSchema | None, format_name: str, doc_type: str
+) -> Callable[[dict], bool] | None | bool:
+    """A root-dict predicate equivalent (as a boolean) to ``schema.violations``.
+
+    Returns True when there is no schema (always clean), None when the
+    schema cannot be modelled (program unsupported).  The format/doc_type
+    half of ``violations`` is static here: every batch document carries
+    the mapping's own format and doc_type.
+    """
+    if schema is None:
+        return True
+    if schema.format_name and schema.format_name != format_name:
+        return None  # every document would fail; keep reference messages
+    if schema.doc_type and schema.doc_type != doc_type:
+        return None
+    checks = []
+    for spec in schema.fields:
+        compiled = _compile_spec_check(spec)
+        if compiled is None:
+            return None
+        checks.append(compiled)
+
+    def clean(root: dict) -> bool:
+        for spec_check in checks:
+            if not spec_check(root):
+                return False
+        return True
+
+    return clean
+
+
+# ---------------------------------------------------------------------------
+# Vector rule runners
+# ---------------------------------------------------------------------------
+#
+# A top-level runner has signature (docs, roots, targets, context):
+#   docs    — the original Documents (compute functions receive them);
+#   roots   — [doc.data for doc in docs];
+#   targets — the raw target dicts being built, parallel to roots;
+#   context — the shared caller context.
+#
+# A nested (per-item) runner has signature (item_docs, items, outs, ictxs):
+#   item_docs — per-item Document wrappers, or None when no compute rule
+#               in the subtree needs them;
+#   items     — the raw item dicts of ONE parent document;
+#   outs      — the item target dicts being built;
+#   ictxs     — per-item contexts ({**context, _index, _ordinal}), or None.
+
+
+def _needs_item_context(rules: tuple[Rule, ...]) -> bool:
+    """True when some rule in the subtree receives documents/contexts."""
+    return any(
+        isinstance(rule, Compute)
+        or (isinstance(rule, Each) and _needs_item_context(rule.rules))
+        for rule in rules
+    )
+
+
+def _make_field(rule: Field, nested: bool):
+    source_steps = _str_steps(rule.source)
+    target_steps = _str_steps(rule.target)
+    if source_steps is None or target_steps is None:
+        return None
+    convert = rule.convert
+    default = rule.default
+    has_default = default is not MISSING
+    required = rule.required
+    reader = _make_reader(source_steps)
+    single_target = target_steps[0] if len(target_steps) == 1 else None
+
+    def run(docs, roots, targets, context):
+        for index, root in enumerate(roots):
+            value = reader(root)
+            if value is _MISS:
+                if has_default:
+                    value = default
+                elif required:
+                    raise _Fallback
+                else:
+                    continue
+            elif convert is not None:
+                value = convert(value)
+            if single_target is not None:
+                targets[index][single_target] = value
+            else:
+                _write(targets[index], target_steps, value)
+
+    return run
+
+
+def _make_const(rule: Const, nested: bool):
+    target_steps = _str_steps(rule.target)
+    if target_steps is None:
+        return None
+    value = rule.value
+    single_target = target_steps[0] if len(target_steps) == 1 else None
+
+    def run(docs, roots, targets, context):
+        if single_target is not None:
+            for target in targets:
+                target[single_target] = value
+        else:
+            for target in targets:
+                _write(target, target_steps, value)
+
+    return run
+
+
+def _make_compute(rule: Compute, nested: bool):
+    target_steps = _str_steps(rule.target)
+    if target_steps is None:
+        return None
+    fn = rule.fn
+    single_target = target_steps[0] if len(target_steps) == 1 else None
+
+    if nested:
+        # Per-item contexts carry _index/_ordinal, exactly as run_each builds.
+        def run_nested(item_docs, items, outs, ictxs):
+            for index, doc in enumerate(item_docs):
+                value = fn(doc, ictxs[index])
+                if single_target is not None:
+                    outs[index][single_target] = value
+                else:
+                    _write(outs[index], target_steps, value)
+
+        return run_nested
+
+    def run(docs, roots, targets, context):
+        for index, doc in enumerate(docs):
+            value = fn(doc, context)
+            if single_target is not None:
+                targets[index][single_target] = value
+            else:
+                _write(targets[index], target_steps, value)
+
+    return run
+
+
+def _make_each(rule: Each, source_format: str, nested: bool):
+    source_steps = _str_steps(rule.source)
+    target_steps = _str_steps(rule.target)
+    if source_steps is None or target_steps is None:
+        return None
+    min_items = rule.min_items
+    reader = _make_reader(source_steps)
+    item_runners = []
+    for inner in rule.rules:
+        runner = _compile_rule(inner, source_format, nested=True)
+        if runner is None:
+            return None
+        item_runners.append(runner)
+    needs_context = _needs_item_context(rule.rules)
+    single_target = target_steps[0] if len(target_steps) == 1 else None
+
+    def map_items(items: list, parent_context) -> list[dict]:
+        if type(items) is not list or len(items) < min_items:
+            raise _Fallback
+        for element in items:
+            # The reference rejects non-dict items even when no nested rule
+            # reads them; mirror that before running any rule.
+            if type(element) is not dict:
+                raise _Fallback
+        outs: list[dict] = [{} for _ in items]
+        if needs_context:
+            item_docs = [Document(source_format, "item", element) for element in items]
+            ictxs = [
+                {**parent_context, "_index": index, "_ordinal": index + 1}
+                for index in range(len(items))
+            ]
+        else:
+            item_docs = None
+            ictxs = None
+        for runner in item_runners:
+            runner(item_docs, items, outs, ictxs)
+        return outs
+
+    if nested:
+        # An Each inside an Each: expand per parent item.
+        def run_nested(item_docs, items, outs, ictxs):
+            for index, item in enumerate(items):
+                node = reader(item)
+                if node is _MISS:
+                    raise _Fallback
+                built = map_items(node, ictxs[index] if ictxs is not None else {})
+                if single_target is not None:
+                    outs[index][single_target] = built
+                else:
+                    _write(outs[index], target_steps, built)
+
+        return run_nested
+
+    def run(docs, roots, targets, context):
+        for index, root in enumerate(roots):
+            node = reader(root)
+            if node is _MISS:
+                raise _Fallback
+            built = map_items(node, context)
+            if single_target is not None:
+                targets[index][single_target] = built
+            else:
+                _write(targets[index], target_steps, built)
+
+    return run
+
+
+def _compile_rule(rule: Rule, source_format: str, nested: bool):
+    if isinstance(rule, Field):
+        return _make_field(rule, nested)
+    if isinstance(rule, Const):
+        return _make_const(rule, nested)
+    if isinstance(rule, Compute):
+        return _make_compute(rule, nested)
+    if isinstance(rule, Each):
+        return _make_each(rule, source_format, nested)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The program
+# ---------------------------------------------------------------------------
+
+
+class _BatchProgram:
+    """The vectorized form of one compiled mapping."""
+
+    __slots__ = ("compiled", "runners", "source_clean", "target_clean", "fallbacks")
+
+    def __init__(self, compiled, runners, source_clean, target_clean):
+        self.compiled = compiled
+        self.runners = runners
+        self.source_clean = source_clean
+        self.target_clean = target_clean
+        #: batches that could not be proven equivalent and were re-run
+        #: through the reference path (visible in registry cache stats).
+        self.fallbacks = 0
+
+    def apply(self, documents: list[Document], context: Context | None = None) -> list[Document]:
+        context = context or {}
+        try:
+            results = self._fast(documents, context)
+        except Exception:
+            results = None
+        if results is None:
+            self.fallbacks += 1
+            compiled = self.compiled
+            return [compiled.apply(document, context) for document in documents]
+        return results
+
+    def _fast(self, documents: list[Document], context: Context) -> list[Document] | None:
+        mapping = self.compiled.mapping
+        source_format = mapping.source_format
+        doc_type = mapping.doc_type
+        for document in documents:
+            if document.format_name != source_format or document.doc_type != doc_type:
+                return None
+        roots = [document.data for document in documents]
+        source_clean = self.source_clean
+        if source_clean is not True:
+            for root in roots:
+                if not source_clean(root):
+                    return None
+        targets: list[dict] = [{} for _ in documents]
+        for runner in self.runners:
+            runner(documents, roots, targets, context)
+        target_clean = self.target_clean
+        if target_clean is not True:
+            for target in targets:
+                if not target_clean(target):
+                    return None
+        target_format = mapping.target_format
+        return [Document(target_format, doc_type, target) for target in targets]
+
+
+def build_batch_program(compiled) -> _BatchProgram | None:
+    """Vectorize ``compiled`` (a :class:`CompiledMapping`); None when the
+    mapping uses features the fast path does not model (``post`` hooks,
+    indexed rule paths, unmodellable schema specs)."""
+    mapping = compiled.mapping
+    if mapping.post is not None:
+        return None
+    source_clean = _compile_clean_check(
+        mapping.source_schema, mapping.source_format, mapping.doc_type
+    )
+    target_clean = _compile_clean_check(
+        mapping.target_schema, mapping.target_format, mapping.doc_type
+    )
+    if source_clean is None or target_clean is None:
+        return None
+    runners = []
+    for rule in mapping.rules:
+        runner = _compile_rule(rule, mapping.source_format, nested=False)
+        if runner is None:
+            return None
+        runners.append(runner)
+    return _BatchProgram(compiled, runners, source_clean, target_clean)

@@ -1,0 +1,170 @@
+"""Content-addressed transformation result cache.
+
+B2B traffic is highly repetitive — the same purchase orders and acks flow
+through the same mapping chains all day — so the registry can memoize
+whole transformations.  An entry is keyed on::
+
+    (document.content_digest(), chain fingerprint tuple, registry.version)
+
+following the repo's two existing digest caches (the fingerprint-keyed
+binding plan cache and the incremental-lint verdict cache): the *content*
+digest makes identical payloads collide on purpose, the *fingerprint*
+chain pins the exact mapping definitions, and the registry *version*
+(also bumped on every registration) makes stale entries unreachable even
+before ``clear()`` drops them.
+
+Only **cacheable** chains consult the cache.  Cacheability is a static
+property computed at compile time (see
+:func:`repro.transform.mapping.rules_context_free`): a mapping with a
+``post`` hook or a compute function whose bytecode references its
+``context`` parameter may produce different output for the same document,
+so those chains bypass the cache entirely (counted per route in
+``bypasses``).
+
+Entries store a deep copy of the result and hits return fresh deep
+copies, so callers may freely mutate what they receive — exactly as they
+can with the uncached path, which builds a new document per call.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Any
+
+from repro.documents.model import Document
+
+__all__ = ["TransformCache"]
+
+
+def _copy_tree(node: Any) -> Any:
+    """Deep-copy the dict/list/scalar tree of a document payload.
+
+    Hand-rolled because this runs per hit on the hot path;
+    ``copy.deepcopy`` pays memo-dict overhead documents never need
+    (scalars are immutable, cycles cannot be built through ``Document.set``).
+    """
+    if type(node) is dict:
+        return {key: _copy_tree(value) for key, value in node.items()}
+    if type(node) is list:
+        return [_copy_tree(item) for item in node]
+    return node
+
+
+class TransformCache:
+    """A bounded LRU of transformation results with per-route counters.
+
+    :param capacity: maximum number of entries; the least recently *used*
+        entry is evicted on overflow.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Any, tuple[str, str, Any, str]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        #: per-route ("src->tgt/doc_type") breakdowns of the four counters
+        self.route_hits: Counter[str] = Counter()
+        self.route_misses: Counter[str] = Counter()
+        self.route_evictions: Counter[str] = Counter()
+        self.route_bypasses: Counter[str] = Counter()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- the cache protocol --------------------------------------------------
+
+    def lookup(self, key: Any, route: str) -> Document | None:
+        """Return a fresh copy of the cached result, or None on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self.route_misses[route] += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.route_hits[route] += 1
+        format_name, doc_type, data, _ = entry
+        return Document(format_name, doc_type, _copy_tree(data))
+
+    def store(self, key: Any, result: Document, route: str) -> None:
+        """Remember ``result`` under ``key`` (a private deep copy is kept)."""
+        entries = self._entries
+        entries[key] = (
+            result.format_name,
+            result.doc_type,
+            _copy_tree(result.data),
+            route,
+        )
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            _, (_, _, _, evicted_route) = entries.popitem(last=False)
+            self.evictions += 1
+            self.route_evictions[evicted_route] += 1
+
+    def note_bypass(self, route: str) -> None:
+        """Record that a context-sensitive chain skipped the cache."""
+        self.bypasses += 1
+        self.route_bypasses[route] += 1
+
+    def clear(self) -> None:
+        """Drop every entry (registration invalidation); counters survive."""
+        self._entries.clear()
+
+    # -- reporting -----------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        looked_up = self.hits + self.misses
+        return self.hits / looked_up if looked_up else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Aggregate + per-route statistics for stats surfaces and benches."""
+        routes = sorted(
+            set(self.route_hits)
+            | set(self.route_misses)
+            | set(self.route_evictions)
+            | set(self.route_bypasses)
+        )
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "hit_rate": self.hit_rate(),
+            "routes": {
+                route: {
+                    "hits": self.route_hits[route],
+                    "misses": self.route_misses[route],
+                    "evictions": self.route_evictions[route],
+                    "bypasses": self.route_bypasses[route],
+                }
+                for route in routes
+            },
+        }
+
+    def publish(self, runtime, source: str = "transform-cache") -> None:
+        """Emit a :class:`~repro.runtime.events.TransformCacheSnapshot` on
+        ``runtime``'s bus, surfacing the counters to the MetricsObserver."""
+        from repro.runtime.events import TransformCacheSnapshot
+
+        runtime.emit(
+            TransformCacheSnapshot,
+            source,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            bypasses=self.bypasses,
+            entries=len(self._entries),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TransformCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

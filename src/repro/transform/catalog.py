@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping as TypingMapping
 
 from repro.documents import edi, idoc, normalized, oagis, oracle_oif, rosettanet
-from repro.documents.model import Document
+from repro.documents.model import Document, DocumentPath
 from repro.errors import MappingError
 from repro.transform import functions
 from repro.transform.mapping import Compute, Const, Each, Field, Mapping
@@ -44,61 +44,81 @@ Context = TypingMapping[str, Any]
 # ---------------------------------------------------------------------------
 
 
+# Helper factories precompile their DocumentPaths once at catalog build
+# time: compute functions run per document on the hot path, and a string
+# path would re-parse inside every ``document.get`` call.
+
+
 def _ctx_or_path(key: str, fallback_path: str) -> Callable[[Document, Context], Any]:
+    fallback = DocumentPath(fallback_path)
+
     def compute(document: Document, context: Context) -> Any:
         if key in context:
             return context[key]
-        return document.get(fallback_path)
+        return document.get(fallback)
 
     compute.__name__ = f"ctx_{key}_or_{fallback_path}"
     return compute
 
 
 def _ctx_or_derived(key: str, prefix: str, path: str) -> Callable[[Document, Context], Any]:
+    compiled = DocumentPath(path)
+
     def compute(document: Document, context: Context) -> Any:
         if key in context:
             return str(context[key])
-        return f"{prefix}{document.get(path)}"
+        return f"{prefix}{document.get(compiled)}"
 
     compute.__name__ = f"ctx_{key}_or_derived"
     return compute
 
 
 def _str_of(path: str) -> Callable[[Document, Context], str]:
+    compiled = DocumentPath(path)
+
     def compute(document: Document, context: Context) -> str:
-        return str(document.get(path))
+        return str(document.get(compiled))
 
     compute.__name__ = f"str_of_{path}"
     return compute
 
 
 def _len_of(path: str) -> Callable[[Document, Context], int]:
+    compiled = DocumentPath(path)
+
     def compute(document: Document, context: Context) -> int:
-        return len(document.get(path))
+        return len(document.get(compiled))
 
     compute.__name__ = f"len_of_{path}"
     return compute
 
 
 def _derived_doc_id(prefix: str, path: str) -> Callable[[Document, Context], str]:
+    compiled = DocumentPath(path)
+
     def compute(document: Document, context: Context) -> str:
-        return f"{prefix}{document.get(path)}"
+        return f"{prefix}{document.get(compiled)}"
 
     compute.__name__ = f"doc_id_{prefix}"
     return compute
 
 
+_BUYER_ID = DocumentPath("header.buyer_id")
+_SELLER_ID = DocumentPath("header.seller_id")
+_PARTNERS = DocumentPath("partners")
+
+
 def _sap_partners(document: Document, context: Context) -> list[dict[str, str]]:
     """Build the IDoc partner segments: AG = sold-to (buyer), LF = vendor."""
     return [
-        {"parvw": "AG", "partn": str(document.get("header.buyer_id"))},
-        {"parvw": "LF", "partn": str(document.get("header.seller_id"))},
+        {"parvw": "AG", "partn": str(document.get(_BUYER_ID))},
+        {"parvw": "LF", "partn": str(document.get(_SELLER_ID))},
     ]
 
 
 def _sap_partner(role: str) -> Callable[[Document, Context], str]:
     def compute(document: Document, context: Context) -> str:
-        for partner in document.get("partners"):
+        for partner in document.get(_PARTNERS):
             if partner.get("parvw") == role:
                 return partner["partn"]
         raise MappingError(f"IDoc has no partner with role {role!r}")

@@ -30,6 +30,8 @@ against the whole catalog):
 
 from __future__ import annotations
 
+import dis
+import inspect
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable, Mapping as TypingMapping, Sequence
 
@@ -37,7 +39,16 @@ from repro.documents.model import Document, DocumentPath
 from repro.documents.schema import DocumentSchema
 from repro.errors import MappingError, TransformError
 
-__all__ = ["Field", "Const", "Compute", "Each", "Mapping", "CompiledMapping", "MISSING"]
+__all__ = [
+    "Field",
+    "Const",
+    "Compute",
+    "Each",
+    "Mapping",
+    "CompiledMapping",
+    "MISSING",
+    "rules_context_free",
+]
 
 
 class _Missing:
@@ -174,6 +185,52 @@ class Each:
 
 Rule = Field | Const | Compute | Each
 
+
+# ---------------------------------------------------------------------------
+# Cacheability analysis
+# ---------------------------------------------------------------------------
+
+
+def _function_reads_context(fn: Callable[..., Any]) -> bool:
+    """Conservative static check: can ``fn(document, context)`` depend on
+    ``context``?
+
+    The transformation cache may only serve a memoized result when the
+    output is a pure function of the document, so a compute rule whose
+    bytecode references its second (context) parameter — directly, via
+    closure cell, or through a superinstruction's tuple operand — makes
+    the mapping context-sensitive.  Anything the analysis cannot see
+    through (builtins, partials, ``*args``/``**kwargs`` signatures) is
+    treated as context-reading.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return True
+    if code.co_flags & (inspect.CO_VARARGS | inspect.CO_VARKEYWORDS):
+        return True
+    if code.co_argcount < 2:
+        return True
+    context_name = code.co_varnames[1]
+    for instruction in dis.get_instructions(code):
+        argval = instruction.argval
+        if argval == context_name:
+            return True
+        if isinstance(argval, tuple) and context_name in argval:
+            return True
+    return False
+
+
+def rules_context_free(rules: Sequence[Rule]) -> bool:
+    """True when no rule in the tree (recursing through Each) can read the
+    transformation context — the static half of cacheability."""
+    for rule in rules:
+        if isinstance(rule, Compute) and _function_reads_context(rule.fn):
+            return False
+        if isinstance(rule, Each) and not rules_context_free(rule.rules):
+            return False
+    return True
+
+
 # Sentinel for "source path absent" in compiled Field rules; private to this
 # module so no document value can collide with it.
 _ABSENT = object()
@@ -284,14 +341,22 @@ class CompiledMapping:
     no rule re-parses a path string per document.
     """
 
-    __slots__ = ("mapping", "name", "_rules")
+    __slots__ = ("mapping", "name", "cacheable", "_rules", "_batch")
 
     def __init__(self, mapping: "Mapping"):
         self.mapping = mapping
         self.name = mapping.name
+        #: static cacheability: a post hook or a context-reading compute
+        #: rule means identical documents may transform differently, so
+        #: the result cache must be bypassed.  Computed once, at compile.
+        self.cacheable: bool = mapping.post is None and rules_context_free(
+            mapping.rules
+        )
         self._rules: tuple[RuleRunner, ...] = tuple(
             _lower_rule(rule) for rule in mapping.rules
         )
+        # Lazily built batch program (False = vectorization unsupported).
+        self._batch: Any = None
 
     def apply(self, document: Document, context: Context | None = None) -> Document:
         """Transform ``document`` exactly as the interpreted path would."""
@@ -317,6 +382,31 @@ class CompiledMapping:
         if mapping.target_schema is not None:
             mapping.target_schema.validate(target)
         return target
+
+    def apply_batch(
+        self, documents: Sequence[Document], context: Context | None = None
+    ) -> list[Document]:
+        """Transform a vector of documents; equivalent to
+        ``[self.apply(d, context) for d in documents]`` byte-for-byte.
+
+        The first call lowers the mapping into a columnar batch program
+        (see :mod:`repro.transform.batch`): one schema-spec walk and one
+        rule-runner dispatch loop for the whole vector instead of per
+        document.  Mappings the vectorizer cannot prove equivalent run
+        the per-document loop instead.
+        """
+        documents = list(documents)
+        if not documents:
+            return []
+        program = self._batch
+        if program is None:
+            from repro.transform.batch import build_batch_program
+
+            program = build_batch_program(self)
+            self._batch = program if program is not None else False
+        if program is None or program is False:
+            return [self.apply(document, context) for document in documents]
+        return program.apply(documents, context)
 
     def __repr__(self) -> str:
         return f"CompiledMapping({self.name!r}, {len(self._rules)} rules)"
@@ -348,8 +438,8 @@ class Mapping:
     _compiled: CompiledMapping | None = dataclass_field(
         default=None, init=False, repr=False, compare=False
     )
-    _compiled_rules: tuple[int, ...] = dataclass_field(
-        default=(), init=False, repr=False, compare=False
+    _compiled_rules: tuple[Rule, ...] | None = dataclass_field(
+        default=None, init=False, repr=False, compare=False
     )
 
     _SCALAR_TYPES = frozenset({"str", "int", "float", "number", "bool"})
@@ -361,13 +451,22 @@ class Mapping:
         """Return the compiled form of this mapping (built once, cached).
 
         The cache is invalidated when the rule list is edited (rules are
-        frozen, so edits replace rule objects — the identity snapshot
-        detects that), keeping long-lived registries safe to reconfigure.
+        frozen, so edits replace rule objects).  The snapshot holds the
+        rule objects themselves — a strong reference — and compares by
+        identity, so a replaced rule can never false-hit by reusing a
+        freed object's ``id()`` (the old ``tuple(map(id, ...))`` keying
+        could).
         """
-        signature = tuple(map(id, self.rules))
-        if self._compiled is None or self._compiled_rules != signature:
+        snapshot = self._compiled_rules
+        rules = self.rules
+        if (
+            self._compiled is None
+            or snapshot is None
+            or len(snapshot) != len(rules)
+            or any(held is not current for held, current in zip(snapshot, rules))
+        ):
             self._compiled = CompiledMapping(self)
-            self._compiled_rules = signature
+            self._compiled_rules = tuple(rules)
         return self._compiled
 
     def _validate_targets(self) -> None:

@@ -1,0 +1,163 @@
+"""Binding batch chains: ``apply_inbound_batch``/``apply_outbound_batch``
+are observably identical to the per-document chain methods — same output
+documents, same run counters, same errors — while sharing one execution
+plan (and its memoized route executors) across the whole vector.
+"""
+
+import pytest
+
+from repro.core.binding import Binding, BindingStep, make_protocol_binding
+from repro.documents.model import Document
+from repro.documents.normalized import NORMALIZED, make_po_ack, make_purchase_order
+from repro.errors import ValidationError
+from repro.transform.catalog import build_standard_registry
+
+CONTEXT = {"sender_id": "ACME", "receiver_id": "TP1", "now": 1.0}
+
+LINES = [{"sku": "LAPTOP-15", "quantity": 10, "unit_price": 1200.0}]
+
+
+def _key(document):
+    if document is None:
+        return None
+    return (document.format_name, document.doc_type, document.to_dict())
+
+
+@pytest.fixture
+def fresh_registry():
+    return build_standard_registry()
+
+
+def _wire_batch(registry, count=6):
+    documents = []
+    for index in range(count):
+        po = make_purchase_order(f"PO-{index}", "TP1", "ACME", LINES)
+        documents.append(registry.transform(po, "edi-x12", CONTEXT))
+    return documents
+
+
+class TestInboundBatch:
+    def test_matches_per_document_chain(self, fresh_registry):
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        documents = _wire_batch(fresh_registry)
+        loop = [
+            binding.apply_inbound(document, fresh_registry, CONTEXT)
+            for document in documents
+        ]
+        runs_before = binding.inbound_runs
+        batch = binding.apply_inbound_batch(documents, fresh_registry, CONTEXT)
+        assert [_key(d) for d in batch] == [_key(d) for d in loop]
+        assert binding.inbound_runs == runs_before + len(documents)
+
+    def test_heterogeneous_doc_types_group_correctly(self, fresh_registry):
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        pos = [make_purchase_order(f"PO-{i}", "TP1", "ACME", LINES) for i in range(3)]
+        documents = []
+        for po in pos:
+            documents.append(fresh_registry.transform(po, "edi-x12", CONTEXT))
+            documents.append(
+                fresh_registry.transform(make_po_ack(po), "edi-x12", CONTEXT)
+            )
+        loop = [
+            binding.apply_inbound(document, fresh_registry, CONTEXT)
+            for document in documents
+        ]
+        batch = binding.apply_inbound_batch(documents, fresh_registry, CONTEXT)
+        assert [_key(d) for d in batch] == [_key(d) for d in loop]
+
+    def test_empty_batch(self, fresh_registry):
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        assert binding.apply_inbound_batch([], fresh_registry, CONTEXT) == []
+
+    def test_consume_yields_none_per_document(self, fresh_registry):
+        binding = Binding(
+            "b", "private", public_process="p",
+            inbound=[BindingStep("drop", "consume")],
+        )
+        documents = _wire_batch(fresh_registry, 3)
+        assert binding.apply_inbound_batch(documents, fresh_registry, CONTEXT) == [
+            None, None, None,
+        ]
+
+    def test_failure_matches_sequential_error(self, fresh_registry):
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        documents = _wire_batch(fresh_registry, 3)
+        broken = Document.from_dict(documents[1].to_dict())
+        broken.delete("beg.po_number")
+        batch = [documents[0], broken, documents[2]]
+        with pytest.raises(ValidationError) as sequential:
+            for document in batch:
+                binding.apply_inbound(document, fresh_registry, CONTEXT)
+        with pytest.raises(ValidationError) as batched:
+            binding.apply_inbound_batch(batch, fresh_registry, CONTEXT)
+        assert str(batched.value) == str(sequential.value)
+
+
+class TestOutboundBatch:
+    def test_matches_per_document_chain(self, fresh_registry):
+        binding = make_protocol_binding("b", "p", "private", "rosettanet-xml")
+        documents = [
+            make_purchase_order(f"PO-{index}", "TP1", "ACME", LINES)
+            for index in range(5)
+        ]
+        loop = [
+            binding.apply_outbound(document, fresh_registry, CONTEXT)
+            for document in documents
+        ]
+        batch = binding.apply_outbound_batch(documents, fresh_registry, CONTEXT)
+        assert [_key(d) for d in batch] == [_key(d) for d in loop]
+        assert all(d.format_name == "rosettanet-xml" for d in batch)
+
+    def test_produce_steps_call_producer_per_document(self, fresh_registry):
+        built = []
+
+        def receipt(context):
+            built.append(len(built))
+            return make_purchase_order(
+                f"GEN-{len(built)}", "US", "THEM",
+                [{"sku": "RCPT", "quantity": 1, "unit_price": 0.0}],
+            )
+
+        binding = Binding(
+            "b", "private", public_process="p",
+            outbound=[
+                BindingStep("make", "produce", producer=receipt),
+                BindingStep("to_wire", "transform", target_format="edi-x12"),
+            ],
+        )
+        documents = [
+            Document(NORMALIZED, "purchase_order", {"ignored": index})
+            for index in range(3)
+        ]
+        batch = binding.apply_outbound_batch(documents, fresh_registry, CONTEXT)
+        assert built == [0, 1, 2]  # one producer call per document
+        assert [d.get("beg.po_number") for d in batch] == ["GEN-1", "GEN-2", "GEN-3"]
+
+    def test_transform_after_consume_is_an_error(self, fresh_registry):
+        binding = Binding(
+            "b", "private", public_process="p",
+            inbound=[BindingStep("drop", "consume"),
+                     BindingStep("then", "transform", target_format="edi-x12")],
+        )
+        documents = _wire_batch(fresh_registry, 2)
+        # consume short-circuits before the dangling transform, per document
+        assert binding.apply_inbound_batch(documents, fresh_registry, CONTEXT) == [
+            None, None,
+        ]
+
+
+class TestBatchWithCache:
+    def test_cache_and_batch_compose_through_the_binding(self, fresh_registry):
+        fresh_registry.enable_cache()
+        binding = make_protocol_binding("b", "p", "private", "edi-x12")
+        documents = _wire_batch(fresh_registry, 4)
+        batch = documents + documents  # second half should be all hits
+        reference = make_protocol_binding("ref", "p", "private", "edi-x12")
+        plain = build_standard_registry()
+        expected = [
+            reference.apply_inbound(document, plain, CONTEXT)
+            for document in batch
+        ]
+        produced = binding.apply_inbound_batch(batch, fresh_registry, CONTEXT)
+        assert [_key(d) for d in produced] == [_key(d) for d in expected]
+        assert fresh_registry.cache.hits == 4

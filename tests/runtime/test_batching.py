@@ -1,0 +1,182 @@
+"""Batchable tasks: drain-time coalescing on the kernel and sharded kernel.
+
+The contract under test: ``submit_batchable(batcher, payload)`` tasks are
+executed by handing payload runs to ``batcher.run_batch(payloads)``, and
+coalescing only ever merges *adjacent* tasks — the payload order seen by
+batchers concatenates to exactly the submission order, on every kernel
+flavor.  On the deterministic sharded kernel, only globally consecutive
+tasks merge, so the observable execution order is bit-for-bit the same as
+the unbatched run (the transform-hub trace-parity gate rides on this).
+"""
+
+import pytest
+
+from repro.runtime.kernel import Kernel, RunQueue
+from repro.runtime.sharding import DETERMINISTIC, PARALLEL, ShardedKernel
+
+
+class Recorder:
+    """A batcher that logs every run_batch call it receives."""
+
+    def __init__(self, log=None, name="batcher"):
+        self.calls = []
+        self.log = log
+        self.name = name
+
+    def run_batch(self, payloads):
+        self.calls.append(list(payloads))
+        if self.log is not None:
+            self.log.extend((self.name, payload) for payload in payloads)
+
+
+class TestRunQueueCoalescing:
+    def test_adjacent_tasks_coalesce_into_one_call(self):
+        queue = RunQueue()
+        batcher = Recorder()
+        for payload in range(5):
+            queue.submit_batchable(batcher, payload)
+        executed = queue.drain()
+        assert executed == 5
+        assert batcher.calls == [[0, 1, 2, 3, 4]]
+        assert queue.tasks_executed == 5
+
+    def test_plain_task_breaks_the_run(self):
+        queue = RunQueue()
+        batcher = Recorder()
+        order = []
+        queue.submit_batchable(batcher, "a")
+        queue.submit_batchable(batcher, "b")
+        queue.submit(lambda: order.append("plain"))
+        queue.submit_batchable(batcher, "c")
+        queue.drain()
+        assert batcher.calls == [["a", "b"], ["c"]]
+        assert order == ["plain"]
+
+    def test_different_batchers_do_not_merge(self):
+        queue = RunQueue()
+        first, second = Recorder(name="first"), Recorder(name="second")
+        queue.submit_batchable(first, 1)
+        queue.submit_batchable(second, 2)
+        queue.submit_batchable(first, 3)
+        queue.drain()
+        assert first.calls == [[1], [3]]
+        assert second.calls == [[2]]
+
+    def test_batch_budget_bounds_coalescing(self):
+        queue = RunQueue(max_tasks_per_batch=3)
+        batcher = Recorder()
+        for payload in range(3):
+            queue.submit_batchable(batcher, payload)
+        queue.drain()
+        assert batcher.calls == [[0, 1, 2]]
+        for payload in range(4):
+            queue.submit_batchable(batcher, payload)
+        with pytest.raises(RuntimeError, match="max_tasks_per_batch"):
+            queue.drain()
+
+    def test_work_submitted_by_a_batch_runs_in_the_same_drain(self):
+        queue = RunQueue()
+
+        class Resubmitter:
+            def __init__(self):
+                self.calls = []
+
+            def run_batch(self, payloads):
+                self.calls.append(list(payloads))
+                if payloads == [0]:
+                    queue.submit_batchable(self, 1)
+
+        batcher = Resubmitter()
+        queue.submit_batchable(batcher, 0)
+        executed = queue.drain()
+        assert executed == 2
+        assert batcher.calls == [[0], [1]]
+
+
+class TestKernelBatching:
+    def test_kernel_delegates_to_run_queue(self):
+        kernel = Kernel()
+        batcher = Recorder()
+        kernel.submit_batchable(batcher, "x", label="t", partner_key="p-1")
+        kernel.submit_batchable(batcher, "y")
+        kernel.drain()
+        assert batcher.calls == [["x", "y"]]
+
+
+class TestShardedBatching:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_deterministic_order_matches_unbatched(self, shards):
+        payloads = [(f"partner-{index % 5}", index) for index in range(40)]
+
+        def run(batched):
+            kernel = ShardedKernel(shards=shards, mode=DETERMINISTIC)
+            log = []
+            batcher = Recorder(log=log)
+            for partner, sequence in payloads:
+                if batched:
+                    kernel.submit_batchable(
+                        batcher, (partner, sequence), partner_key=partner
+                    )
+                else:
+                    kernel.submit(
+                        lambda p=(partner, sequence): batcher.run_batch([p]),
+                        partner_key=partner,
+                    )
+            kernel.drain()
+            return log, batcher.calls
+
+        unbatched_log, _ = run(batched=False)
+        batched_log, calls = run(batched=True)
+        assert batched_log == unbatched_log  # global order is preserved
+        assert [p for call in calls for p in call] == payloads
+        if shards == 1:
+            assert len(calls) == 1  # everything is globally consecutive
+
+    def test_deterministic_merges_only_consecutive_submissions(self):
+        # partners alternate between two shards, so no two same-shard tasks
+        # are globally consecutive: nothing may coalesce.
+        kernel = ShardedKernel(shards=2, mode=DETERMINISTIC)
+        batcher = Recorder()
+        partners = ["p-even", "p-odd"]
+
+        class AlternatingRouter:
+            def route(self, key, shards):
+                return partners.index(key)
+
+        kernel.router = AlternatingRouter()
+        for sequence in range(10):
+            kernel.submit_batchable(
+                batcher, sequence, partner_key=partners[sequence % 2]
+            )
+        kernel.drain()
+        assert batcher.calls == [[sequence] for sequence in range(10)]
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_parallel_drain_executes_every_payload_once(self, shards):
+        kernel = ShardedKernel(shards=shards, mode=PARALLEL)
+        batcher = Recorder()
+        payloads = [(f"partner-{index % 7}", index) for index in range(60)]
+        for partner, sequence in payloads:
+            kernel.submit_batchable(
+                batcher, (partner, sequence), partner_key=partner
+            )
+        kernel.drain()
+        seen = sorted(p for call in batcher.calls for p in call)
+        assert seen == sorted(payloads)
+
+    def test_parallel_per_shard_order_is_preserved(self):
+        kernel = ShardedKernel(shards=2, mode=PARALLEL)
+        batcher = Recorder()
+        partners = ["p-a", "p-b", "p-c", "p-d"]
+        submissions = [
+            (partner, sequence)
+            for sequence in range(10)
+            for partner in partners
+        ]
+        for partner, sequence in submissions:
+            kernel.submit_batchable(batcher, (partner, sequence), partner_key=partner)
+        kernel.drain()
+        flat = [p for call in batcher.calls for p in call]
+        for partner in partners:
+            mine = [seq for p, seq in flat if p == partner]
+            assert mine == sorted(mine)  # per-partner FIFO survives batching

@@ -1,0 +1,255 @@
+"""``transform_batch`` is byte-identical to the per-document loop — on
+random documents, on every catalog route, with and without the result
+cache, and including failures.
+
+These are the properties the columnar path's correctness rests on:
+
+* ``transform_batch(docs) == [transform(d) for d in docs]`` for arbitrary
+  (including heterogeneous and duplicate-heavy) vectors;
+* enabling the cache changes no output, only counters;
+* errors surface identically — same exception type and message, raised
+  for the same document;
+* mappings the vectorizer cannot model (post hooks, indexed paths) fall
+  back to the reference loop rather than being mis-vectorized.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.documents.model import Document
+from repro.documents.normalized import NORMALIZED, make_po_ack, make_purchase_order
+from repro.errors import TransformError, ValidationError
+from repro.transform.batch import build_batch_program
+from repro.transform.catalog import build_standard_registry, standard_mappings
+from repro.transform.mapping import Compute, Field, Mapping
+
+CONTEXT = {"sender_id": "ACME", "receiver_id": "TP1", "now": 1.0}
+
+REGISTRY = build_standard_registry()
+
+WIRE_FORMATS = sorted(
+    {
+        m.target_format
+        for m in standard_mappings()
+        if m.source_format == NORMALIZED and m.doc_type == "purchase_order"
+    }
+)
+
+
+def _key(document):
+    if document is None:
+        return None
+    return (document.format_name, document.doc_type, document.to_dict())
+
+
+def _failure(fn, *args):
+    try:
+        fn(*args)
+    except (TransformError, ValidationError) as error:
+        return (type(error).__name__, str(error))
+    return None
+
+
+# -- strategies --------------------------------------------------------------
+
+_skus = st.from_regex(r"[A-Z0-9][A-Z0-9\-]{0,8}", fullmatch=True)
+_quantities = st.integers(1, 9999).map(float)
+_prices = st.integers(0, 10_000_000).map(lambda cents: cents / 100)
+_lines = st.lists(
+    st.fixed_dictionaries(
+        {"sku": _skus, "quantity": _quantities, "unit_price": _prices}
+    ),
+    min_size=1,
+    max_size=5,
+)
+_po_numbers = st.from_regex(r"PO-[0-9]{1,6}", fullmatch=True)
+_partner_ids = st.from_regex(r"[A-Z]{2,8}", fullmatch=True)
+
+
+@st.composite
+def normalized_pos(draw):
+    return make_purchase_order(
+        draw(_po_numbers), draw(_partner_ids), draw(_partner_ids), draw(_lines)
+    )
+
+
+@st.composite
+def mixed_batches(draw):
+    """Vectors mixing wire formats, doc types and duplicate documents."""
+    pos = draw(st.lists(normalized_pos(), min_size=1, max_size=6))
+    documents = []
+    for po in pos:
+        shape = draw(st.sampled_from(["normalized", "wire", "ack", "dup-wire"]))
+        if shape == "normalized":
+            documents.append(po)
+        elif shape == "ack":
+            documents.append(make_po_ack(po))
+        else:
+            wire = REGISTRY.transform(
+                po, draw(st.sampled_from(WIRE_FORMATS)), CONTEXT
+            )
+            documents.append(wire)
+            if shape == "dup-wire":
+                documents.append(Document.from_dict(wire.to_dict()))
+    return documents
+
+
+# -- properties --------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(mixed_batches())
+def test_batch_equals_loop_on_mixed_vectors(documents):
+    registry = build_standard_registry()
+    loop = [registry.transform(d, NORMALIZED, CONTEXT) for d in documents]
+    batch = registry.transform_batch(documents, NORMALIZED, CONTEXT)
+    assert [_key(d) for d in batch] == [_key(d) for d in loop]
+
+
+@settings(max_examples=40, deadline=None)
+@given(mixed_batches(), st.sampled_from(WIRE_FORMATS))
+def test_batch_equals_loop_outbound(documents, target):
+    registry = build_standard_registry()
+    # drop doc types with no outbound route for this wire format
+    routable = []
+    for document in documents:
+        if document.format_name == target:
+            routable.append(document)
+            continue
+        try:
+            registry.transform(document, target, CONTEXT)
+        except Exception:
+            continue
+        routable.append(document)
+    loop = [registry.transform(d, target, CONTEXT) for d in routable]
+    batch = registry.transform_batch(routable, target, CONTEXT)
+    assert [_key(d) for d in batch] == [_key(d) for d in loop]
+
+
+@settings(max_examples=40, deadline=None)
+@given(mixed_batches())
+def test_cache_changes_no_output(documents):
+    plain = build_standard_registry()
+    cached = build_standard_registry()
+    cached.enable_cache(capacity=8)  # small: exercises eviction too
+    loop = [plain.transform(d, NORMALIZED, CONTEXT) for d in documents]
+    # run twice so the second pass mixes hits, misses and evictions
+    cached.transform_batch(documents, NORMALIZED, CONTEXT)
+    batch = cached.transform_batch(documents, NORMALIZED, CONTEXT)
+    assert [_key(d) for d in batch] == [_key(d) for d in loop]
+    singles = [cached.transform(d, NORMALIZED, CONTEXT) for d in documents]
+    assert [_key(d) for d in singles] == [_key(d) for d in loop]
+
+
+def test_every_catalog_mapping_vectorizes():
+    unsupported = [
+        m.name for m in standard_mappings()
+        if build_batch_program(m.compile()) is None
+    ]
+    assert unsupported == []
+
+
+def test_empty_batch():
+    assert REGISTRY.transform_batch([], NORMALIZED) == []
+
+
+def test_identity_documents_pass_through():
+    po = make_purchase_order("PO-1", "TP1", "ACME",
+                             [{"sku": "A", "quantity": 1, "unit_price": 2.0}])
+    wire = REGISTRY.transform(po, "edi-x12", CONTEXT)
+    batch = REGISTRY.transform_batch([po, wire, po], NORMALIZED, CONTEXT)
+    assert batch[0] is po  # identity route returns the document itself
+    assert batch[2] is po
+    assert batch[1].format_name == NORMALIZED
+
+
+def test_error_identity_on_invalid_document():
+    registry = build_standard_registry()
+    good = make_purchase_order("PO-1", "TP1", "ACME",
+                               [{"sku": "A", "quantity": 1, "unit_price": 2.0}])
+    wire = registry.transform(good, "edi-x12", CONTEXT)
+    broken = Document.from_dict(wire.to_dict())
+    broken.delete("beg.po_number")  # violates the EDI source schema
+    batch = [wire, broken, wire]
+    loop_failure = None
+    for document in batch:
+        loop_failure = _failure(registry.transform, document, NORMALIZED, CONTEXT)
+        if loop_failure:
+            break
+    batch_failure = _failure(registry.transform_batch, batch, NORMALIZED, CONTEXT)
+    assert loop_failure is not None
+    assert batch_failure == loop_failure
+
+
+def test_error_identity_with_cache():
+    registry = build_standard_registry()
+    registry.enable_cache()
+    good = make_purchase_order("PO-1", "TP1", "ACME",
+                               [{"sku": "A", "quantity": 1, "unit_price": 2.0}])
+    wire = registry.transform(good, "edi-x12", CONTEXT)
+    broken = Document.from_dict(wire.to_dict())
+    broken.delete("beg.po_number")
+    expected = _failure(registry.transform, broken, NORMALIZED, CONTEXT)
+    produced = _failure(
+        registry.transform_batch, [wire, broken], NORMALIZED, CONTEXT
+    )
+    assert produced == expected
+    # The failing document must never have been cached.
+    registry.cache.clear()
+    assert _failure(registry.transform, broken, NORMALIZED, CONTEXT) == expected
+
+
+def test_post_hook_mapping_is_not_vectorized():
+    def stamp(source_doc, target_doc, context):
+        target_doc.set("stamped", True)
+
+    mapping = Mapping("m", "a", "b", "t", [Field("x", "y")], post=stamp)
+    assert build_batch_program(mapping.compile()) is None
+    # apply_batch still works — it degrades to the per-document loop.
+    docs = [Document("a", "t", {"x": index}) for index in range(3)]
+    produced = mapping.compile().apply_batch(docs, CONTEXT)
+    assert [d.get("stamped") for d in produced] == [True, True, True]
+    assert [d.get("y") for d in produced] == [0, 1, 2]
+
+
+def test_indexed_path_mapping_is_not_vectorized():
+    mapping = Mapping("m", "a", "b", "t", [Field("lines[0].sku", "first_sku")])
+    assert build_batch_program(mapping.compile()) is None
+    docs = [Document("a", "t", {"lines": [{"sku": f"S-{index}"}]})
+            for index in range(3)]
+    produced = mapping.compile().apply_batch(docs, CONTEXT)
+    assert [d.get("first_sku") for d in produced] == ["S-0", "S-1", "S-2"]
+
+
+def test_impure_compute_falls_back_identically():
+    # A compute that raises mid-batch: the fallback must surface the same
+    # error as the loop and leave earlier documents' outputs identical.
+    def explode_on(doc, context):
+        if doc.get("boom"):
+            raise ValueError("boom")
+        return "ok"
+
+    mapping = Mapping("m", "a", "b", "t", [Compute("status", explode_on)])
+    compiled = mapping.compile()
+    docs = [Document("a", "t", {"boom": False}),
+            Document("a", "t", {"boom": True})]
+    with pytest.raises(TransformError) as batch_error:
+        compiled.apply_batch(docs, CONTEXT)
+    with pytest.raises(TransformError) as loop_error:
+        for document in docs:
+            compiled.apply(document, CONTEXT)
+    assert str(batch_error.value) == str(loop_error.value)
+
+
+def test_compile_keying_is_identity_based():
+    # Regression: the old cache key was tuple(map(id, rules)); a replaced
+    # rule object could reuse the freed id and false-hit.  The snapshot now
+    # holds strong references and compares by identity.
+    mapping = Mapping("m", "a", "b", "t", [Field("x", "y")])
+    first = mapping.compile()
+    assert mapping.compile() is first
+    mapping.rules[0] = Field("x", "z")  # in-place replacement, same length
+    second = mapping.compile()
+    assert second is not first
+    document = Document("a", "t", {"x": 7})
+    assert second.apply(document).get("z") == 7

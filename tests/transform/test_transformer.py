@@ -55,7 +55,12 @@ class TestRegistration:
 
 class TestRouting:
     def test_identity_route_is_empty(self, hub_registry):
-        assert hub_registry.route("a", "a", "order") == []
+        assert hub_registry.route("a", "a", "order") == ()
+
+    def test_route_returns_cached_tuple(self, hub_registry):
+        first = hub_registry.route("a", "b", "order")
+        assert first is hub_registry.route("a", "b", "order")
+        assert isinstance(first, tuple)
 
     def test_direct_route_preferred(self, hub_registry):
         chain = hub_registry.route("a", "c", "order")
