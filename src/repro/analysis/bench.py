@@ -84,6 +84,13 @@ SPEEDUP_FLOORS = {
     # CACHE_HIT_RATE_FLOOR in repro.analysis.transform_bench).
     "transform_batch_speedup": 3.0,
     "transform_cache_hit_rate": 0.9,
+    # The B2B7xx schema dataflow pass must verify >=200 binding routes/sec
+    # across the example fleet (~5x headroom under the measured ~1.1k/s)
+    # and a warm registry re-sweep must serve >=90% of route verdicts from
+    # the chain-fingerprint cache (mirrors the floors in
+    # benchmarks/bench_dataflow.py).
+    "dataflow_routes_per_sec": 200.0,
+    "dataflow_route_cache_hit_rate": 0.9,
 }
 
 # Acceptance ceilings: derived metrics that must stay *below* a bound.
@@ -312,6 +319,44 @@ def _registry_cache_hit_rate(agreements: int = 250) -> float:
     return round(warm.cache_hit_rate, 4)
 
 
+def _dataflow_metrics(agreements: int = 250) -> dict[str, float]:
+    """Derived metrics for the B2B7xx schema dataflow pass.
+
+    ``dataflow_routes_per_sec`` times :func:`verify_dataflow` over every
+    example model that owns binding routes; ``dataflow_route_cache_hit_rate``
+    re-sweeps a registry with a warm digest cache and reports the share of
+    route verdicts served by chain-fingerprint hits.
+    """
+    from repro.verify.dataflow import iter_binding_routes, verify_dataflow
+    from repro.verify.incremental import VerificationCache
+    from repro.verify.registry import sweep_registry
+    from repro.verify.targets import lint_units
+
+    models = []
+    for unit in lint_units(None).values():
+        if not hasattr(unit, "transforms"):
+            continue
+        routes = len(list(iter_binding_routes(unit)))
+        if routes:
+            models.append((unit, routes))
+
+    def one_pass() -> None:
+        for unit, _count in models:
+            verify_dataflow(unit)
+
+    routes_per_pass = sum(count for _unit, count in models)
+    ops, _normalized, _runs = _time_ops_per_sec(one_pass, min_time=0.5)
+
+    registry = _registry_model(agreements)
+    cache = VerificationCache()
+    sweep_registry(registry, deep=False, dataflow=True, cache=cache)
+    warm = sweep_registry(registry, deep=False, dataflow=True, cache=cache)
+    return {
+        "dataflow_routes_per_sec": round(ops * routes_per_pass, 1),
+        "dataflow_route_cache_hit_rate": round(warm.route_cache_hit_rate, 4),
+    }
+
+
 BENCHMARKS: dict[str, Callable[[], Callable[[], Any]]] = {
     "expression_eval_interpreted": _bench_expression_interpreted,
     "expression_eval_compiled": _bench_expression_compiled,
@@ -390,6 +435,7 @@ def run_benchmarks(
     journal_messages: int = 20_000,
     transform_cache: bool = False,
     transform_batch_size: int = 100,
+    dataflow: bool = False,
 ) -> dict[str, Any]:
     """Run the selected benchmarks and return the result payload."""
     selected = list(names) if names is not None else list(BENCHMARKS)
@@ -480,6 +526,8 @@ def run_benchmarks(
         derived["transform_batch_speedup"] = transform_payload[
             "transform_batch_speedup"
         ]
+    if dataflow:
+        derived.update(_dataflow_metrics())
     return payload
 
 
@@ -587,6 +635,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--transform-batch-size", type=int, default=100, metavar="N",
         help="documents per transform_batch call (default: 100)",
     )
+    parser.add_argument(
+        "--dataflow", action="store_true",
+        help="also derive the B2B7xx schema dataflow metrics (binding "
+        "routes verified per second across the example fleet and the warm "
+        "registry route-verdict cache hit rate)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -596,7 +650,10 @@ def run(args: argparse.Namespace) -> int:
         names = [name for name in names if args.filter in name]
         # With --sharded-hub an empty micro-benchmark selection is fine:
         # e.g. ``--sharded-hub --filter sharded`` runs only the hub.
-        if not names and not (args.sharded_hub or args.journal or args.transform_cache):
+        if not names and not (
+            args.sharded_hub or args.journal or args.transform_cache
+            or args.dataflow
+        ):
             print(f"no benchmark matches filter {args.filter!r}", file=sys.stderr)
             return 2
     payload = run_benchmarks(
@@ -609,6 +666,7 @@ def run(args: argparse.Namespace) -> int:
         journal_messages=args.journal_messages,
         transform_cache=args.transform_cache,
         transform_batch_size=args.transform_batch_size,
+        dataflow=args.dataflow,
     )
 
     rows = [

@@ -192,7 +192,7 @@ def _cmd_patterns(args: argparse.Namespace) -> int:
     return 0
 
 
-LINT_SCHEMA_VERSION = 3
+LINT_SCHEMA_VERSION = 4
 """Version of the ``repro lint --format json`` payload shape.
 
 Version 2 wrapped the per-label results under a ``"models"`` key.
@@ -200,6 +200,9 @@ Version 3 added per-model ``cached``/``duration_ms``/``states`` (explored
 and pruned counts, so a statespace regression is attributable to the
 model that caused it), a ``totals`` summary with the cache hit/miss
 split, and the ``registry`` section emitted by ``--registry`` sweeps.
+Version 4 added per-model ``dataflow_routes`` counts and the
+``registry.dataflow`` section (routes, verified/cache-hit split) for the
+B2B7xx schema dataflow pass.
 """
 
 
@@ -216,6 +219,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     verify_options = {
         "deep": args.deep,
+        "dataflow": args.dataflow,
         "queue_bound": args.queue_bound,
         "max_states": args.max_states,
         "time_budget": args.time_budget,
@@ -237,6 +241,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             # the conversation defects only exist in the deadlock demo
             reports["deadlock-demo"] = verify_unit(
                 "deadlock-demo", build_deadlock_model(), verify_options
+            )
+        if args.dataflow:
+            # the schema-dataflow defects only exist in the mis-typed demo
+            from repro.verify.targets import build_dataflow_broken_model
+
+            reports["dataflow-broken-demo"] = verify_unit(
+                "dataflow-broken-demo",
+                build_dataflow_broken_model(),
+                verify_options,
             )
         results = {label: r.diagnostics for label, r in reports.items()}
         incremental = None
@@ -278,6 +291,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                         "explored": report.states_explored,
                         "pruned": report.states_pruned,
                     },
+                    "dataflow_routes": report.dataflow_routes,
                 }
                 for label, report in sorted(reports.items())
             },
@@ -321,11 +335,12 @@ def _stats_table(reports: dict) -> str:
             "ms": f"{report.duration * 1000:.1f}",
             "explored": report.states_explored,
             "pruned": report.states_pruned,
+            "routes": report.dataflow_routes,
         }
         for label, report in sorted(reports.items())
     ]
     return _table(
-        rows, ["model", "cached", "ms", "explored", "pruned"],
+        rows, ["model", "cached", "ms", "explored", "pruned", "routes"],
         "Per-model verification stats",
     )
 
@@ -360,6 +375,14 @@ def _lint_registry(args: argparse.Namespace, verify_options: dict, cache) -> int
                 },
                 "duration_ms": round(report.duration * 1000, 3),
                 "fabric_cached": report.fabric_cached,
+                "dataflow": {
+                    "routes": report.dataflow_routes,
+                    "routes_verified": report.routes_verified,
+                    "route_cache_hits": report.route_cache_hits,
+                    "route_cache_hit_rate": round(
+                        report.route_cache_hit_rate, 4
+                    ),
+                },
                 "counts": count_by_severity(report.diagnostics),
                 "fabric_diagnostics": [
                     d.to_dict() for d in report.fabric_diagnostics
@@ -383,6 +406,13 @@ def _lint_registry(args: argparse.Namespace, verify_options: dict, cache) -> int
             f"exploration(s), {report.states_explored} state(s) explored "
             f"({report.states_pruned} pruned) in {report.duration * 1000:.1f} ms"
         )
+        if report.dataflow_routes:
+            print(
+                f"dataflow: {report.dataflow_routes} route(s), "
+                f"{report.routes_verified} verified, "
+                f"{report.route_cache_hits} cache hit(s) "
+                f"({report.route_cache_hit_rate:.0%})"
+            )
         print()
         verdict = "FAIL" if failing else "OK"
         print(
@@ -486,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
         "product automaton (B2B5xx: deadlock, unspecified reception, "
         "queue overflow, orphan messages) and run the AND-parallel race "
         "analysis (B2B6xx) over every private process",
+    )
+    lint.add_argument(
+        "--dataflow", action="store_true",
+        help="also run the schema dataflow pass (B2B7xx): lower every "
+        "document schema into a field-type lattice, push abstract "
+        "documents through every mapping and binding-chain route, and "
+        "check the inferred output against each downstream consumer",
     )
     lint.add_argument(
         "--queue-bound", type=int, default=None, metavar="N",

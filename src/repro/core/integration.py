@@ -271,6 +271,7 @@ class IntegrationModel:
         self,
         strict: bool = False,
         deep: bool = False,
+        dataflow: bool = False,
         queue_bound: int | None = None,
         max_states: int | None = None,
         time_budget: float | None = None,
@@ -289,6 +290,9 @@ class IntegrationModel:
         exploration (``None`` keeps the statespace defaults),
         ``reduce=False`` disables partial-order reduction, and a ``stats``
         dict is filled with timing and explored/pruned state counts.
+        With ``dataflow=True``, the schema dataflow pass (B2B7xx) pushes
+        abstract documents through every mapping and binding-chain route
+        and checks them against their downstream consumers.
         """
         from repro.errors import VerificationError
         from repro.verify import SEVERITY_ERROR, at_or_above, verify_model
@@ -296,6 +300,7 @@ class IntegrationModel:
         diagnostics = verify_model(
             self,
             deep=deep,
+            dataflow=dataflow,
             queue_bound=queue_bound,
             max_states=max_states,
             time_budget=time_budget,

@@ -14,12 +14,14 @@ chain pins the exact mapping definitions, and the registry *version*
 before ``clear()`` drops them.
 
 Only **cacheable** chains consult the cache.  Cacheability is a static
-property computed at compile time (see
-:func:`repro.transform.mapping.rules_context_free`): a mapping with a
-``post`` hook or a compute function whose bytecode references its
-``context`` parameter may produce different output for the same document,
-so those chains bypass the cache entirely (counted per route in
-``bypasses``).
+property computed at compile time by the shared effect analyzer
+(:mod:`repro.verify.effects`): a mapping with a ``post`` hook or a
+compute function that is not provably pure — it reads its ``context``
+parameter, or has no bytecode the analyzer can see — may produce
+different output for the same document, so those chains bypass the cache
+entirely (counted per route in ``bypasses``).  The analyzer sees through
+``functools.partial`` and bound methods, so partial applications of pure
+document readers stay cacheable.
 
 Entries store a deep copy of the result and hits return fresh deep
 copies, so callers may freely mutate what they receive — exactly as they

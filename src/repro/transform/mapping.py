@@ -30,8 +30,6 @@ against the whole catalog):
 
 from __future__ import annotations
 
-import dis
-import inspect
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable, Mapping as TypingMapping, Sequence
 
@@ -187,7 +185,7 @@ Rule = Field | Const | Compute | Each
 
 
 # ---------------------------------------------------------------------------
-# Cacheability analysis
+# Cacheability analysis (delegates to the shared effect analyzer)
 # ---------------------------------------------------------------------------
 
 
@@ -195,40 +193,22 @@ def _function_reads_context(fn: Callable[..., Any]) -> bool:
     """Conservative static check: can ``fn(document, context)`` depend on
     ``context``?
 
-    The transformation cache may only serve a memoized result when the
-    output is a pure function of the document, so a compute rule whose
-    bytecode references its second (context) parameter — directly, via
-    closure cell, or through a superinstruction's tuple operand — makes
-    the mapping context-sensitive.  Anything the analysis cannot see
-    through (builtins, partials, ``*args``/``**kwargs`` signatures) is
-    treated as context-reading.
+    Thin wrapper over :func:`repro.verify.effects.analyze_function`, the
+    shared bytecode effect analyzer both the transformation cache and the
+    schema dataflow pass consume.  Anything the analysis cannot see
+    through is treated as context-reading.
     """
-    code = getattr(fn, "__code__", None)
-    if code is None:
-        return True
-    if code.co_flags & (inspect.CO_VARARGS | inspect.CO_VARKEYWORDS):
-        return True
-    if code.co_argcount < 2:
-        return True
-    context_name = code.co_varnames[1]
-    for instruction in dis.get_instructions(code):
-        argval = instruction.argval
-        if argval == context_name:
-            return True
-        if isinstance(argval, tuple) and context_name in argval:
-            return True
-    return False
+    from repro.verify.effects import analyze_function
+
+    return analyze_function(fn).reads_context
 
 
 def rules_context_free(rules: Sequence[Rule]) -> bool:
     """True when no rule in the tree (recursing through Each) can read the
     transformation context — the static half of cacheability."""
-    for rule in rules:
-        if isinstance(rule, Compute) and _function_reads_context(rule.fn):
-            return False
-        if isinstance(rule, Each) and not rules_context_free(rule.rules):
-            return False
-    return True
+    from repro.verify.effects import rules_read_context
+
+    return not rules_read_context(rules)
 
 
 # Sentinel for "source path absent" in compiled Field rules; private to this
@@ -346,10 +326,16 @@ class CompiledMapping:
     def __init__(self, mapping: "Mapping"):
         self.mapping = mapping
         self.name = mapping.name
-        #: static cacheability: a post hook or a context-reading compute
-        #: rule means identical documents may transform differently, so
-        #: the result cache must be bypassed.  Computed once, at compile.
-        self.cacheable: bool = mapping.post is None and rules_context_free(
+        from repro.verify.effects import rules_cacheable
+
+        #: static cacheability: a post hook or a compute whose effects are
+        #: not provably pure (context reads, or bytecode the analyzer
+        #: cannot see) means identical documents may transform
+        #: differently, so the result cache must be bypassed.  The shared
+        #: effect analyzer sees through ``functools.partial`` and bound
+        #: methods, so partial applications of pure document readers stay
+        #: cacheable.  Computed once, at compile.
+        self.cacheable: bool = mapping.post is None and rules_cacheable(
             mapping.rules
         )
         self._rules: tuple[RuleRunner, ...] = tuple(
@@ -477,31 +463,35 @@ class Mapping:
         :class:`Each` rule (which always writes a list) targeting a path
         the schema declares as a non-list.  Both would fail on every
         document, so they are mapping bugs, not data bugs.
+
+        The schema-shape questions are answered by the lowered field
+        lattice of :mod:`repro.verify.dataflow` — one canonical
+        interpretation of schema shapes shared with the dataflow pass.
         """
         if self.target_schema is None:
             return
-        declared = {spec.path: spec for spec in self.target_schema.fields}
+        from repro.verify.dataflow import lower_schema
+
+        lattice = lower_schema(self.target_schema)
         for index, rule in enumerate(self.rules):
             target = getattr(rule, "target", None)
             if target is None:
                 continue
-            for declared_path, spec in declared.items():
-                if (
-                    target.startswith(declared_path + ".")
-                    and spec.type_name in self._SCALAR_TYPES
-                ):
-                    raise MappingError(
-                        f"mapping {self.name!r} rule {index} "
-                        f"({type(rule).__name__}) targets {target!r}, which "
-                        f"writes below {declared_path!r} declared as "
-                        f"{spec.type_name} in schema {self.target_schema.name!r}"
-                    )
+            conflict = lattice.scalar_ancestor(target)
+            if conflict is not None:
+                declared_path, type_name = conflict
+                raise MappingError(
+                    f"mapping {self.name!r} rule {index} "
+                    f"({type(rule).__name__}) targets {target!r}, which "
+                    f"writes below {declared_path!r} declared as "
+                    f"{type_name} in schema {self.target_schema.name!r}"
+                )
             if isinstance(rule, Each):
-                spec = declared.get(target)
-                if spec is not None and spec.type_name != "list":
+                state = lattice.fields.get(target)
+                if state is not None and state.type_name != "list":
                     raise MappingError(
                         f"mapping {self.name!r} rule {index} (Each) targets "
-                        f"{target!r}, declared as {spec.type_name} (not list) "
+                        f"{target!r}, declared as {state.type_name} (not list) "
                         f"in schema {self.target_schema.name!r}"
                     )
 

@@ -23,11 +23,17 @@ Code families::
     B2B6xx  parallel races        (write/write and read/write conflicts in
                                    AND-parallel branches — see
                                    :mod:`repro.verify.race_checks`)
+    B2B7xx  schema dataflow       (wrong output types, unwritten required
+                                   fields, lossy conversions, dead rules,
+                                   disagreeing intermediate schemas,
+                                   provably-absent reads, unanalyzable
+                                   computes — see :mod:`repro.verify.dataflow`
+                                   and :mod:`repro.verify.effects`)
 
 Entry points: ``repro lint`` on the CLI (``--deep`` enables the B2B5xx
-conversation exploration and B2B6xx race analysis),
-``IntegrationModel.verify()`` programmatically, and the scenario builders'
-``verify=True`` opt-in.
+conversation exploration and B2B6xx race analysis; ``--dataflow`` the
+B2B7xx schema dataflow pass), ``IntegrationModel.verify()``
+programmatically, and the scenario builders' ``verify=True`` opt-in.
 
 Verification is *incremental*: every unit's verdict is keyed by a content
 digest of exactly the elements it depends on (see
@@ -39,6 +45,15 @@ from repro.verify.binding_checks import (
     verify_binding,
     verify_mapping,
     verify_public_process,
+)
+from repro.verify.dataflow import (
+    AbstractDocument,
+    FieldState,
+    RouteSpec,
+    counterexample_document,
+    iter_binding_routes,
+    lower_schema,
+    verify_dataflow,
 )
 from repro.verify.diagnostics import (
     SEVERITY_ERROR,
@@ -58,6 +73,12 @@ from repro.verify.incremental import (
     content_digest,
     verification_digest,
     verify_unit,
+)
+from repro.verify.effects import (
+    FunctionEffects,
+    analyze_function,
+    compute_effects,
+    rules_cacheable,
 )
 from repro.verify.model_checks import verify_model
 from repro.verify.race_checks import concurrent_step_pairs, verify_workflow_races
@@ -103,4 +124,15 @@ __all__ = [
     "verify_unit",
     "SweepReport",
     "sweep_registry",
+    "AbstractDocument",
+    "FieldState",
+    "RouteSpec",
+    "counterexample_document",
+    "iter_binding_routes",
+    "lower_schema",
+    "verify_dataflow",
+    "FunctionEffects",
+    "analyze_function",
+    "compute_effects",
+    "rules_cacheable",
 ]

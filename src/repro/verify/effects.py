@@ -1,0 +1,185 @@
+"""Bytecode-level purity/effect analysis for computes and hooks.
+
+PR 8 taught the transformation cache to bypass context-sensitive routes
+by scanning each ``Compute`` function's bytecode for references to its
+``context`` parameter (``rules_context_free`` in ``repro.transform.
+mapping``).  That check answered exactly one question — "does this read
+context?" — and answered it conservatively: anything without an
+inspectable code object (``functools.partial``, bound methods, C
+builtins) was treated as context-reading and bypassed the cache.
+
+This module generalizes the scan into a small effect analyzer shared by
+the transformation cache and the schema dataflow pass
+(:mod:`repro.verify.dataflow`):
+
+* classification — ``pure`` (reads only its document and immutable
+  closure state), ``reads-context`` (touches the per-call context
+  mapping), or ``unanalyzable`` (no bytecode to inspect);
+* ``reads_globals`` — module-level names the function loads (informational:
+  globals are assumed constant after catalog construction, matching the
+  PR 8 cacheability contract);
+* ``may_raise`` — whether the bytecode contains an explicit ``raise``.
+
+The analyzer also *widens* the old check: ``functools.partial`` wrappers
+and bound methods are unwrapped (with the context-parameter index
+shifted past the pre-bound arguments), so a partial application of a
+pure document reader is now recognized as pure — and its route stays
+cacheable — where the PR 8 scan forced a bypass.
+"""
+
+from __future__ import annotations
+
+import dis
+import functools
+from dataclasses import dataclass
+
+__all__ = [
+    "EFFECT_PURE",
+    "EFFECT_READS_CONTEXT",
+    "EFFECT_UNANALYZABLE",
+    "FunctionEffects",
+    "analyze_function",
+    "compute_effects",
+    "rules_cacheable",
+    "rules_read_context",
+]
+
+EFFECT_PURE = "pure"
+EFFECT_READS_CONTEXT = "reads-context"
+EFFECT_UNANALYZABLE = "unanalyzable"
+
+_CO_VARARGS = 0x04
+_CO_VARKEYWORDS = 0x08
+
+# Opcodes that surface an explicit ``raise`` statement.  RERAISE also
+# appears in compiler-generated exception-table cleanup, so only
+# RAISE_VARARGS counts as "this function deliberately raises".
+_RAISE_OPCODES = frozenset({"RAISE_VARARGS"})
+
+
+@dataclass(frozen=True)
+class FunctionEffects:
+    """The inferred effect summary of one compute/hook function."""
+
+    classification: str
+    reads_globals: tuple[str, ...] = ()
+    may_raise: bool = False
+    reason: str = ""
+
+    @property
+    def analyzable(self) -> bool:
+        return self.classification != EFFECT_UNANALYZABLE
+
+    @property
+    def reads_context(self) -> bool:
+        # Unanalyzable functions *may* read context; both answers must be
+        # treated conservatively by callers, so expose the safe one here.
+        return self.classification != EFFECT_PURE
+
+    @property
+    def cacheable(self) -> bool:
+        """True when memoizing on document content alone is sound."""
+        return self.classification == EFFECT_PURE
+
+
+def _unwrap(fn, context_index: int):
+    """Peel ``functools.partial`` and bound-method wrappers.
+
+    Returns ``(code, context_index, reason)`` where ``code`` is the
+    underlying code object (or None with a reason) and ``context_index``
+    is the position of the context parameter inside that code object's
+    argument list.
+    """
+    depth = 0
+    while depth < 8:
+        depth += 1
+        if isinstance(fn, functools.partial):
+            if fn.keywords:
+                return None, 0, "partial with keyword arguments"
+            context_index += len(fn.args)
+            fn = fn.func
+            continue
+        bound_self = getattr(fn, "__self__", None)
+        wrapped = getattr(fn, "__func__", None)
+        if bound_self is not None and wrapped is not None:
+            context_index += 1  # ``self`` occupies slot 0
+            fn = wrapped
+            continue
+        break
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None, 0, "no inspectable bytecode"
+    return code, context_index, ""
+
+
+def analyze_function(fn, context_index: int = 1) -> FunctionEffects:
+    """Analyze ``fn`` as called with its context at ``context_index``.
+
+    Mapping computes and post hooks are invoked as ``fn(document,
+    context)``, so the context parameter defaults to position 1.
+    """
+    code, context_index, reason = _unwrap(fn, context_index)
+    if code is None:
+        return FunctionEffects(EFFECT_UNANALYZABLE, reason=reason)
+    if code.co_flags & (_CO_VARARGS | _CO_VARKEYWORDS):
+        return FunctionEffects(EFFECT_UNANALYZABLE, reason="variadic signature")
+    if code.co_argcount <= context_index:
+        return FunctionEffects(
+            EFFECT_UNANALYZABLE, reason="missing context parameter"
+        )
+    context_name = code.co_varnames[context_index]
+    reads_context = False
+    may_raise = False
+    global_reads: list[str] = []
+    for instruction in dis.get_instructions(code):
+        argval = instruction.argval
+        if argval == context_name or (
+            isinstance(argval, tuple) and context_name in argval
+        ):
+            reads_context = True
+        if instruction.opname == "LOAD_GLOBAL" and isinstance(argval, str):
+            if argval not in global_reads:
+                global_reads.append(argval)
+        if instruction.opname in _RAISE_OPCODES:
+            may_raise = True
+    classification = EFFECT_READS_CONTEXT if reads_context else EFFECT_PURE
+    return FunctionEffects(
+        classification,
+        reads_globals=tuple(global_reads),
+        may_raise=may_raise,
+    )
+
+
+def compute_effects(rules) -> list[tuple[str, object, FunctionEffects]]:
+    """Effect summaries for every ``Compute`` rule, recursing into ``Each``.
+
+    Returns ``(target_path, rule, effects)`` triples; nested ``Each``
+    targets are rendered ``parent[].child`` to match the coverage-check
+    notation used elsewhere in the verifier.
+    """
+    from repro.transform.mapping import Compute, Each
+
+    found: list[tuple[str, object, FunctionEffects]] = []
+
+    def walk(rules, prefix: str) -> None:
+        for rule in rules:
+            if isinstance(rule, Compute):
+                target = f"{prefix}{rule.target}"
+                found.append((target, rule, analyze_function(rule.fn)))
+            elif isinstance(rule, Each):
+                walk(rule.rules, f"{prefix}{rule.target}[].")
+
+    walk(rules, "")
+    return found
+
+
+def rules_read_context(rules) -> bool:
+    """True when any compute may read its context (the PR 8 question)."""
+    return any(
+        effects.reads_context for _, _, effects in compute_effects(rules)
+    )
+
+
+def rules_cacheable(rules) -> bool:
+    """True when every compute is provably pure (document-only)."""
+    return all(effects.cacheable for _, _, effects in compute_effects(rules))

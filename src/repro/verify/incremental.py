@@ -19,8 +19,9 @@ IntegrationModel` or a bare workflow type) is reduced to a map of
 component's full content (rules, schemas, step lists, descriptors),
 with callables identified by their qualified name.  The unit's
 *verification digest* hashes the sorted component digests together with
-the verify options (``deep``/``queue_bound``/``max_states``/
-``time_budget``/``reduce``) and :data:`ENGINE_VERSION`, so a verifier
+the verify options (``deep``/``dataflow``/``queue_bound``/
+``max_states``/``time_budget``/``reduce``) and :data:`ENGINE_VERSION`,
+so a verifier
 upgrade or an option change invalidates everything while an untouched
 model is a guaranteed hit.
 
@@ -70,9 +71,13 @@ __all__ = [
     "verify_unit",
 ]
 
-ENGINE_VERSION = "1"
+ENGINE_VERSION = "2"
 """Bumped whenever verifier semantics change; embedded in every digest so
-stale caches from an older engine can never satisfy a newer lint."""
+stale caches from an older engine can never satisfy a newer lint.
+
+History: ``"1"`` through PR 9; ``"2"`` adds the B2B7xx schema dataflow
+pass and the shared effect analyzer (PR 10), which also changes
+``TransformCache`` cacheability decisions."""
 
 CACHE_SCHEMA = "repro-lint-cache/1"
 DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
@@ -211,6 +216,7 @@ def options_digest(verify_options: Mapping[str, Any] | None) -> str:
         {
             "engine": ENGINE_VERSION,
             "deep": bool(options.get("deep")),
+            "dataflow": bool(options.get("dataflow")),
             "queue_bound": options.get("queue_bound") or DEFAULT_QUEUE_BOUND,
             "max_states": options.get("max_states") or DEFAULT_MAX_STATES,
             "time_budget": options.get("time_budget"),
@@ -253,6 +259,7 @@ class ModelReport:
     duration: float = 0.0
     states_explored: int = 0
     states_pruned: int = 0
+    dataflow_routes: int = 0
     digest: str = ""
 
 
@@ -268,8 +275,9 @@ def verify_unit(
     else:
         from repro.verify.workflow_checks import verify_workflow
 
-        # A bare workflow has no conversations to explore; only the deep
-        # flag is meaningful (it enables the B2B6xx race analysis).
+        # A bare workflow has no conversations to explore or routes to
+        # dataflow-check; only the deep flag is meaningful (it enables
+        # the B2B6xx race analysis).
         diagnostics = verify_workflow(target, deep=bool(options.get("deep")))
     return ModelReport(
         label=label,
@@ -278,6 +286,7 @@ def verify_unit(
         duration=time.monotonic() - started,
         states_explored=int(stats.get("states_explored", 0)),
         states_pruned=int(stats.get("states_pruned", 0)),
+        dataflow_routes=int(stats.get("dataflow_routes", 0)),
     )
 
 
@@ -442,6 +451,7 @@ class IncrementalVerifier:
                 duration=0.0,
                 states_explored=int(stats.get("states_explored", 0)),
                 states_pruned=int(stats.get("states_pruned", 0)),
+                dataflow_routes=int(stats.get("dataflow_routes", 0)),
                 digest=digest,
             )
         else:
@@ -456,6 +466,7 @@ class IncrementalVerifier:
                 {
                     "states_explored": report.states_explored,
                     "states_pruned": report.states_pruned,
+                    "dataflow_routes": report.dataflow_routes,
                     "duration": report.duration,
                 },
             )

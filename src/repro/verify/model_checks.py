@@ -36,6 +36,7 @@ __all__ = ["verify_model"]
 def verify_model(
     model: "IntegrationModel",
     deep: bool = False,
+    dataflow: bool = False,
     queue_bound: int | None = None,
     max_states: int | None = None,
     time_budget: float | None = None,
@@ -52,9 +53,15 @@ def verify_model(
     exploration (``None`` = the statespace defaults); ``reduce=False``
     switches the exploration back to plain unreduced BFS.
 
+    With ``dataflow=True`` the schema dataflow pass (B2B7xx, see
+    :mod:`repro.verify.dataflow`) pushes abstract documents through
+    every mapping and binding-chain route and checks the inferred
+    output against each downstream consumer.
+
     When ``stats`` is a dict it is filled in place with verification
     metrics: ``duration`` (seconds), ``states_explored``/``states_pruned``
-    totals, and a per-pair ``conversations`` list.
+    totals, a per-pair ``conversations`` list, and (with ``dataflow``)
+    ``dataflow_routes``.
     """
     started = time.monotonic()
     prefix = f"model:{model.name}"
@@ -74,6 +81,12 @@ def verify_model(
     _check_routes(model, prefix, diagnostics)
     _check_orphans(model, prefix, diagnostics)
     _check_agreements(model, prefix, diagnostics)
+    if dataflow:
+        from repro.verify.dataflow import verify_dataflow
+
+        diagnostics.extend(
+            _prefixed(verify_dataflow(model, stats=stats), prefix)
+        )
     explorations: list = []
     if deep:
         from repro.verify.statespace import (

@@ -63,9 +63,13 @@ class SweepReport:
     explorations: int = 0
     states_explored: int = 0
     states_pruned: int = 0
+    dataflow_routes: int = 0
+    routes_verified: int = 0
+    route_cache_hits: int = 0
     duration: float = 0.0
     fabric_cached: bool = False
     fabric_diagnostics: list[Diagnostic] = field(default_factory=list)
+    dataflow_diagnostics: list[Diagnostic] = field(default_factory=list)
     agreement_diagnostics: dict[str, list[Diagnostic]] = field(default_factory=dict)
 
     @property
@@ -74,9 +78,19 @@ class SweepReport:
         return self.cache_hits / self.agreements if self.agreements else 0.0
 
     @property
+    def route_cache_hit_rate(self) -> float:
+        """Fraction of dataflow routes served from cache (0.0 when none)."""
+        return (
+            self.route_cache_hits / self.dataflow_routes
+            if self.dataflow_routes
+            else 0.0
+        )
+
+    @property
     def diagnostics(self) -> list[Diagnostic]:
-        """Fabric diagnostics plus every agreement's, flattened."""
+        """Fabric and dataflow diagnostics plus every agreement's, flattened."""
         merged = list(self.fabric_diagnostics)
+        merged.extend(self.dataflow_diagnostics)
         for label in sorted(self.agreement_diagnostics):
             merged.extend(self.agreement_diagnostics[label])
         return merged
@@ -94,6 +108,7 @@ class SweepReport:
 def sweep_registry(
     model: "IntegrationModel",
     deep: bool = True,
+    dataflow: bool = False,
     queue_bound: int | None = None,
     max_states: int | None = None,
     time_budget: float | None = None,
@@ -101,6 +116,12 @@ def sweep_registry(
     cache: "VerificationCache | None" = None,
 ) -> SweepReport:
     """Verify every agreement in ``model``'s partner directory.
+
+    With ``dataflow=True`` the B2B7xx schema dataflow pass also runs:
+    mapping-level checks once for the catalog, and route-level checks
+    digest-keyed per binding chain (the chain's mapping fingerprints), so
+    every agreement sharing a protocol — and every re-sweep over an
+    unchanged chain — reuses the route verdict instead of re-analyzing.
 
     :param cache: optional digest-keyed verdict cache (in-memory or
         persisted); pass the same cache across sweeps to make unchanged
@@ -118,6 +139,7 @@ def sweep_registry(
         cache = VerificationCache()
     options = {
         "deep": deep,
+        "dataflow": dataflow,
         "queue_bound": queue_bound,
         "max_states": max_states,
         "time_budget": time_budget,
@@ -146,6 +168,11 @@ def sweep_registry(
             fabric_components,
             report.fabric_diagnostics,
             {},
+        )
+
+    if dataflow:
+        _sweep_dataflow(
+            model, opts_digest, fabric_digest, fabric_components, cache, report
         )
 
     # --- per-agreement pass: shared explorations, digest-gated verdicts
@@ -194,6 +221,78 @@ def sweep_registry(
         report.agreement_diagnostics[label] = diagnostics
     report.duration = time.monotonic() - started
     return report
+
+
+def _sweep_dataflow(
+    model: "IntegrationModel",
+    opts_digest: str,
+    fabric_digest: str,
+    fabric_components: dict[str, str],
+    cache: "VerificationCache",
+    report: SweepReport,
+) -> None:
+    """The B2B7xx pass of a sweep: cached per catalog and per route.
+
+    Mapping-level checks and rule-read checks depend on the whole model,
+    so they are cached as one unit under the fabric digest; route-level
+    checks depend only on the route's mapping chain, so each route is
+    digest-keyed by its chain fingerprints and reused across agreements
+    and re-sweeps.
+    """
+    from repro.verify.dataflow import (
+        check_mapping_dataflow,
+        check_route_dataflow,
+        check_rule_reads,
+        iter_binding_routes,
+        route_digest_payload,
+    )
+    from repro.verify.incremental import content_digest
+
+    prefix = f"model:{model.name}"
+    routes = list(iter_binding_routes(model))
+    report.dataflow_routes = len(routes)
+
+    catalog_label = f"dataflow-catalog:{model.name}"
+    entry = cache.lookup(catalog_label, fabric_digest)
+    if entry is not None:
+        report.dataflow_diagnostics.extend(
+            Diagnostic.from_dict(d) for d in entry.get("diagnostics", [])
+        )
+    else:
+        diagnostics: list[Diagnostic] = []
+        for mapping in model.transforms.mappings():
+            diagnostics.extend(check_mapping_dataflow(mapping))
+        diagnostics.extend(check_rule_reads(model, routes))
+        diagnostics = [
+            replace(d, location=f"{prefix}/{d.location}") for d in diagnostics
+        ]
+        cache.store(
+            catalog_label, fabric_digest, fabric_components, diagnostics, {}
+        )
+        report.dataflow_diagnostics.extend(diagnostics)
+
+    for route in routes:
+        label = f"dataflow-route:{route.label}"
+        payload = route_digest_payload(route)
+        digest = content_digest({"options": opts_digest, **payload})
+        entry = cache.lookup(label, digest)
+        if entry is not None:
+            report.route_cache_hits += 1
+            diagnostics = [
+                Diagnostic.from_dict(d) for d in entry.get("diagnostics", [])
+            ]
+        else:
+            report.routes_verified += 1
+            diagnostics = [
+                replace(d, location=f"{prefix}/{d.location}")
+                for d in check_route_dataflow(route)
+            ]
+            components = {
+                f"mapping:{mapping.name}": mapping.fingerprint()
+                for mapping in route.chain
+            }
+            cache.store(label, digest, components, diagnostics, {})
+        report.dataflow_diagnostics.extend(diagnostics)
 
 
 def _explore_protocol(

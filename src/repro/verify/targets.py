@@ -25,6 +25,7 @@ __all__ = [
     "lint_all",
     "build_broken_model",
     "build_deadlock_model",
+    "build_dataflow_broken_model",
 ]
 
 Builder = Callable[[], dict[str, Any]]
@@ -203,6 +204,143 @@ def build_broken_model():
         private_process=workflow.name,
         inbound=[BindingStep("to_nowhere", "transform", target_format="csv-flat")],
         outbound=[BindingStep("to_wire", "transform", target_format="rosettanet-xml")],
+    )
+    model.bindings[binding.name] = binding
+    return model
+
+
+def build_dataflow_broken_model():
+    """A deliberately mis-typed route for demonstrating ``--dataflow``.
+
+    One binding chain composes two independently authored mappings whose
+    intermediate schemas disagree.  The first mapping writes a numeric
+    currency code where its own target schema declares a string (B2B701,
+    with a counterexample document) and narrows a float total into a
+    string field without a declared transform (B2B703); the second
+    mapping's source schema requires a reference field the first mapping
+    never writes and expects the currency as a string (B2B705 twice), so
+    its reference-copying rule is dead on this route (B2B704).
+    """
+    from repro.core.binding import Binding, BindingStep
+    from repro.core.integration import IntegrationModel
+    from repro.core.public_process import seller_request_reply
+    from repro.documents.schema import DocumentSchema, FieldSpec
+    from repro.transform.mapping import Const, Field, Mapping
+    from repro.transform.transformer import TransformationRegistry
+    from repro.workflow.definitions import WorkflowBuilder
+
+    wire_schema = DocumentSchema(
+        "legacy-wire/purchase_order",
+        format_name="legacy-wire",
+        doc_type="purchase_order",
+        fields=[
+            FieldSpec("header.po_number", "str"),
+            FieldSpec("header.currency", "str"),
+            FieldSpec("summary.total", "float"),
+        ],
+    )
+    # The hub schema as the *first* mapping's author understood it.
+    hub_schema = DocumentSchema(
+        "broken-hub/purchase_order",
+        format_name="broken-hub",
+        doc_type="purchase_order",
+        fields=[
+            FieldSpec("po.number", "str"),
+            FieldSpec("po.currency", "str"),
+            FieldSpec("po.amount", "float"),
+            FieldSpec("po.total_code", "str"),
+        ],
+    )
+    # The hub schema as the *second* mapping's author understood it:
+    # it additionally requires ``po.reference``.
+    hub_schema_v2 = DocumentSchema(
+        "broken-hub/purchase_order",
+        format_name="broken-hub",
+        doc_type="purchase_order",
+        fields=[
+            FieldSpec("po.number", "str"),
+            FieldSpec("po.currency", "str"),
+            FieldSpec("po.amount", "float"),
+            FieldSpec("po.total_code", "str"),
+            FieldSpec("po.reference", "str"),
+        ],
+    )
+    app_schema = DocumentSchema(
+        "app-flat/purchase_order",
+        format_name="app-flat",
+        doc_type="purchase_order",
+        fields=[
+            FieldSpec("record.id", "str"),
+            FieldSpec("record.ref", "str", required=False),
+        ],
+    )
+    to_hub = Mapping(
+        name="legacy-wire__to__broken-hub/purchase_order",
+        source_format="legacy-wire",
+        target_format="broken-hub",
+        doc_type="purchase_order",
+        rules=[
+            Field("header.po_number", "po.number"),
+            # B2B701: a numeric currency code where the schema says str
+            Const("po.currency", 840),
+            Field("summary.total", "po.amount"),
+            # B2B703: float -> str narrowing without a declared transform
+            Field("summary.total", "po.total_code"),
+        ],
+        source_schema=wire_schema,
+        target_schema=hub_schema,
+    )
+    to_app = Mapping(
+        name="broken-hub__to__app-flat/purchase_order",
+        source_format="broken-hub",
+        target_format="app-flat",
+        doc_type="purchase_order",
+        rules=[
+            Field("po.number", "record.id"),
+            # B2B704 on this route: the upstream mapping never writes it
+            Field("po.reference", "record.ref", required=False),
+        ],
+        source_schema=hub_schema_v2,
+        target_schema=app_schema,
+    )
+    ack_out = Mapping(
+        name="broken-hub__to__legacy-wire/po_ack",
+        source_format="broken-hub",
+        target_format="legacy-wire",
+        doc_type="po_ack",
+        rules=[Field("po.number", "header.po_number")],
+    )
+    registry = TransformationRegistry(hub_format="broken-hub")
+    registry.register(to_hub)
+    registry.register(to_app)
+    registry.register(ack_out)
+
+    workflow = (
+        WorkflowBuilder("dataflow-seller")
+        .activity("receive", "receive_po", outputs={"document": "document"})
+        .activity("store", "store_po")
+        .link("receive", "store")
+        .meta(doc_types=["purchase_order"])
+        .build()
+    )
+    model = IntegrationModel("dataflow-broken-demo")
+    model.transforms = registry
+    model.add_private_process(workflow)
+    definition = seller_request_reply(
+        "dataflow-public", protocol="rosettanet", wire_format="legacy-wire"
+    )
+    model.public_processes[definition.name] = definition
+    binding = Binding(
+        name="dataflow-binding",
+        public_process=definition.name,
+        private_process=workflow.name,
+        inbound=[
+            BindingStep("to_hub", "transform", target_format="broken-hub"),
+            BindingStep("to_app", "transform", target_format="app-flat"),
+        ],
+        outbound=[
+            BindingStep("to_wire", "transform", target_format="legacy-wire"),
+        ],
     )
     model.bindings[binding.name] = binding
     return model

@@ -8,6 +8,8 @@ invariant — enabling the cache never changes any transformation output —
 is property-tested in test_batch.py.
 """
 
+import functools
+
 import pytest
 
 from repro.documents.model import Document
@@ -255,6 +257,65 @@ class TestRegistryIntegration:
         expected = [reference.transform(d, NORMALIZED) for d in batch]
         produced = registry.transform_batch(batch, NORMALIZED)
         assert [d.to_dict() for d in produced] == [d.to_dict() for d in expected]
+
+    def test_partial_of_pure_reader_is_now_cacheable(self):
+        # The PR 8 bytecode check treated anything without a __code__
+        # attribute (like functools.partial) as context-reading and
+        # bypassed the cache; the shared effect analyzer unwraps the
+        # partial, proves the reader pure, and keeps the route cacheable.
+        def read_path(path, document, context):
+            return document.get(path)
+
+        registry = build_standard_registry().__class__(hub_format="hub")
+        mapping = Mapping(
+            "widened", "src", "hub", "t",
+            [Compute("out", functools.partial(read_path, "x"))],
+        )
+        registry.register(mapping)
+        cache = registry.enable_cache()
+        assert mapping.compile().cacheable is True
+        document = Document("src", "t", {"x": 7})
+        assert registry.transform(document, "hub").get("out") == 7
+        registry.transform(document, "hub")
+        assert cache.hits == 1 and cache.bypasses == 0
+
+    def test_bound_method_reader_is_cacheable(self):
+        class Extractor:
+            def __init__(self, path):
+                self.path = path
+
+            def read(self, document, context):
+                return document.get(self.path)
+
+        registry = build_standard_registry().__class__(hub_format="hub")
+        mapping = Mapping(
+            "bound", "src", "hub", "t",
+            [Compute("out", Extractor("x").read)],
+        )
+        registry.register(mapping)
+        cache = registry.enable_cache()
+        assert mapping.compile().cacheable is True
+        document = Document("src", "t", {"x": 3})
+        registry.transform(document, "hub")
+        registry.transform(document, "hub")
+        assert cache.hits == 1 and cache.bypasses == 0
+
+    def test_context_reading_partial_still_bypasses(self):
+        def read_context(key, document, context):
+            return context.get(key)
+
+        registry = build_standard_registry().__class__(hub_format="hub")
+        mapping = Mapping(
+            "ctx", "src", "hub", "t",
+            [Compute("out", functools.partial(read_context, "now"))],
+        )
+        registry.register(mapping)
+        cache = registry.enable_cache()
+        assert mapping.compile().cacheable is False
+        document = Document("src", "t", {})
+        registry.transform(document, "hub", {"now": 1.0})
+        registry.transform(document, "hub", {"now": 2.0})
+        assert cache.bypasses == 2 and cache.hits == 0
 
     def test_publish_emits_snapshot_event(self):
         registry = build_standard_registry()

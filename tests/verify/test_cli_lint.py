@@ -23,7 +23,7 @@ def test_lint_demo_broken_exits_nonzero_with_three_codes(capsys):
 def test_lint_json_format(capsys):
     assert main(["lint", "--demo-broken", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema_version"] == 3
+    assert payload["schema_version"] == 4
     assert "broken-demo" in payload["models"]
     entry = payload["models"]["broken-demo"]
     assert entry["counts"]["error"] >= 2
@@ -33,6 +33,8 @@ def test_lint_json_format(capsys):
     assert entry["cached"] is False
     assert entry["duration_ms"] >= 0
     assert entry["states"] == {"explored": 0, "pruned": 0}
+    # schema v4: per-model dataflow route counts (0 without --dataflow)
+    assert entry["dataflow_routes"] == 0
     assert payload["totals"]["models"] == 1
 
 
@@ -125,6 +127,37 @@ def test_lint_registry_text_summary(capsys):
     out = capsys.readouterr().out
     assert "registry sweep: 25 agreement(s)" in out
     assert "OK" in out
+
+
+def test_lint_dataflow_all_examples_pass_on_error_threshold(capsys):
+    assert main(["lint", "--dataflow", "--fail-on", "error"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+
+
+def test_lint_dataflow_demo_broken_json(capsys):
+    assert main(["lint", "--demo-broken", "--dataflow", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    entry = payload["models"]["dataflow-broken-demo"]
+    assert entry["dataflow_routes"] == 2  # inbound PO + outbound ack
+    codes = {d["code"] for d in entry["diagnostics"]}
+    assert {"B2B701", "B2B703", "B2B704", "B2B705"} <= codes
+    broken = next(d for d in entry["diagnostics"] if d["code"] == "B2B701")
+    assert any("counterexample document" in line for line in broken["trace"])
+
+
+def test_lint_dataflow_registry_json_reports_route_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    argv = ["lint", "--registry", "40", "--dataflow", "--incremental",
+            "--cache", cache, "--format", "json"]
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)["registry"]["dataflow"]
+    assert cold["routes"] > 0
+    assert cold["routes_verified"] == cold["routes"]
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)["registry"]["dataflow"]
+    assert warm["route_cache_hit_rate"] == 1.0
+    assert warm["routes_verified"] == 0
 
 
 def test_lint_no_reduce_keeps_deep_verdicts(capsys):
